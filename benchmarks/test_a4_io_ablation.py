@@ -1,0 +1,100 @@
+"""A4 ablation — filesystem and striping design choices.
+
+Sweeps the knobs the paper's I/O discussion turns on:
+
+* stripe width (how many OSTs the dataset is spread over) — the paper
+  stripes over 64 of 248 Lustre OSTs and 125 DataWarp nodes;
+* delivered-bandwidth efficiency (the shared-system derating the paper
+  blames for Lustre's shortfall);
+
+and locates the node count where each configuration stops hiding I/O —
+the scaling knee of Figure 4.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.io.filesystem import cori_lustre
+from repro.perfmodel import cori_lustre_machine
+
+
+def knee_nodes(machine, threshold=0.9, counts=(64, 128, 256, 512, 1024, 2048, 4096, 8192)):
+    """First node count where parallel efficiency falls below threshold
+    x the no-I/O efficiency."""
+    reference = replace(machine, filesystem=None)
+    for n in counts:
+        if machine.efficiency(n) < threshold * reference.efficiency(n):
+            return n
+    return None
+
+
+def test_striping_sweep(benchmark):
+    base_fs = cori_lustre()
+    rows = []
+    for stripes in (16, 32, 64, 128, 248):
+        fs = replace(base_fs, stripe_targets=stripes)
+        machine = cori_lustre_machine(filesystem=fs, straggler_exposure=0.0)
+        rows.append(
+            (
+                stripes,
+                fs.usable_bandwidth_GBps,
+                machine.efficiency(1024),
+                machine.efficiency(8192),
+                knee_nodes(machine),
+            )
+        )
+    benchmark.pedantic(
+        lambda: knee_nodes(cori_lustre_machine(straggler_exposure=0.0)),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        "A4 ablation: Lustre stripe width (paper uses 64 OSTs)",
+        f"{'stripe OSTs':>12}{'usable GB/s':>13}{'eff @1024':>11}{'eff @8192':>11}"
+        f"{'I/O knee (nodes)':>18}",
+    ]
+    for stripes, usable, e1024, e8192, knee in rows:
+        lines.append(
+            f"{stripes:>12}{usable:>13.1f}{e1024 * 100:>10.0f}%{e8192 * 100:>10.0f}%"
+            f"{str(knee):>18}"
+        )
+    lines.append(
+        "\nwider striping raises the aggregate ceiling (helps at scale) but the "
+        "per-client contention term still knees every Lustre configuration; "
+        "the paper's fix was moving to the burst buffer, not wider stripes."
+    )
+    save_report("a4_striping", "\n".join(lines))
+
+    eff_8192 = [r[3] for r in rows]
+    assert eff_8192 == sorted(eff_8192), "wider stripes must not hurt at scale"
+    assert all(r[4] is not None for r in rows), "every Lustre config knees somewhere"
+
+
+def test_efficiency_derating_sweep(benchmark):
+    """How much of the Lustre shortfall is the shared-system derating."""
+    rows = []
+    for eff in (0.1, 0.21, 0.5, 1.0):
+        fs = replace(cori_lustre(), efficiency=eff)
+        machine = cori_lustre_machine(filesystem=fs, straggler_exposure=0.0)
+        rows.append((eff, machine.efficiency(1024), machine.efficiency(4096)))
+    benchmark.pedantic(
+        lambda: cori_lustre_machine(straggler_exposure=0.0).efficiency(4096),
+        rounds=5,
+        iterations=1,
+    )
+    lines = [
+        "A4b: deliverable-bandwidth derating (calibrated value: 0.21)",
+        f"{'derating':>10}{'eff @1024':>12}{'eff @4096':>12}",
+    ]
+    for eff, e1, e4 in rows:
+        lines.append(f"{eff:>10.2f}{e1 * 100:>11.0f}%{e4 * 100:>11.0f}%")
+    lines.append(
+        "\neven nominal hardware (derating 1.0) knees eventually: the per-client "
+        "1 MB-stripe contention term is the binding constraint at mid scale."
+    )
+    save_report("a4_derating", "\n".join(lines))
+    scale_eff = [r[2] for r in rows]
+    assert scale_eff == sorted(scale_eff)

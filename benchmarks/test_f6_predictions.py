@@ -1,0 +1,74 @@
+"""Figure 6 — parameter estimates from the trained network.
+
+The paper's scatter plots of predicted vs true (ΩM, σ8, ns) on held-out
+data, summarized by average relative errors: (0.0022, 0.0094, 0.0096)
+for the 2048-node run and (0.052, 0.014, 0.022) for 8192.
+
+We evaluate our trained model on held-out simulated universes and print
+the same summary, alongside the no-information reference (predicting
+the training-set mean).  At 1/800 of the paper's data volume and 1/512
+of its voxel count, absolute errors are necessarily larger; the
+reproduction criterion is that the network's σ8 estimate carries real
+information (beats the prior and correlates with truth), which is the
+paper's central scientific capability.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.metrics import PAPER_REL_ERRORS, relative_errors
+from repro.core.parameters import PLANCK_UNCERTAINTY, ParameterSpace
+
+
+def test_figure6_predictions(trained_model, cosmo_dataset, benchmark):
+    model = trained_model["model"]
+    xte, yte, tte = cosmo_dataset["test"]
+    ytr = cosmo_dataset["train"][1]
+
+    pred = benchmark.pedantic(model.predict, args=(xte,), rounds=1, iterations=1)
+    cnn = relative_errors(pred, tte, names=model.space.names)
+
+    space = ParameterSpace()
+    prior_pred = space.denormalize(np.tile(ytr.mean(axis=0), (len(xte), 1)))
+    prior = relative_errors(prior_pred, tte, names=model.space.names)
+
+    pred_norm = model.predict_normalized(xte)
+    corr = {
+        name: float(np.corrcoef(pred_norm[:, i], yte[:, i])[0, 1])
+        for i, name in enumerate(model.space.names)
+    }
+
+    lines = [
+        "Figure 6 reproduction: parameter estimation on held-out universes",
+        f"(test set: {len(xte)} sub-volumes from unseen simulations)",
+        f"{'parameter':<10}{'rel err (CNN)':>14}{'rel err (prior)':>16}{'corr':>7}"
+        f"{'paper 2048':>12}{'paper 8192':>12}{'Planck 1-sigma':>15}",
+    ]
+    for name in model.space.names:
+        planck = PLANCK_UNCERTAINTY[name] / {"omega_m": 0.3089, "sigma_8": 0.8159, "n_s": 0.9667}[name]
+        lines.append(
+            f"{name:<10}{cnn.as_dict()[name]:>14.4f}{prior.as_dict()[name]:>16.4f}"
+            f"{corr[name]:>7.2f}"
+            f"{PAPER_REL_ERRORS['2048_node'][name]:>12.4f}"
+            f"{PAPER_REL_ERRORS['8192_node'][name]:>12.4f}"
+            f"{planck:>15.4f}"
+        )
+    lines += [
+        "",
+        f"validation loss trajectory: "
+        + " ".join(f"{v:.3f}" for v in trained_model["history"].val_loss),
+        "",
+        "scale note: the paper trains on 99,456 samples of 128^3 voxels "
+        "(2 Mpc/h resolution); this run uses ~1,000 samples of 16^3 "
+        "(4 Mpc/h).  sigma_8 — the amplitude parameter — is learnable at "
+        "this scale; omega_m and n_s need the paper's data volume.",
+    ]
+    save_report("f6_predictions", "\n".join(lines))
+
+    # Reproduction criteria: the network genuinely constrains sigma_8.
+    assert corr["sigma_8"] > 0.3
+    assert cnn.as_dict()["sigma_8"] < 0.85 * prior.as_dict()["sigma_8"]
+    # And no parameter is catastrophically wrong (within 2x of prior).
+    for name in model.space.names:
+        assert cnn.as_dict()[name] < 2.0 * prior.as_dict()[name]

@@ -1,0 +1,120 @@
+"""Table I — per-convolution-layer time and flop rate.
+
+The paper times each of the seven conv layers' forward, backward-weights
+and backward-data passes at full 128³ scale on one KNL node and reports
+ms and TF/s per layer (Table I).  This benchmark runs the identical
+layer shapes through our kernels and prints the same table, with the
+paper's values alongside.
+
+Absolute rates differ (NumPy BLAS on this host vs hand-tuned AVX512 on
+KNL); the *shape* must hold: conv2 dominates, the tail layers are
+cheap, conv1 has no backward-data pass.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.flops import table1_rows
+from repro.core.topology import paper_128
+from repro.primitives.conv3d import (
+    conv3d_backward_data,
+    conv3d_backward_weights,
+    conv3d_forward,
+    conv3d_output_shape,
+)
+from repro.utils.timer import Timer
+
+#: Table I of the paper: per-layer (fwd, bww, bwd) times in ms.
+PAPER_TABLE1_MS = {
+    "conv1": (1.14, 0.74, None),
+    "conv2": (4.04, 6.20, 6.76),
+    "conv3": (2.32, 2.65, 2.84),
+    "conv4": (0.40, 0.39, 0.42),
+    "conv5": (0.32, 0.29, 0.40),
+    "conv6": (0.22, 0.29, 0.30),
+    "conv7": (0.18, 0.22, 0.21),
+}
+
+
+def layer_shapes():
+    """(name, input spatial, in_ch, out_ch, kernel) for each conv layer."""
+    cfg = paper_128()
+    size = cfg.input_size
+    channels = cfg.input_channels
+    out = []
+    for i, spec in enumerate(cfg.conv_layers, start=1):
+        out.append((f"conv{i}", size, channels, spec.out_channels, spec.kernel))
+        (size, _, _) = conv3d_output_shape((size,) * 3, spec.kernel)
+        if spec.pool:
+            size //= 2
+        channels = spec.out_channels
+    return out
+
+
+def time_layer(name, in_size, ic, oc, k, rng):
+    x = rng.standard_normal((1, ic, in_size, in_size, in_size)).astype(np.float32)
+    w = rng.standard_normal((oc, ic, k, k, k)).astype(np.float32)
+    with Timer() as t_fwd:
+        out = conv3d_forward(x, w)
+    g = rng.standard_normal(out.shape).astype(np.float32)
+    with Timer() as t_bww:
+        conv3d_backward_weights(x, g, (k, k, k))
+    if name == "conv1":
+        t_bwd_elapsed = None  # first layer: input needs no gradient
+    else:
+        with Timer() as t_bwd:
+            conv3d_backward_data(g, w, x.shape[2:])
+        t_bwd_elapsed = t_bwd.elapsed
+    return t_fwd.elapsed, t_bww.elapsed, t_bwd_elapsed
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rng = np.random.default_rng(0)
+    return {name: time_layer(name, *shape, rng) for name, *shape in layer_shapes()}
+
+
+def test_table1_report(measured, benchmark):
+    flops = {r["layer"]: r for r in table1_rows(paper_128())}
+
+    # benchmark the dominant layer (conv2 forward) for the timing table
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((1, 16, 63, 63, 63)).astype(np.float32)
+    w = rng.standard_normal((32, 16, 4, 4, 4)).astype(np.float32)
+    benchmark.pedantic(conv3d_forward, args=(x, w), rounds=2, iterations=1)
+
+    lines = [
+        "Table I reproduction: conv layer performance at 128^3 (batch 1)",
+        f"{'layer':<8}{'ours ms (fwd/bww/bwd)':>26}{'ours GF/s':>22}{'paper ms':>22}{'paper TF/s dominant':>20}",
+    ]
+    for name, (fwd, bww, bwd) in measured.items():
+        f = flops[name]
+        gf = lambda fl, t: (fl / t / 1e9) if (t and t > 0) else float("nan")
+        ours_ms = f"{fwd * 1e3:6.1f}/{bww * 1e3:6.1f}/" + (
+            f"{bwd * 1e3:6.1f}" if bwd is not None else "     -"
+        )
+        ours_gf = (
+            f"{gf(f['fwd_flops'], fwd):5.1f}/{gf(f['bww_flops'], bww):5.1f}/"
+            + (f"{gf(f['bwd_flops'], bwd):5.1f}" if bwd is not None else "    -")
+        )
+        p = PAPER_TABLE1_MS[name]
+        paper_ms = f"{p[0]:5.2f}/{p[1]:5.2f}/" + (f"{p[2]:5.2f}" if p[2] else "    -")
+        lines.append(f"{name:<8}{ours_ms:>26}{ours_gf:>22}{paper_ms:>22}")
+    total_fwd = sum(m[0] for m in measured.values())
+    lines.append(
+        f"total fwd: {total_fwd * 1e3:.0f} ms (paper: 8.62 ms on KNL with AVX512 JIT kernels)"
+    )
+    save_report("t1_conv_layers", "\n".join(lines))
+
+    # Shape assertions matching the paper's qualitative structure.
+    # (conv1 is excluded from the dominance check: its huge 126^3 x 16
+    # output makes its wall time memory-traffic-bound and noisy on a
+    # shared host, whereas conv2-7 are compute-shaped.)
+    fwd_times = {n: m[0] for n, m in measured.items()}
+    body = {n: t for n, t in fwd_times.items() if n != "conv1"}
+    assert max(body, key=body.get) == "conv2"  # conv2 dominates
+    tail = sum(fwd_times[f"conv{i}"] for i in range(4, 8))
+    head = fwd_times["conv2"] + fwd_times["conv3"]
+    assert tail < head  # the last four layers are cheap
+    assert measured["conv1"][2] is None  # no bwd-data for layer 1

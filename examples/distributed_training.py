@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Fully synchronous data-parallel training (the paper's Algorithm 2).
+
+Runs the same problem three ways and shows they agree:
+
+* 1 rank (plain SGD) — the baseline;
+* 4 simulated ranks, ``stepped`` mode — sequential execution of the
+  exact SSGD algebra (how the convergence experiments emulate
+  thousands of ranks);
+* 4 real threads, ``threaded`` mode — one OS thread per rank with the
+  CPE-ML-Plugin-style gradient aggregation, rank-0 broadcast, and the
+  synchronous-replica-divergence check.
+
+Also demonstrates the global-batch-size effect the paper's Figure 5
+studies: more ranks = larger effective batch = slower per-epoch
+convergence at fixed hyperparameters.
+
+Runtime: ~1 minute.
+"""
+
+import numpy as np
+
+from repro.core.distributed import DistributedConfig, DistributedTrainer
+from repro.core.optimizer import OptimizerConfig
+from repro.core.topology import tiny_16
+from repro.core.trainer import InMemoryData
+from repro.cosmo import SimulationConfig, build_arrays
+
+
+def main() -> None:
+    sim = SimulationConfig()
+    volumes, targets, _ = build_arrays(16, sim, seed=3)
+    data = InMemoryData(volumes, targets)
+    print(f"dataset: {len(data)} sub-volumes")
+    opt = OptimizerConfig(eta0=2e-3, decay_steps=400)
+
+    print("\n--- stepped mode, 4 simulated ranks (global batch 4) ---")
+    stepped = DistributedTrainer(
+        tiny_16(), data,
+        config=DistributedConfig(n_ranks=4, epochs=4, mode="stepped", validate=False, seed=0),
+        optimizer_config=opt,
+    )
+    stepped.run()
+    for e, loss in enumerate(stepped.history.train_loss, 1):
+        print(f"epoch {e}: train loss {loss:.4f}")
+    print(f"allreduces: {stepped.group_stats['reductions']}, "
+          f"{stepped.group_stats['bytes_reduced'] / 1e6:.1f} MB moved")
+
+    print("\n--- threaded mode, 4 real rank threads ---")
+    threaded = DistributedTrainer(
+        tiny_16(), data,
+        config=DistributedConfig(n_ranks=4, epochs=4, mode="threaded", validate=False, seed=0),
+        optimizer_config=opt,
+    )
+    threaded.run()
+    for e, loss in enumerate(threaded.history.train_loss, 1):
+        print(f"epoch {e}: train loss {loss:.4f}")
+    print(f"max parameter divergence across replicas: "
+          f"{threaded.group_stats['max_param_divergence']:.2e} (must be ~0: SSGD invariant)")
+
+    drift = np.abs(
+        np.array(stepped.history.train_loss) - np.array(threaded.history.train_loss)
+    ).max()
+    print(f"stepped vs threaded max loss difference: {drift:.2e} (identical algebra)")
+
+    print("\n--- the Figure 5 effect: global batch size vs convergence ---")
+    for ranks in (2, 64):
+        t = DistributedTrainer(
+            tiny_16(), data,
+            config=DistributedConfig(n_ranks=ranks, epochs=3, mode="stepped",
+                                     validate=False, seed=0),
+            optimizer_config=OptimizerConfig(eta0=2e-3, decay_steps=10000),
+        )
+        t.run()
+        model = t.final_model
+        final = float(np.mean(
+            [model.validation_loss(x, y) for x, y in data.batches(8, shuffle=False)]
+        ))
+        print(f"{ranks:>3} ranks (global batch {ranks}): loss after 3 epochs = {final:.4f}")
+    print("a 32x larger global batch means 32x fewer optimizer steps per epoch: "
+          "convergence per epoch slows — the paper's 8192-node run converges "
+          "more slowly per epoch than 2048 (Fig. 5)")
+
+
+if __name__ == "__main__":
+    main()

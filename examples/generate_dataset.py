@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Dataset generation: the paper's simulation pipeline, end to end.
+
+Reproduces Section IV-C's data path:
+
+* sample (ΩM, σ8, ns) uniformly from the Planck-motivated ranges;
+* MUSIC's job — σ8-normalized P(k) and Gaussian random-field initial
+  conditions;
+* pycola's job — 2LPT displacement (optionally with COLA PM steps);
+* ``numpy.histogramdd`` into a particle-count cube, split 2x2x2 into
+  sub-volumes (the paper: 512 Mpc/h box -> 8 x 128³ sub-volumes);
+* write TFRecord-style record files (the paper: 64 samples per 512 MB
+  file), then read them back through the prefetch pipeline and verify.
+
+Runtime: ~30 seconds.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cosmo import (
+    PowerSpectrum,
+    SimulationConfig,
+    build_arrays,
+    measure_power_spectrum,
+    simulate_density,
+)
+from repro.io import PrefetchPipeline, RecordDataset
+from repro.io.dataset import write_dataset
+
+
+def main() -> None:
+    sim = SimulationConfig()  # paper geometry at 1/8 linear scale
+    print(f"simulation setup: {sim.particle_grid}^3 particles in "
+          f"({sim.box_size} Mpc/h)^3, {sim.histogram_grid}^3 voxel histogram "
+          f"({sim.mean_count_per_voxel:.0f} particles/voxel, as the paper), "
+          f"{sim.subvolumes_per_sim} sub-volumes of {sim.subvolume_size}^3 per box")
+
+    # --- one simulation, inspected step by step ------------------------------
+    theta = (0.3089, 0.8159, 0.9667)  # Planck best fit
+    spectrum = PowerSpectrum(*theta)
+    print(f"\nPlanck cosmology: sigma_8 check = {spectrum.sigma_r(8.0):.4f} (target 0.8159)")
+    counts = simulate_density(theta, sim, seed=0)
+    print(f"evolved density: {counts.sum():.0f} particles, "
+          f"max cell {counts.max():.0f}, {np.mean(counts == 0) * 100:.0f}% empty voxels")
+    delta = counts / counts.mean() - 1.0
+    k, p = measure_power_spectrum(delta, sim.box_size, n_bins=8)
+    print("measured P(k) of the evolved field (nonlinear > linear at small scales):")
+    for ki, pi in zip(k, p):
+        if np.isfinite(pi):
+            print(f"  k={ki:6.3f} h/Mpc   P={pi:10.1f}   linear={spectrum(np.array([ki]))[0]:10.1f}")
+
+    # --- a full dataset written to record files ------------------------------
+    t0 = time.time()
+    volumes, targets, theta_rows = build_arrays(12, sim, seed=7)
+    print(f"\nbuilt {len(volumes)} sub-volumes from 12 simulations "
+          f"in {time.time() - t0:.1f}s")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = write_dataset(Path(tmp), volumes, targets, samples_per_file=16, shuffle_rng=1)
+        total_mb = sum(p.stat().st_size for p in paths) / 1e6
+        print(f"wrote {len(paths)} record files, {total_mb:.1f} MB total "
+              f"(paper: 1.4 TB in 512 MB files)")
+
+        dataset = RecordDataset(paths)
+        pipe = PrefetchPipeline(dataset, n_io_threads=4, buffer_size=8)
+        n = 0
+        for x, y in pipe.batches(batch_size=4, rng=np.random.default_rng(0)):
+            n += len(x)
+        print(f"prefetch pipeline delivered {n} samples "
+              f"({pipe.stats.samples_delivered} recorded), "
+              f"consumer waited {pipe.stats.consumer_wait_s * 1e3:.1f} ms total")
+        assert n == len(volumes)
+    print("round trip OK")
+
+
+if __name__ == "__main__":
+    main()

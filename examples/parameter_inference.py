@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Deep learning vs traditional statistics for parameter estimation.
+
+Reproduces the scientific comparison behind the paper (inherited from
+Ravanbakhsh et al. 2017): the CosmoFlow CNN, which sees the full 3D
+matter distribution, against parameter estimation from reduced
+statistics (binned power spectrum + moments) — the "traditional
+statistical metrics" a two-point analysis uses.
+
+Both estimators train on the same simulations and are evaluated with
+the paper's relative-error metric on the same held-out universes.
+
+Runtime: ~2 minutes.
+"""
+
+import numpy as np
+
+from repro import CosmoFlowModel, InMemoryData, Trainer, TrainerConfig
+from repro.core.metrics import relative_errors
+from repro.core.optimizer import OptimizerConfig
+from repro.core.topology import tiny_16
+from repro.cosmo import SimulationConfig, StatisticalBaseline, build_arrays, train_val_test_split
+
+
+def main() -> None:
+    # The paper's geometry at 1/8 linear scale: 64^3 particles, 32^3
+    # histogram (8 particles/voxel), split into 16^3 sub-volumes.
+    sim = SimulationConfig()
+    print("simulating 150 universes...")
+    volumes, targets, theta = build_arrays(150, sim, seed=11)
+    (xtr, ytr, ttr), (xv, yv, _), (xte, yte, tte) = train_val_test_split(
+        volumes, targets, theta, sim.subvolumes_per_sim,
+        val_fraction=0.08, test_fraction=0.12, rng=0,
+    )
+    print(f"train {len(xtr)} / val {len(xv)} / test {len(xte)} sub-volumes")
+
+    print("\n--- traditional statistics (power spectrum + moments, ridge) ---")
+    baseline = StatisticalBaseline(box_size=sim.box_size / sim.splits)
+    baseline.fit(xtr, ttr)
+    base_pred = baseline.predict(xte)
+    base_summary = relative_errors(base_pred, tte, names=("omega_m", "sigma_8", "n_s"))
+    print(base_summary)
+
+    print("\n--- CosmoFlow CNN ---")
+    model = CosmoFlowModel(tiny_16(), seed=0)
+    trainer = Trainer(
+        model,
+        InMemoryData(xtr, ytr, augment=True),  # 48 cube symmetries
+        val_data=InMemoryData(xv, yv),
+        optimizer_config=OptimizerConfig(eta0=2e-3, decay_steps=8 * len(xtr)),
+        config=TrainerConfig(epochs=8, seed=1),
+    )
+    history = trainer.run()
+    print(f"train loss {history.train_loss[0]:.4f} -> {history.train_loss[-1]:.4f}, "
+          f"val loss {history.val_loss[-1]:.4f}")
+    cnn_pred = model.predict(xte)
+    cnn_summary = relative_errors(cnn_pred, tte, names=model.space.names)
+    print(cnn_summary)
+
+    print("\n--- comparison (relative error, lower is better) ---")
+    for name in cnn_summary.names:
+        c = cnn_summary.as_dict()[name]
+        b = base_summary.as_dict()[name]
+        winner = "CNN" if c < b else "statistics"
+        print(f"{name:>8}: CNN {c:.4f} vs statistics {b:.4f}  ({winner} wins, "
+              f"ratio {b / c:.2f}x)" if c < b else
+              f"{name:>8}: CNN {c:.4f} vs statistics {b:.4f}  ({winner} wins)")
+    print("\nRavanbakhsh et al. (the paper's basis) report up to ~3x lower "
+          "relative error for the CNN with 500x more training data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: train CosmoFlow on synthetic universes and recover
+cosmological parameters.
+
+This is the paper's full workflow at laptop scale:
+
+1. run dark-matter simulations (Gaussian ICs + 2LPT, the MUSIC+pycola
+   pipeline) for randomly sampled (ΩM, σ8, ns);
+2. histogram the particles into density sub-volumes;
+3. train the CosmoFlow 3D CNN with the paper's optimizer
+   (Adam + LARC + polynomial decay, mini-batch 1);
+4. predict the parameters of held-out universes and report the
+   paper's relative-error metric.
+
+Runtime: ~1 minute.
+"""
+
+import numpy as np
+
+from repro import CosmoFlowModel, InMemoryData, Trainer, TrainerConfig
+from repro.core.metrics import relative_errors
+from repro.core.optimizer import OptimizerConfig
+from repro.core.topology import tiny_16
+from repro.cosmo import SimulationConfig, build_arrays, train_val_test_split
+
+
+def main() -> None:
+    # 1-2. Simulate. 30 universes x 8 sub-volumes of 16^3 voxels each
+    # (the paper's geometry at 1/8 linear scale: 64^3 particles into a
+    # 32^3 histogram -> 8 particles/voxel, split 2x2x2).
+    sim = SimulationConfig()
+    print(f"simulating 60 universes ({sim.particle_grid}^3 particles each)...")
+    volumes, targets, theta = build_arrays(60, sim, seed=42)
+    (xtr, ytr, _), (xv, yv, _), (xte, yte, tte) = train_val_test_split(
+        volumes, targets, theta, sim.subvolumes_per_sim,
+        val_fraction=0.1, test_fraction=0.1, rng=0,
+    )
+    print(f"dataset: {len(xtr)} train / {len(xv)} val / {len(xte)} test sub-volumes")
+
+    # 3. Train.
+    model = CosmoFlowModel(tiny_16(), seed=0)
+    print(model.summary())
+    trainer = Trainer(
+        model,
+        # augment: random cube symmetries (isotropy) — the regularizer
+        # that lets a small dataset constrain a 3D CNN
+        InMemoryData(xtr, ytr, augment=True),
+        val_data=InMemoryData(xv, yv),
+        optimizer_config=OptimizerConfig(eta0=2e-3, eta_min=1e-4, decay_steps=8 * len(xtr)),
+        config=TrainerConfig(epochs=8, seed=1),
+    )
+    history = trainer.run()
+    for e, (tl, vl) in enumerate(zip(history.train_loss, history.val_loss), 1):
+        print(f"epoch {e}: train loss {tl:.4f}  val loss {vl:.4f}")
+
+    # 4. Predict held-out universes.
+    pred = model.predict(xte)
+    summary = relative_errors(pred, tte, names=model.space.names)
+    print(summary)
+    print(f"throughput: {trainer.throughput()['samples_per_sec']:.1f} samples/s, "
+          f"{trainer.throughput()['flops_per_sec'] / 1e9:.2f} Gflop/s achieved")
+    print("paper (2048-node run): omega_m=0.0022, sigma_8=0.0094, n_s=0.0096 "
+          "(with 99k samples of 128^3 — this quickstart uses 0.2% of that)")
+
+
+if __name__ == "__main__":
+    main()

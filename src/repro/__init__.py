@@ -1,0 +1,65 @@
+"""CosmoFlow (SC18) reproduction.
+
+A pure-Python/NumPy implementation of *CosmoFlow: Using Deep Learning
+to Learn the Universe at Scale* (Mathuriya et al., SC18): the 3D
+convolutional network that regresses cosmological parameters
+(ΩM, σ8, ns) from dark-matter density volumes, together with every
+substrate the paper's system depends on — a deep-learning framework
+with autograd (:mod:`repro.tensor`), MKL-DNN-style blocked 3D
+convolution primitives (:mod:`repro.primitives`), a CPE-ML-Plugin-style
+synchronous gradient-aggregation layer (:mod:`repro.comm`), a TFRecord
+I/O pipeline and Lustre/DataWarp filesystem models (:mod:`repro.io`),
+the MUSIC+pycola simulation pipeline that generates training data
+(:mod:`repro.cosmo`), and a calibrated cluster performance model for
+the scaling studies (:mod:`repro.perfmodel`).
+
+Quickstart::
+
+    from repro import CosmoFlowModel, scaled_32
+    from repro.cosmo import build_arrays
+
+    data = build_arrays(n_sims=40, grid=32, seed=7)
+    model = CosmoFlowModel(scaled_32(), seed=0)
+    # ... see examples/quickstart.py
+"""
+
+from repro.core import (
+    CosmoFlowConfig,
+    CosmoFlowModel,
+    CosmoFlowOptimizer,
+    DistributedConfig,
+    DistributedTrainer,
+    InMemoryData,
+    OptimizerConfig,
+    ParameterSpace,
+    Trainer,
+    TrainerConfig,
+    build_network,
+    paper_128,
+    ravanbakhsh_64,
+    relative_errors,
+    scaled_32,
+    tiny_16,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CosmoFlowConfig",
+    "CosmoFlowModel",
+    "CosmoFlowOptimizer",
+    "DistributedConfig",
+    "DistributedTrainer",
+    "InMemoryData",
+    "OptimizerConfig",
+    "ParameterSpace",
+    "Trainer",
+    "TrainerConfig",
+    "build_network",
+    "paper_128",
+    "ravanbakhsh_64",
+    "relative_errors",
+    "scaled_32",
+    "tiny_16",
+    "__version__",
+]

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The workflows a downstream user runs most — generate a dataset, train,
+predict, inspect the network, reproduce the scaling study — without
+writing a script.
+
+Commands
+--------
+``simulate``   run the simulation pipeline into a dataset directory
+``train``      train a preset network on a dataset directory
+``predict``    run a trained checkpoint on a dataset's test split
+``topology``   print a preset's architecture and cost audit
+``scaling``    print the Figure-4 scaling table for a machine model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CosmoFlow (SC18) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="generate a simulation dataset directory")
+    p.add_argument("--out", required=True, help="output directory")
+    p.add_argument("--sims", type=int, default=60, help="number of universes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--particle-grid", type=int, default=64)
+    p.add_argument("--histogram-grid", type=int, default=32)
+    p.add_argument("--box-size", type=float, default=128.0)
+    p.add_argument("--cola-steps", type=int, default=0)
+
+    p = sub.add_parser("train", help="train a preset network on a dataset directory")
+    p.add_argument("--data", required=True, help="dataset directory (from `simulate`)")
+    p.add_argument("--preset", default="tiny_16", help="topology preset name")
+    p.add_argument("--epochs", type=int, default=8)
+    p.add_argument("--eta0", type=float, default=2e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-augment", action="store_true")
+    p.add_argument("--checkpoint", default=None, help="write model checkpoint here")
+
+    p = sub.add_parser("predict", help="evaluate a checkpoint on a dataset's test split")
+    p.add_argument("--data", required=True)
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--preset", default="tiny_16")
+
+    p = sub.add_parser("topology", help="print a preset's architecture and costs")
+    p.add_argument("preset", nargs="?", default="paper_128")
+
+    p = sub.add_parser("scaling", help="print the Figure-4 scaling table")
+    p.add_argument(
+        "--machine",
+        choices=("cori_bb", "cori_lustre", "pizdaint"),
+        default="cori_bb",
+    )
+    p.add_argument("--max-nodes", type=int, default=8192)
+    return parser
+
+
+def _preset(name: str):
+    from repro.core.topology import PRESETS
+
+    if name not in PRESETS:
+        raise SystemExit(f"unknown preset {name!r}; available: {sorted(PRESETS)}")
+    return PRESETS[name]()
+
+
+def cmd_simulate(args) -> int:
+    from repro.cosmo.dataset_builder import SimulationConfig
+    from repro.io.manifest import write_simulation_dataset
+
+    config = SimulationConfig(
+        particle_grid=args.particle_grid,
+        histogram_grid=args.histogram_grid,
+        box_size=args.box_size,
+        cola_steps=args.cola_steps,
+    )
+    path = write_simulation_dataset(args.out, args.sims, config, seed=args.seed)
+    print(f"wrote dataset manifest: {path}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.core.checkpoint import save_checkpoint
+    from repro.core.model import CosmoFlowModel
+    from repro.core.optimizer import CosmoFlowOptimizer, OptimizerConfig
+    from repro.core.trainer import InMemoryData, Trainer, TrainerConfig
+    from repro.io.manifest import load_simulation_dataset
+
+    manifest, datasets = load_simulation_dataset(args.data)
+    preset = _preset(args.preset)
+    sub = manifest.get("subvolume_size")
+    if sub is not None and sub != preset.input_size:
+        raise SystemExit(
+            f"dataset sub-volumes are {sub}^3 but preset {args.preset!r} expects "
+            f"{preset.input_size}^3 input; regenerate with a matching "
+            f"--histogram-grid or pick another preset"
+        )
+    xtr, ytr = datasets["train"].to_arrays()
+    train = InMemoryData(xtr, ytr, augment=not args.no_augment)
+    val = None
+    if "val" in datasets:
+        xv, yv = datasets["val"].to_arrays()
+        val = InMemoryData(xv, yv)
+
+    model = CosmoFlowModel(preset, seed=args.seed)
+    optimizer = CosmoFlowOptimizer(
+        model.parameter_arrays(),
+        OptimizerConfig(eta0=args.eta0, decay_steps=max(1, args.epochs * len(train))),
+    )
+    trainer = Trainer(
+        model, train, val_data=val, optimizer=optimizer,
+        config=TrainerConfig(epochs=args.epochs, seed=args.seed + 1),
+    )
+    history = trainer.run()
+    for e, (tl, vl) in enumerate(zip(history.train_loss, history.val_loss), 1):
+        print(f"epoch {e}: train {tl:.4f}  val {vl:.4f}")
+    tp = trainer.throughput()
+    print(f"throughput: {tp['samples_per_sec']:.1f} samples/s "
+          f"({tp['flops_per_sec'] / 1e9:.2f} Gflop/s)")
+    if args.checkpoint:
+        path = save_checkpoint(args.checkpoint, model, optimizer)
+        print(f"checkpoint: {path}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.core.checkpoint import load_checkpoint
+    from repro.core.metrics import relative_errors
+    from repro.core.model import CosmoFlowModel
+    from repro.io.manifest import load_simulation_dataset
+
+    _, datasets = load_simulation_dataset(args.data)
+    split = datasets.get("test") or datasets["train"]
+    x, y = split.to_arrays()
+    model = CosmoFlowModel(_preset(args.preset), seed=0)
+    load_checkpoint(args.checkpoint, model)
+    pred = model.predict(x)
+    truth = model.space.denormalize(y)
+    print(relative_errors(pred, truth, names=model.space.names))
+    return 0
+
+
+def cmd_topology(args) -> int:
+    from repro.core.flops import report
+
+    print(report(_preset(args.preset)))
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from repro.perfmodel import (
+        cori_datawarp_machine,
+        cori_lustre_machine,
+        pizdaint_lustre_machine,
+    )
+
+    machine = {
+        "cori_bb": cori_datawarp_machine,
+        "cori_lustre": cori_lustre_machine,
+        "pizdaint": pizdaint_lustre_machine,
+    }[args.machine]()
+    counts = [n for n in (1, 64, 128, 256, 512, 1024, 2048, 4096, 8192) if n <= args.max_nodes]
+    print(f"{'nodes':>6}{'step ms':>10}{'speedup':>10}{'efficiency':>12}{'Pflop/s':>10}")
+    for point in machine.sweep(counts):
+        print(
+            f"{point.n_nodes:>6}{point.step_time_s * 1e3:>10.1f}"
+            f"{point.speedup:>9.0f}x{point.efficiency * 100:>11.0f}%"
+            f"{point.sustained_flops / 1e15:>10.3f}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(suppress=True)
+    return {
+        "simulate": cmd_simulate,
+        "train": cmd_train,
+        "predict": cmd_predict,
+        "topology": cmd_topology,
+        "scaling": cmd_scaling,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

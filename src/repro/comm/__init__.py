@@ -1,0 +1,60 @@
+"""Communication layer (Cray CPE ML Plugin / MPI substitute).
+
+The paper parallelizes training with the Cray PE Machine Learning
+Plugin: an MPI-based library whose one job is averaging gradients
+across ranks every step, using non-blocking, multi-threaded collective
+algorithms with no parameter servers ("every MPI rank is a worker
+computing gradients").
+
+This subpackage reproduces that stack in-process:
+
+* :mod:`repro.comm.communicator` — the abstract :class:`Communicator`
+  API (rank, size, allreduce, bcast, barrier) every backend implements.
+* :mod:`repro.comm.serial` — a size-1 communicator and a
+  ``SteppedGroup`` of sequential rank communicators for deterministic
+  simulated multi-rank execution (ranks run one after another; the
+  collectives are numerically identical to a parallel run).
+* :mod:`repro.comm.threaded` — real OS threads, one per rank, with
+  barrier-synchronized collectives; NumPy releases the GIL inside BLAS
+  so compute genuinely overlaps.
+* :mod:`repro.comm.algorithms` — allreduce algorithms on explicit
+  message schedules: ring, recursive halving-doubling, and the
+  centralized reduce-broadcast that gRPC's master-slave aggregation
+  uses; plus their cost models (used by :mod:`repro.perfmodel`).
+* :mod:`repro.comm.plugin` — :class:`MLPlugin`, the CPE-ML-Plugin-like
+  gradient-aggregation object (init/broadcast/gradients API, helper-
+  thread teams, chunked pipelining).
+* :mod:`repro.comm.grpc_baseline` — the parameter-server-style
+  centralized aggregator the paper contrasts against.
+"""
+
+from repro.comm.communicator import Communicator, ReduceOp
+from repro.comm.serial import SerialCommunicator, SteppedGroup
+from repro.comm.threaded import ThreadedGroup
+from repro.comm.algorithms import (
+    ring_allreduce_schedule,
+    halving_doubling_schedule,
+    reduce_broadcast_schedule,
+    allreduce_time_model,
+    ALLREDUCE_ALGORITHMS,
+)
+from repro.comm.plugin import MLPlugin, PluginConfig
+from repro.comm.grpc_baseline import ParameterServer
+from repro.comm.horovod import HorovodLike
+
+__all__ = [
+    "Communicator",
+    "ReduceOp",
+    "SerialCommunicator",
+    "SteppedGroup",
+    "ThreadedGroup",
+    "ring_allreduce_schedule",
+    "halving_doubling_schedule",
+    "reduce_broadcast_schedule",
+    "allreduce_time_model",
+    "ALLREDUCE_ALGORITHMS",
+    "MLPlugin",
+    "PluginConfig",
+    "ParameterServer",
+    "HorovodLike",
+]

@@ -1,0 +1,302 @@
+"""Allreduce algorithms as explicit message schedules, plus cost models.
+
+The CPE ML Plugin's value (Section III-D) is a good allreduce: MPI-style
+bandwidth-optimal reduction algorithms instead of TensorFlow's
+centralized gRPC master-slave aggregation.  This module implements the
+three relevant algorithm families *as simulations that really compute
+the reduction* while logging every message:
+
+* :func:`ring_allreduce_schedule` — reduce-scatter + allgather around a
+  ring; each rank sends ``2 M (p-1)/p`` bytes (the paper's "the
+  reduction algorithm communicates twice the message length for large
+  MPI rank counts").
+* :func:`halving_doubling_schedule` — Rabenseifner's recursive
+  halving/doubling; same asymptotic bytes, ``2 log2 p`` latency terms.
+* :func:`reduce_broadcast_schedule` — the centralized master-slave
+  pattern of gRPC-based TensorFlow, whose root link carries
+  ``2 (p-1) M`` bytes and therefore stops scaling (Mathuriya et al.
+  2017, cited in the paper).
+
+The numerics are validated against
+:func:`repro.comm.communicator.reduce_arrays`; the message logs feed the
+:func:`allreduce_time_model` alpha-beta cost model used by
+:mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.comm.communicator import ReduceOp, reduce_arrays
+
+__all__ = [
+    "Message",
+    "ScheduleResult",
+    "ring_allreduce_schedule",
+    "halving_doubling_schedule",
+    "reduce_broadcast_schedule",
+    "ALLREDUCE_ALGORITHMS",
+    "allreduce_time_model",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point transfer in a schedule."""
+
+    step: int
+    src: int
+    dst: int
+    nbytes: int
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of simulating an allreduce schedule."""
+
+    results: List[np.ndarray]
+    messages: List[Message] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        return 1 + max((m.step for m in self.messages), default=-1)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    def bytes_sent_by(self, rank: int) -> int:
+        return sum(m.nbytes for m in self.messages if m.src == rank)
+
+    def max_bytes_through_any_rank(self) -> int:
+        """Largest per-rank traffic (sent + received) — the serialization
+        bottleneck of centralized schemes."""
+        ranks = {m.src for m in self.messages} | {m.dst for m in self.messages}
+        return max(
+            (
+                sum(m.nbytes for m in self.messages if m.src == r)
+                + sum(m.nbytes for m in self.messages if m.dst == r)
+                for r in ranks
+            ),
+            default=0,
+        )
+
+
+def _prep(arrays: Sequence[np.ndarray]):
+    if not arrays:
+        raise ValueError("need at least one rank's array")
+    shape = arrays[0].shape
+    dtype = arrays[0].dtype
+    for a in arrays:
+        if a.shape != shape:
+            raise ValueError("all ranks must contribute identically shaped arrays")
+    flats = [np.array(a, dtype=np.float64).ravel() for a in arrays]
+    return flats, shape, dtype
+
+
+def _finish(flats: List[np.ndarray], shape, dtype, op: ReduceOp, p: int):
+    if op is ReduceOp.MEAN:
+        for f in flats:
+            f /= p
+    elif op is not ReduceOp.SUM:
+        raise ValueError(f"schedules support SUM and MEAN, got {op}")
+    return [f.reshape(shape).astype(dtype) for f in flats]
+
+
+def ring_allreduce_schedule(
+    arrays: Sequence[np.ndarray], op: ReduceOp = ReduceOp.SUM
+) -> ScheduleResult:
+    """Simulate a ring allreduce (reduce-scatter then ring allgather)."""
+    flats, shape, dtype = _prep(arrays)
+    p = len(flats)
+    if p == 1:
+        return ScheduleResult(_finish(flats, shape, dtype, op, p))
+    n = flats[0].size
+    bounds = np.linspace(0, n, p + 1).astype(int)
+    chunk = lambda r, c: flats[r][bounds[c] : bounds[c + 1]]  # noqa: E731
+    # Message accounting uses the caller's dtype size, not the float64
+    # accumulation buffers.
+    in_itemsize = np.dtype(dtype).itemsize
+    messages: List[Message] = []
+    step = 0
+
+    # Reduce-scatter: after p-1 steps chunk c is complete at rank (c+p-1)%p.
+    for s in range(p - 1):
+        transfers = []
+        for src in range(p):
+            c = (src - s) % p
+            dst = (src + 1) % p
+            transfers.append((src, dst, c, chunk(src, c).copy()))
+            nbytes = (bounds[c + 1] - bounds[c]) * in_itemsize
+            messages.append(Message(step, src, dst, int(nbytes)))
+        for src, dst, c, payload in transfers:
+            chunk(dst, c)[:] += payload
+        step += 1
+
+    # Ring allgather: rank r starts owning complete chunk (r+1)%p and
+    # forwards what it received last step.
+    for s in range(p - 1):
+        transfers = []
+        for src in range(p):
+            c = (src + 1 - s) % p
+            dst = (src + 1) % p
+            transfers.append((dst, c, chunk(src, c).copy()))
+            nbytes = (bounds[c + 1] - bounds[c]) * in_itemsize
+            messages.append(Message(step, src, dst, int(nbytes)))
+        for dst, c, payload in transfers:
+            chunk(dst, c)[:] = payload
+        step += 1
+
+    return ScheduleResult(_finish(flats, shape, dtype, op, p), messages)
+
+
+def halving_doubling_schedule(
+    arrays: Sequence[np.ndarray], op: ReduceOp = ReduceOp.SUM
+) -> ScheduleResult:
+    """Simulate Rabenseifner recursive halving-doubling allreduce.
+
+    Non-power-of-two rank counts are handled the standard way: extra
+    ranks fold their vector into a partner first and receive the final
+    result at the end.
+    """
+    flats, shape, dtype = _prep(arrays)
+    p = len(flats)
+    in_itemsize = np.dtype(dtype).itemsize
+    messages: List[Message] = []
+    step = 0
+    if p == 1:
+        return ScheduleResult(_finish(flats, shape, dtype, op, p))
+
+    p2 = 1 << (p.bit_length() - 1)
+    if p2 == p:
+        extras = []
+    else:
+        extras = list(range(p2, p))
+        for r in extras:
+            partner = r - p2
+            flats[partner] += flats[r]
+            messages.append(Message(step, r, partner, flats[r].size * in_itemsize))
+        step += 1
+
+    n = flats[0].size
+    segments = [(0, n) for _ in range(p2)]
+    log2p = p2.bit_length() - 1
+
+    # Recursive halving (reduce-scatter).
+    for d in range(log2p):
+        transfers = []
+        new_segments = list(segments)
+        for r in range(p2):
+            partner = r ^ (1 << d)
+            lo, hi = segments[r]
+            mid = (lo + hi) // 2
+            if r < partner:
+                keep, send = (lo, mid), (mid, hi)
+            else:
+                keep, send = (mid, hi), (lo, mid)
+            transfers.append((r, partner, send, flats[r][send[0] : send[1]].copy()))
+            messages.append(Message(step, r, partner, (send[1] - send[0]) * in_itemsize))
+            new_segments[r] = keep
+        for src, dst, rng, payload in transfers:
+            flats[dst][rng[0] : rng[1]] += payload
+        segments = new_segments
+        step += 1
+
+    # Recursive doubling (allgather).
+    for d in reversed(range(log2p)):
+        transfers = []
+        new_segments = list(segments)
+        for r in range(p2):
+            partner = r ^ (1 << d)
+            lo, hi = segments[r]
+            transfers.append((r, partner, (lo, hi), flats[r][lo:hi].copy()))
+            messages.append(Message(step, r, partner, (hi - lo) * in_itemsize))
+        for r in range(p2):
+            partner = r ^ (1 << d)
+            plo, phi = segments[partner]
+            lo, hi = segments[r]
+            new_segments[r] = (min(lo, plo), max(hi, phi))
+        for src, dst, rng, payload in transfers:
+            flats[dst][rng[0] : rng[1]] = payload
+        segments = new_segments
+        step += 1
+
+    if extras:
+        for r in extras:
+            partner = r - p2
+            flats[r][:] = flats[partner]
+            messages.append(Message(step, partner, r, flats[r].size * in_itemsize))
+        step += 1
+
+    return ScheduleResult(_finish(flats, shape, dtype, op, p), messages)
+
+
+def reduce_broadcast_schedule(
+    arrays: Sequence[np.ndarray], op: ReduceOp = ReduceOp.SUM, root: int = 0
+) -> ScheduleResult:
+    """Simulate the centralized gRPC-style reduce-then-broadcast."""
+    flats, shape, dtype = _prep(arrays)
+    p = len(flats)
+    in_itemsize = np.dtype(dtype).itemsize
+    nbytes = flats[0].size * in_itemsize
+    messages: List[Message] = []
+    if p > 1:
+        total = reduce_arrays(flats, ReduceOp.SUM)
+        for r in range(p):
+            if r != root:
+                messages.append(Message(0, r, root, nbytes))
+        for r in range(p):
+            flats[r] = total.copy()
+            if r != root:
+                messages.append(Message(1, root, r, nbytes))
+    return ScheduleResult(_finish(flats, shape, dtype, op, p), messages)
+
+
+ALLREDUCE_ALGORITHMS: Dict[str, Callable[..., ScheduleResult]] = {
+    "ring": ring_allreduce_schedule,
+    "halving_doubling": halving_doubling_schedule,
+    "reduce_broadcast": reduce_broadcast_schedule,
+}
+
+
+def allreduce_time_model(
+    algorithm: str,
+    n_ranks: int,
+    message_bytes: float,
+    latency_s: float,
+    bandwidth_Bps: float,
+    helper_thread_speedup: float = 1.0,
+) -> float:
+    """Alpha-beta time estimate for one allreduce.
+
+    ``helper_thread_speedup`` models the CPE ML Plugin's communication
+    helper threads, which "can increase network utilization, in
+    particular on Intel Xeon Phi processor architectures" — it scales
+    the effective per-rank bandwidth.
+
+    Formulas (per-rank time; M = message_bytes, p = ranks, a = latency,
+    B = bandwidth):
+
+    * ring:              ``2 (p-1) a + 2 M (p-1)/p / B``
+    * halving_doubling:  ``2 log2(p) a + 2 M (p-1)/p / B``
+    * reduce_broadcast:  ``2 a + 2 (p-1) M / B`` (root link serializes)
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks == 1:
+        return 0.0
+    p = n_ranks
+    m = float(message_bytes)
+    beta = 1.0 / (bandwidth_Bps * helper_thread_speedup)
+    if algorithm == "ring":
+        return 2 * (p - 1) * latency_s + 2 * m * (p - 1) / p * beta
+    if algorithm == "halving_doubling":
+        return 2 * np.log2(p) * latency_s + 2 * m * (p - 1) / p * beta
+    if algorithm == "reduce_broadcast":
+        return 2 * latency_s + 2 * (p - 1) * m * beta
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; expected one of {sorted(ALLREDUCE_ALGORITHMS)}"
+    )

@@ -1,0 +1,105 @@
+"""Centralized parameter-server aggregation (TensorFlow gRPC baseline).
+
+The paper contrasts the CPE ML Plugin against TensorFlow's default
+distributed runtime: "a centralized master-slave-based algorithm for an
+AllReduce operation of gradients" over gRPC, which "does not scale to
+large node counts due to algorithmic inefficiencies and socket-based
+communication" (Mathuriya et al. 2017).
+
+:class:`ParameterServer` implements those semantics so the A3 ablation
+can compare convergence-identical but cost-divergent aggregation
+strategies: workers push gradients to a central server, the server
+averages them (synchronously, once all workers have reported), and
+workers pull the averaged result.  Message accounting shows the
+``2 (p-1) M`` bytes squeezing through the root's link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.communicator import ReduceOp, reduce_arrays
+
+__all__ = ["ParameterServer"]
+
+
+@dataclass
+class _PendingStep:
+    contributions: Dict[int, np.ndarray]
+    result: Optional[np.ndarray] = None
+
+
+class ParameterServer:
+    """A synchronous central aggregator for ``n_workers`` workers.
+
+    Usage per step: every worker calls :meth:`push` with its gradient;
+    once all have pushed, :meth:`pull` returns the average to each
+    worker.  Pulling before aggregation is complete raises, which makes
+    the synchronization failure mode explicit rather than silent.
+    """
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._step: Optional[_PendingStep] = None
+        self.steps_completed = 0
+        self.bytes_ingress = 0
+        self.bytes_egress = 0
+
+    def push(self, worker: int, grad: np.ndarray) -> None:
+        """Submit one worker's gradient for the current step."""
+        if not 0 <= worker < self.n_workers:
+            raise ValueError(f"worker {worker} out of range")
+        if self._step is None:
+            self._step = _PendingStep(contributions={})
+        if self._step.result is not None:
+            raise RuntimeError("step already aggregated; all workers must pull first")
+        if worker in self._step.contributions:
+            raise RuntimeError(f"worker {worker} pushed twice in one step")
+        self._step.contributions[worker] = np.asarray(grad)
+        self.bytes_ingress += int(np.asarray(grad).nbytes)
+        if len(self._step.contributions) == self.n_workers:
+            ordered = [self._step.contributions[w] for w in range(self.n_workers)]
+            self._step.result = reduce_arrays(ordered, ReduceOp.MEAN)
+
+    def ready(self) -> bool:
+        """Whether the current step has been fully aggregated."""
+        return self._step is not None and self._step.result is not None
+
+    def pull(self, worker: int) -> np.ndarray:
+        """Fetch the averaged gradient (all workers must have pushed)."""
+        if not 0 <= worker < self.n_workers:
+            raise ValueError(f"worker {worker} out of range")
+        if not self.ready():
+            missing = self.n_workers - (
+                len(self._step.contributions) if self._step else 0
+            )
+            raise RuntimeError(
+                f"aggregation incomplete: waiting on {missing} worker(s) "
+                "(synchronous parameter server)"
+            )
+        assert self._step is not None and self._step.result is not None
+        out = self._step.result.copy()
+        self.bytes_egress += int(out.nbytes)
+        self._step.contributions.pop(worker, None)
+        if not self._step.contributions:
+            self._step = None
+            self.steps_completed += 1
+        return out
+
+    def aggregate_all(self, grads: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Convenience driver: one full push/pull round for all workers."""
+        if len(grads) != self.n_workers:
+            raise ValueError(f"expected {self.n_workers} gradients, got {len(grads)}")
+        for w, g in enumerate(grads):
+            self.push(w, g)
+        return [self.pull(w) for w in range(self.n_workers)]
+
+    @property
+    def root_link_bytes(self) -> int:
+        """Total bytes through the server's link — the bottleneck."""
+        return self.bytes_ingress + self.bytes_egress

@@ -1,0 +1,150 @@
+"""CPE-ML-Plugin-style gradient aggregation.
+
+The Cray PE ML Plugin (paper, Section III-D) exposes a tiny API to the
+training script — initialize, broadcast the initial model, and
+``mc.gradients(g)`` to average gradients — while internally running
+chunked, multi-threaded, non-blocking MPI reductions.  "There are no
+unique processes (e.g. parameter servers, backup workers) ... Every MPI
+rank is a worker computing gradients."
+
+:class:`MLPlugin` reproduces that API over any
+:class:`~repro.comm.communicator.Communicator`:
+
+* gradients for all layers are flattened into one message (the paper's
+  28.15 MB model update) and split into ``teams * threads_per_team``
+  chunks, mirroring how each helper thread "progresses a portion of
+  gradient aggregation independently";
+* chunks are reduced with ``ReduceOp.MEAN`` so every rank applies the
+  same globally averaged update (Algorithm 2's ``mc.gradients()``);
+* per-call statistics (bytes, chunk count, wall time) are recorded for
+  the communication analysis experiment (E4).
+
+In-process, chunking cannot overlap with a real NIC, so the helper
+threads' *performance* effect (higher network utilization) is carried
+by the ``helper_thread_speedup`` term of
+:func:`repro.comm.algorithms.allreduce_time_model` in the performance
+model; the *semantics* (chunked deterministic averaging) are exact
+here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp
+
+__all__ = ["PluginConfig", "MLPlugin"]
+
+
+@dataclass(frozen=True)
+class PluginConfig:
+    """Tuning knobs of the plugin (paper: "the number of teams and
+    threads per team is tuned by the user when initializing").
+
+    The paper uses 4 helper threads in one team on Cori and 2 on
+    Piz Daint.
+    """
+
+    teams: int = 1
+    threads_per_team: int = 4
+
+    def __post_init__(self):
+        if self.teams < 1 or self.threads_per_team < 1:
+            raise ValueError("teams and threads_per_team must be >= 1")
+
+    @property
+    def n_chunks(self) -> int:
+        return self.teams * self.threads_per_team
+
+
+@dataclass
+class PluginStats:
+    """Cumulative communication statistics."""
+
+    calls: int = 0
+    bytes_reduced: int = 0
+    chunks_reduced: int = 0
+    seconds: float = 0.0
+    per_call_seconds: List[float] = field(default_factory=list)
+
+
+class MLPlugin:
+    """Gradient-aggregation plugin bound to one communicator rank."""
+
+    def __init__(self, comm: Communicator, config: PluginConfig | None = None):
+        self.comm = comm
+        self.config = config or PluginConfig()
+        self.stats = PluginStats()
+        self._initialized = False
+
+    # -- lifecycle (mirrors the C/Python plugin API) ------------------------
+
+    def init(self) -> "MLPlugin":
+        """Initialize the plugin (idempotent)."""
+        self._initialized = True
+        return self
+
+    def finalize(self) -> None:
+        self._initialized = False
+
+    def broadcast_parameters(self, params: Sequence[np.ndarray], root: int = 0) -> None:
+        """Broadcast rank-``root``'s parameters to all ranks, in place.
+
+        "Once the neural network is constructed ... the initial model
+        parameters are broadcast from rank 0 to all other ranks.  This
+        ensures all ranks start with the identical model."
+        """
+        self._require_init()
+        for p in params:
+            p[...] = self.comm.bcast(p if self.comm.rank == root else None, root=root)
+
+    # -- gradient aggregation ------------------------------------------------
+
+    def gradients(self, grads: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Globally average per-layer gradients (Algorithm 2's
+        ``mc.gradients``); returns new arrays in the input layout."""
+        self._require_init()
+        t0 = time.perf_counter()
+        shapes = [g.shape for g in grads]
+        sizes = [int(np.prod(s)) for s in shapes]
+        flat = (
+            np.concatenate([np.asarray(g).ravel() for g in grads])
+            if len(grads) != 1
+            else np.asarray(grads[0]).ravel()
+        )
+
+        reduced = np.empty_like(flat)
+        bounds = np.linspace(0, flat.size, self.config.n_chunks + 1).astype(int)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi > lo:
+                reduced[lo:hi] = self.comm.allreduce(flat[lo:hi], op=ReduceOp.MEAN)
+                self.stats.chunks_reduced += 1
+
+        elapsed = time.perf_counter() - t0
+        self.stats.calls += 1
+        self.stats.bytes_reduced += int(flat.nbytes)
+        self.stats.seconds += elapsed
+        self.stats.per_call_seconds.append(elapsed)
+
+        out: List[np.ndarray] = []
+        offset = 0
+        for shape, size in zip(shapes, sizes):
+            out.append(reduced[offset : offset + size].reshape(shape))
+            offset += size
+        return out
+
+    def average_scalar(self, value: float) -> float:
+        """Average a scalar metric across ranks (the validation loop's
+        "loss calculation and global averaging")."""
+        self._require_init()
+        return float(
+            self.comm.allreduce(np.asarray([value], dtype=np.float64), op=ReduceOp.MEAN)[0]
+        )
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("MLPlugin used before init() (or after finalize())")

@@ -1,0 +1,162 @@
+"""Threaded SPMD backend: one OS thread per rank.
+
+``ThreadedGroup.run(fn)`` launches ``size`` threads, each executing
+``fn(comm)`` with a rank-local :class:`Communicator` whose collectives
+synchronize on a shared cyclic barrier.  NumPy releases the GIL inside
+BLAS kernels, so gradient computation on different ranks genuinely
+overlaps — the in-process analogue of the paper's one-MPI-rank-per-node
+layout.
+
+Collectives reduce contributions in rank order through the shared
+:func:`~repro.comm.communicator.reduce_arrays`, so results are
+deterministic and identical to the sequential :class:`SteppedGroup`
+backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp, reduce_arrays
+
+__all__ = ["ThreadedGroup"]
+
+
+class _SharedState:
+    """Shared buffers and barrier for one thread group."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: List[Optional[np.ndarray]] = [None] * size
+        self.result: Optional[Any] = None
+        self.lock = threading.Lock()
+        self.reductions = 0
+        self.bytes_reduced = 0
+
+
+class _ThreadRankComm(Communicator):
+    """Per-rank communicator bound to a :class:`_SharedState`."""
+
+    def __init__(self, rank: int, shared: _SharedState):
+        self._rank = rank
+        self._shared = shared
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._shared.size
+
+    # Collective protocol: barrier #1 publishes contributions, rank 0
+    # computes, barrier #2 publishes the result; every rank then reads
+    # before its *next* collective's barrier #1 can let rank 0 overwrite.
+
+    def allreduce(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        s = self._shared
+        s.slots[self._rank] = np.asarray(array)
+        s.barrier.wait()
+        if self._rank == 0:
+            s.result = reduce_arrays(s.slots, op)  # type: ignore[arg-type]
+            s.reductions += 1
+            s.bytes_reduced += s.result.nbytes * s.size
+        s.barrier.wait()
+        out = np.array(s.result, copy=True)
+        return out
+
+    def bcast(self, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        self._check_root(root)
+        s = self._shared
+        if self._rank == root:
+            if array is None:
+                raise ValueError("root rank must supply an array to bcast")
+            s.result = np.asarray(array)
+        s.barrier.wait()
+        out = np.array(s.result, copy=True)
+        s.barrier.wait()
+        return out
+
+    def barrier(self) -> None:
+        self._shared.barrier.wait()
+
+    def gather(self, array: np.ndarray, root: int = 0) -> Optional[List[np.ndarray]]:
+        self._check_root(root)
+        s = self._shared
+        s.slots[self._rank] = np.asarray(array)
+        s.barrier.wait()
+        out = None
+        if self._rank == root:
+            out = [np.array(a, copy=True) for a in s.slots]  # type: ignore[arg-type]
+        s.barrier.wait()
+        return out
+
+
+class ThreadedGroup:
+    """Run an SPMD function across ``size`` rank threads."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"group size must be >= 1, got {size}")
+        self.size = size
+        self._shared = _SharedState(size)
+
+    @property
+    def reductions(self) -> int:
+        return self._shared.reductions
+
+    @property
+    def bytes_reduced(self) -> int:
+        return self._shared.bytes_reduced
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args_per_rank: Optional[Sequence[tuple]] = None,
+    ) -> List[Any]:
+        """Execute ``fn(comm, *args)`` on every rank; return per-rank results.
+
+        If any rank raises, the barrier is aborted (so no rank hangs)
+        and the first exception is re-raised in the caller.
+        """
+        if args_per_rank is not None and len(args_per_rank) != self.size:
+            raise ValueError(
+                f"args_per_rank must have {self.size} entries, got {len(args_per_rank)}"
+            )
+        results: List[Any] = [None] * self.size
+        errors: List[Optional[BaseException]] = [None] * self.size
+
+        def worker(rank: int) -> None:
+            comm = _ThreadRankComm(rank, self._shared)
+            args = args_per_rank[rank] if args_per_rank is not None else ()
+            try:
+                results[rank] = fn(comm, *args)
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors[rank] = exc
+                self._shared.barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # After an abort the cyclic barrier stays broken; replace it so
+        # the group is reusable before re-raising any rank's error.
+        if self._shared.barrier.broken:
+            self._shared.barrier = threading.Barrier(self.size)
+        # Prefer the original error over secondary BrokenBarrierErrors
+        # raised by ranks stuck in a collective when the barrier aborted.
+        for exc in errors:
+            if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+                raise exc
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results

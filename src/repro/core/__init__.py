@@ -1,0 +1,90 @@
+"""CosmoFlow core: the paper's primary contribution.
+
+* :mod:`repro.core.topology` — the CosmoFlow network topology (Figure 2
+  reconstruction) with presets for the paper's 128³ network, the
+  Ravanbakhsh-2017 64³ predecessor, and scaled-down variants.
+* :mod:`repro.core.parameters` — the cosmological parameter space
+  (ΩM, σ8, ns) with the paper's Planck-derived sampling ranges and
+  target normalization.
+* :mod:`repro.core.flops` — exact analytical flop/parameter accounting
+  (Table I per-layer numbers, the 69.33 Gflop / 28.15 MB constants).
+* :mod:`repro.core.model` — :class:`CosmoFlowModel`, the trainable
+  network with gradient plumbing for data-parallel training.
+* :mod:`repro.core.optimizer` — Adam + LARC + polynomial learning-rate
+  decay exactly as specified in Section III-B.
+* :mod:`repro.core.trainer` — the single-process training loop with
+  Figure-3-style stage timing.
+* :mod:`repro.core.distributed` — fully synchronous data-parallel
+  training (Algorithm 2) over :mod:`repro.comm`.
+* :mod:`repro.core.metrics` — the paper's relative-error metric and
+  result summaries.
+"""
+
+from repro.core.topology import (
+    ConvSpec,
+    CosmoFlowConfig,
+    paper_128,
+    ravanbakhsh_64,
+    scaled_32,
+    tiny_16,
+    build_network,
+)
+from repro.core.parameters import ParameterSpace, PLANCK_RANGES
+from repro.core.flops import (
+    LayerCost,
+    network_costs,
+    total_flops,
+    parameter_count,
+    parameter_bytes,
+    PAPER_TOTAL_FLOPS,
+    PAPER_PARAM_BYTES,
+)
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import (
+    PolynomialDecay,
+    Adam,
+    larc_scale,
+    CosmoFlowOptimizer,
+    OptimizerConfig,
+)
+from repro.core.trainer import Trainer, TrainerConfig, InMemoryData
+from repro.core.distributed import DistributedTrainer, DistributedConfig
+from repro.core.metrics import relative_errors, RelativeErrorSummary
+from repro.core.checkpoint import save_checkpoint, load_checkpoint
+from repro.core.hyperparams import HyperparameterSearch, TrialResult
+
+__all__ = [
+    "ConvSpec",
+    "CosmoFlowConfig",
+    "paper_128",
+    "ravanbakhsh_64",
+    "scaled_32",
+    "tiny_16",
+    "build_network",
+    "ParameterSpace",
+    "PLANCK_RANGES",
+    "LayerCost",
+    "network_costs",
+    "total_flops",
+    "parameter_count",
+    "parameter_bytes",
+    "PAPER_TOTAL_FLOPS",
+    "PAPER_PARAM_BYTES",
+    "CosmoFlowModel",
+    "PolynomialDecay",
+    "Adam",
+    "larc_scale",
+    "CosmoFlowOptimizer",
+    "OptimizerConfig",
+    "Trainer",
+    "TrainerConfig",
+    "InMemoryData",
+    "DistributedTrainer",
+    "DistributedConfig",
+    "relative_errors",
+    "RelativeErrorSummary",
+    "save_checkpoint",
+    "load_checkpoint",
+    "HyperparameterSearch",
+    "TrialResult",
+]

@@ -1,0 +1,178 @@
+"""The trainable CosmoFlow model.
+
+:class:`CosmoFlowModel` wraps the assembled network with everything the
+training stack needs: batched forward/prediction, loss-and-gradients
+for data-parallel workers, flat parameter access for broadcast and
+checkpointing, and target (de)normalization against the cosmological
+parameter space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.parameters import ParameterSpace
+from repro.core.topology import CosmoFlowConfig, build_network, default_parameter_space
+from repro.core import flops as flops_mod
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, no_grad
+
+__all__ = ["CosmoFlowModel"]
+
+
+class CosmoFlowModel:
+    """A CosmoFlow network plus its training plumbing.
+
+    Parameters
+    ----------
+    config
+        Architecture preset (see :mod:`repro.core.topology`).
+    seed
+        Weight-initialization seed.  Two models built with the same
+        config and seed are bitwise identical — the cheap alternative
+        to the paper's rank-0 broadcast when constructing replicas.
+    space
+        Cosmological parameter space for target normalization; derived
+        from the config's output count when omitted.
+    impl
+        Convolution kernel implementation override.
+    """
+
+    def __init__(
+        self,
+        config: CosmoFlowConfig,
+        seed: Optional[int] = None,
+        space: Optional[ParameterSpace] = None,
+        impl: Optional[str] = None,
+    ):
+        self.config = config
+        self.network = build_network(config, seed=seed, impl=impl)
+        self.space = space if space is not None else default_parameter_space(config)
+        if self.space.n_params != config.n_outputs:
+            raise ValueError(
+                f"parameter space has {self.space.n_params} parameters but the "
+                f"network predicts {config.n_outputs}"
+            )
+
+    # -- parameters -----------------------------------------------------------
+
+    def parameters(self):
+        return self.network.parameters()
+
+    def parameter_arrays(self) -> List[np.ndarray]:
+        """The raw parameter ndarrays (shared, in network order)."""
+        return [p.data for p in self.parameters()]
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    @property
+    def parameter_nbytes(self) -> int:
+        """The gradient-allreduce message size (paper: 28.15 MB)."""
+        return sum(p.data.nbytes for p in self.parameters())
+
+    def get_flat_parameters(self) -> np.ndarray:
+        return np.concatenate([p.data.ravel() for p in self.parameters()])
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat)
+        if flat.size != self.num_parameters:
+            raise ValueError(
+                f"expected {self.num_parameters} values, got {flat.size}"
+            )
+        offset = 0
+        for p in self.parameters():
+            p.data[...] = flat[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- forward / loss --------------------------------------------------------
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        s = self.config.input_size
+        c = self.config.input_channels
+        if x.ndim == 3:
+            x = x[None, None]
+        elif x.ndim == 4:
+            x = x[:, None]
+        if x.ndim != 5 or x.shape[1] != c or x.shape[2:] != (s, s, s):
+            raise ValueError(
+                f"expected input (N, {c}, {s}, {s}, {s}) "
+                f"(or unbatched/channel-less variants), got {x.shape}"
+            )
+        return x
+
+    def forward(self, x) -> Tensor:
+        """Taped forward pass (normalized-output space)."""
+        return self.network(Tensor(self._check_input(x)))
+
+    def predict_normalized(self, x) -> np.ndarray:
+        """Inference in the [0,1] target space."""
+        with no_grad():
+            return self.forward(x).data
+
+    def predict(self, x) -> np.ndarray:
+        """Inference in physical parameter units (ΩM, σ8, ns)."""
+        return self.space.denormalize(self.predict_normalized(x))
+
+    def loss(self, x, y_normalized) -> Tensor:
+        """MSE loss tensor against normalized targets ``(N, n_outputs)``."""
+        y = np.asarray(y_normalized, dtype=np.float32)
+        if y.ndim == 1:
+            y = y[None, :]
+        pred = self.forward(x)
+        return ops.mse_loss(pred, Tensor(y))
+
+    def loss_and_gradients(
+        self, x, y_normalized
+    ) -> Tuple[float, List[np.ndarray]]:
+        """One worker step: loss value plus per-parameter gradients.
+
+        This is the ``compute_gradients`` of Algorithm 2; the caller
+        averages the returned gradients across ranks and feeds them to
+        the optimizer.
+        """
+        self.zero_grad()
+        loss = self.loss(x, y_normalized)
+        loss.backward()
+        grads = []
+        for p in self.parameters():
+            if p.grad is None:  # pragma: no cover - all params reachable
+                grads.append(np.zeros(p.shape, dtype=np.float32))
+            else:
+                grads.append(p.grad)
+        return loss.item(), grads
+
+    def validation_loss(self, x, y_normalized) -> float:
+        """Untaped loss for validation loops."""
+        y = np.asarray(y_normalized, dtype=np.float32)
+        if y.ndim == 1:
+            y = y[None, :]
+        with no_grad():
+            pred = self.forward(x)
+            return float(np.mean((pred.data - y) ** 2))
+
+    # -- static accounting -----------------------------------------------------
+
+    def flop_costs(self):
+        """Per-layer analytical costs (see :mod:`repro.core.flops`)."""
+        return flops_mod.network_costs(self.config)
+
+    def flops_per_sample(self) -> float:
+        """Total fwd+bwd flops for one training sample."""
+        return flops_mod.total_flops(self.config)["total"]
+
+    def summary(self) -> str:
+        per_sample = self.flops_per_sample()
+        return (
+            self.config.describe()
+            + f"\nparameters: {self.num_parameters:,} ({self.parameter_nbytes / 1e6:.2f} MB)"
+            + f"\nflops/sample (fwd+bwd): {per_sample / 1e9:.2f} Gflop"
+        )

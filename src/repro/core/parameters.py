@@ -1,0 +1,134 @@
+"""The cosmological parameter space (ΩM, σ8, ns).
+
+The paper trains on simulations whose parameters are "an evenly sampled
+set of random parameters in the ranges (0.25 < ΩM < 0.35),
+(0.78 < σ8 < 0.95), (0.9 < ns < 1.0)", chosen around the Planck 2015
+measurements ΩM = 0.3089 ± 0.0062, σ8 = 0.8159 ± 0.0086,
+ns = 0.9667 ± 0.0040.
+
+:class:`ParameterSpace` owns those ranges, the uniform sampling used by
+the dataset builder, and the [0, 1] normalization the network trains
+against (regressing raw values of such different magnitudes would skew
+the MSE loss toward ΩM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "ParameterSpace",
+    "PLANCK_RANGES",
+    "EXTENDED_RANGES",
+    "PLANCK_BEST_FIT",
+    "PLANCK_UNCERTAINTY",
+]
+
+#: The paper's sampling ranges (Section IV-C).
+PLANCK_RANGES: Dict[str, Tuple[float, float]] = {
+    "omega_m": (0.25, 0.35),
+    "sigma_8": (0.78, 0.95),
+    "n_s": (0.9, 1.0),
+}
+
+#: Extended space for the Section VII-B future-work direction
+#: ("extending the network to predict more cosmological parameters"):
+#: the paper's three plus the Hubble parameter h, which shifts the
+#: transfer-function turnover (Γ = ΩM·h) and is therefore encoded in
+#: the matter distribution's shape.
+EXTENDED_RANGES: Dict[str, Tuple[float, float]] = {
+    **PLANCK_RANGES,
+    "h": (0.6, 0.75),
+}
+
+#: Planck 2015 central values (for reference/validation).
+PLANCK_BEST_FIT: Dict[str, float] = {"omega_m": 0.3089, "sigma_8": 0.8159, "n_s": 0.9667}
+
+#: Planck 2015 one-sigma uncertainties — the experimental bar the paper
+#: compares its relative errors against.
+PLANCK_UNCERTAINTY: Dict[str, float] = {"omega_m": 0.0062, "sigma_8": 0.0086, "n_s": 0.0040}
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """An ordered set of named parameters with uniform sampling ranges."""
+
+    ranges: Dict[str, Tuple[float, float]] = field(
+        default_factory=lambda: dict(PLANCK_RANGES)
+    )
+
+    def __post_init__(self):
+        for name, (lo, hi) in self.ranges.items():
+            if not lo < hi:
+                raise ValueError(f"parameter {name!r}: empty range ({lo}, {hi})")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self.ranges)
+
+    @property
+    def n_params(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def lows(self) -> np.ndarray:
+        return np.array([lo for lo, _ in self.ranges.values()], dtype=np.float64)
+
+    @property
+    def highs(self) -> np.ndarray:
+        return np.array([hi for _, hi in self.ranges.values()], dtype=np.float64)
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` parameter vectors uniformly (shape ``(n, n_params)``).
+
+        This is the "evenly sampled set of random parameters" of the
+        paper's simulation campaign.
+        """
+        if n < 0:
+            raise ValueError(f"cannot sample {n} vectors")
+        rng = new_rng(rng)
+        return rng.uniform(self.lows, self.highs, size=(n, self.n_params))
+
+    def normalize(self, theta: np.ndarray) -> np.ndarray:
+        """Map physical values into [0, 1] per parameter (training targets)."""
+        theta = np.asarray(theta, dtype=np.float64)
+        self._check_last_axis(theta)
+        return (theta - self.lows) / (self.highs - self.lows)
+
+    def denormalize(self, unit: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalize` (network output -> physical values)."""
+        unit = np.asarray(unit, dtype=np.float64)
+        self._check_last_axis(unit)
+        return unit * (self.highs - self.lows) + self.lows
+
+    def clip(self, theta: np.ndarray) -> np.ndarray:
+        """Clip physical values into the valid ranges."""
+        theta = np.asarray(theta, dtype=np.float64)
+        self._check_last_axis(theta)
+        return np.clip(theta, self.lows, self.highs)
+
+    def contains(self, theta: np.ndarray) -> np.ndarray:
+        """Boolean mask of vectors inside the box."""
+        theta = np.asarray(theta, dtype=np.float64)
+        self._check_last_axis(theta)
+        return np.all((theta >= self.lows) & (theta <= self.highs), axis=-1)
+
+    def subset(self, names) -> "ParameterSpace":
+        """A space over a subset of the parameters (e.g. the 2-parameter
+        Ravanbakhsh problem: ΩM and σ8 only)."""
+        missing = [n for n in names if n not in self.ranges]
+        if missing:
+            raise KeyError(f"unknown parameters: {missing}")
+        return ParameterSpace({n: self.ranges[n] for n in names})
+
+    def _check_last_axis(self, arr: np.ndarray) -> None:
+        if arr.shape[-1] != self.n_params:
+            raise ValueError(
+                f"expected last axis of size {self.n_params} "
+                f"({self.names}), got shape {arr.shape}"
+            )

@@ -1,0 +1,256 @@
+"""Single-process training loop.
+
+Reproduces the paper's per-rank workflow (Section V-A): "Each rank then
+enters a loop over epochs, where an epoch consists of training and
+validation loops. ... The training loop consists of gradient
+calculation, gradient averaging via MPI communication, and model update
+from the globally averaged gradients.  The validation loop consists of
+loss calculation and global averaging."
+
+The trainer attributes wall time to stages (io / compute / comm /
+optimizer / other) with a :class:`~repro.utils.timer.StageTimer` —
+the data behind the Figure 3 profile — and reports throughput in
+samples/sec and achieved flop/s (the paper's 535 Gflop/s single-node
+metric, E2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.plugin import MLPlugin
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import CosmoFlowOptimizer, OptimizerConfig
+from repro.utils.rng import new_rng
+from repro.utils.timer import StageTimer
+
+__all__ = ["InMemoryData", "TrainerConfig", "Trainer"]
+
+
+def random_cube_symmetry(volume: np.ndarray, rng) -> np.ndarray:
+    """Apply a random element of the cube's 48-fold symmetry group to
+    the spatial axes of a ``(C, D, H, W)`` volume.
+
+    The cosmological density field is statistically isotropic, so all
+    48 axis permutations x reflections are label-preserving — the
+    augmentation that lets a small training set constrain a 3D CNN
+    (Ravanbakhsh et al. use the same trick; the paper "duplicate[s]"
+    its training set once).
+    """
+    if volume.ndim != 4:
+        raise ValueError(f"expected (C, D, H, W) volume, got {volume.shape}")
+    perm = rng.permutation(3)
+    out = np.transpose(volume, (0,) + tuple(1 + perm))
+    flips = tuple(axis + 1 for axis in range(3) if rng.random() < 0.5)
+    if flips:
+        out = np.flip(out, axis=flips)
+    return np.ascontiguousarray(out)
+
+
+class InMemoryData:
+    """The minimal dataset protocol: ``len()`` and ``batches()``.
+
+    Wraps ``(volumes, normalized_targets)`` arrays.  The I/O pipeline in
+    :mod:`repro.io.pipeline` implements the same protocol backed by
+    record files and prefetch threads.
+
+    With ``augment=True`` every served training volume gets a random
+    cube symmetry (see :func:`random_cube_symmetry`).
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, augment: bool = False):
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.float32)
+        if len(x) != len(y):
+            raise ValueError(f"x has {len(x)} samples but y has {len(y)}")
+        if len(x) == 0:
+            raise ValueError("dataset is empty")
+        self.x = x
+        self.y = y
+        self.augment = augment
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def batches(
+        self, batch_size: int = 1, rng=None, shuffle: bool = True
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(x, y)`` minibatches; drops no samples (last batch may
+        be short)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        rng = new_rng(rng)
+        n = len(self)
+        order = np.arange(n)
+        if shuffle:
+            rng.shuffle(order)
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            xb = self.x[idx]
+            if self.augment:
+                xb = np.stack([random_cube_symmetry(v, rng) for v in xb])
+            yield xb, self.y[idx]
+
+    def shard(self, rank: int, n_ranks: int) -> "InMemoryData":
+        """The round-robin shard a data-parallel rank trains on."""
+        if not 0 <= rank < n_ranks:
+            raise ValueError(f"rank {rank} out of range for {n_ranks}")
+        return InMemoryData(self.x[rank::n_ranks], self.y[rank::n_ranks], augment=self.augment)
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Training-loop configuration (paper defaults: mini-batch 1)."""
+
+    epochs: int = 10
+    batch_size: int = 1
+    seed: Optional[int] = 0
+    shuffle: bool = True
+    validate: bool = True
+
+
+@dataclass
+class History:
+    """Per-epoch training curves."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    epoch_time: List[float] = field(default_factory=list)
+    lr: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "train_loss": self.train_loss,
+            "val_loss": self.val_loss,
+            "epoch_time": self.epoch_time,
+            "lr": self.lr,
+        }
+
+
+class Trainer:
+    """Single-process trainer (optionally with a single-rank plugin,
+    matching the paper's single-node runs which "enable the CPE ML
+    plugin even at the single node")."""
+
+    def __init__(
+        self,
+        model: CosmoFlowModel,
+        train_data,
+        val_data=None,
+        optimizer: Optional[CosmoFlowOptimizer] = None,
+        optimizer_config: Optional[OptimizerConfig] = None,
+        config: Optional[TrainerConfig] = None,
+        plugin: Optional[MLPlugin] = None,
+    ):
+        self.model = model
+        self.train_data = train_data
+        self.val_data = val_data
+        self.config = config or TrainerConfig()
+        if optimizer is not None and optimizer_config is not None:
+            raise ValueError("pass either optimizer or optimizer_config, not both")
+        if optimizer is None:
+            opt_cfg = optimizer_config or OptimizerConfig(
+                decay_steps=max(
+                    1,
+                    self.config.epochs
+                    * (len(train_data) // self.config.batch_size or 1),
+                )
+            )
+            optimizer = CosmoFlowOptimizer(model.parameter_arrays(), opt_cfg)
+        self.optimizer = optimizer
+        self.plugin = plugin
+        if self.plugin is not None:
+            self.plugin.init()
+        self.history = History()
+        self.timer = StageTimer()
+        self.samples_seen = 0
+        self._tracked_total = 0.0
+        self._rng = new_rng(self.config.seed)
+
+    # -- loops -----------------------------------------------------------------
+
+    def train_epoch(self) -> float:
+        """One pass over the training data; returns the mean step loss."""
+        losses: List[float] = []
+        batch_iter = self.train_data.batches(
+            self.config.batch_size, rng=self._rng, shuffle=self.config.shuffle
+        )
+        while True:
+            with self.timer.stage("io"):
+                batch = next(batch_iter, None)
+            if batch is None:
+                break
+            x, y = batch
+            with self.timer.stage("compute"):
+                loss, grads = self.model.loss_and_gradients(x, y)
+            if self.plugin is not None:
+                with self.timer.stage("comm"):
+                    grads = self.plugin.gradients(grads)
+                    loss = self.plugin.average_scalar(loss)
+            with self.timer.stage("optimizer"):
+                self.optimizer.step(grads)
+            losses.append(loss)
+            self.samples_seen += len(x)
+        if not losses:
+            raise RuntimeError("training epoch saw no batches")
+        return float(np.mean(losses))
+
+    def validate(self) -> float:
+        """Mean validation loss (globally averaged when a plugin is set)."""
+        if self.val_data is None:
+            raise RuntimeError("no validation data configured")
+        losses = []
+        for x, y in self.val_data.batches(self.config.batch_size, shuffle=False):
+            with self.timer.stage("compute"):
+                losses.append(self.model.validation_loss(x, y))
+        loss = float(np.mean(losses))
+        if self.plugin is not None:
+            with self.timer.stage("comm"):
+                loss = self.plugin.average_scalar(loss)
+        return loss
+
+    def run(self, epochs: Optional[int] = None) -> History:
+        """Train for ``epochs`` (default from config); returns history."""
+        epochs = self.config.epochs if epochs is None else epochs
+        for _ in range(epochs):
+            t0 = time.perf_counter()
+            self.history.lr.append(self.optimizer.current_lr())
+            train_loss = self.train_epoch()
+            val_loss = (
+                self.validate()
+                if (self.config.validate and self.val_data is not None)
+                else float("nan")
+            )
+            elapsed = time.perf_counter() - t0
+            tracked = sum(
+                self.timer.stages[s].total
+                for s in ("io", "compute", "comm", "optimizer")
+                if s in self.timer.stages
+            )
+            epoch_tracked = tracked - self._tracked_total
+            self._tracked_total = tracked
+            # Loop/framework overhead not attributed to a stage —
+            # Figure 3's "TensorFlow framework time" analogue.
+            self.timer.add("other", max(0.0, elapsed - epoch_tracked))
+            self.history.train_loss.append(train_loss)
+            self.history.val_loss.append(val_loss)
+            self.history.epoch_time.append(elapsed)
+        return self.history
+
+    # -- throughput reporting ----------------------------------------------------
+
+    def throughput(self) -> Dict[str, float]:
+        """Samples/sec and achieved flop/s over all epochs so far."""
+        total_time = sum(self.history.epoch_time)
+        if total_time <= 0.0 or self.samples_seen == 0:
+            return {"samples_per_sec": 0.0, "flops_per_sec": 0.0, "step_time": 0.0}
+        sps = self.samples_seen / total_time
+        return {
+            "samples_per_sec": sps,
+            "flops_per_sec": sps * self.model.flops_per_sample(),
+            "step_time": 1.0 / sps,
+        }

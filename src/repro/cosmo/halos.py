@@ -1,0 +1,215 @@
+"""Friends-of-friends halo finding and the halo mass function.
+
+The paper motivates its volume choices with cluster physics: "Galaxy
+clusters, which are widely regarded as sensitive cosmological probes,
+are typically around 10 Mpc/h in size and separated by around
+50 Mpc/h" — i.e. the objects the network's receptive field must
+resolve.  This module makes those objects first-class: the standard
+friends-of-friends (FoF) group finder (Davis et al. 1985) with linking
+length ``b`` times the mean inter-particle separation, and the halo
+mass function n(>M) — the classic σ8-sensitive summary statistic.
+
+Implementation: a cell-hash neighbor search (cells of the linking
+length) plus union-find with path compression, fully periodic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["fof_halos", "halo_mass_function", "HaloCatalog"]
+
+#: The standard FoF linking parameter.
+DEFAULT_LINKING = 0.2
+
+
+@dataclass(frozen=True)
+class HaloCatalog:
+    """FoF output: per-halo particle counts and centers."""
+
+    sizes: np.ndarray  # (n_halos,) particle counts, descending
+    centers: np.ndarray  # (n_halos, 3) periodic centers of mass, Mpc/h
+    linking_length: float
+    n_particles: int
+
+    @property
+    def n_halos(self) -> int:
+        return len(self.sizes)
+
+    def masses(self, particle_mass: float = 1.0) -> np.ndarray:
+        """Halo masses given a per-particle mass."""
+        if particle_mass <= 0:
+            raise ValueError("particle_mass must be positive")
+        return self.sizes * particle_mass
+
+
+class _UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, n: int):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:  # path compression
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def _periodic_delta(a: np.ndarray, b: np.ndarray, box: float) -> np.ndarray:
+    d = np.abs(a - b)
+    return np.minimum(d, box - d)
+
+
+def fof_halos(
+    positions: np.ndarray,
+    box_size: float,
+    mean_separation: float | None = None,
+    linking: float = DEFAULT_LINKING,
+    min_particles: int = 8,
+) -> HaloCatalog:
+    """Group particles into FoF halos.
+
+    Parameters
+    ----------
+    positions
+        ``(N, 3)`` periodic positions in ``[0, box_size)``.
+    box_size
+        Box side, Mpc/h.
+    mean_separation
+        Mean inter-particle separation; defaults to
+        ``box_size / N^(1/3)`` (uniform pre-initial lattice).
+    linking
+        FoF parameter ``b``; linking length = ``b * mean_separation``.
+    min_particles
+        Smallest group reported as a halo (8 is conventional for
+        barely-resolved objects).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError(f"positions must be (N, 3), got {positions.shape}")
+    if box_size <= 0:
+        raise ValueError("box_size must be positive")
+    if not 0 < linking < 1:
+        raise ValueError("linking must be in (0, 1)")
+    if min_particles < 1:
+        raise ValueError("min_particles must be >= 1")
+    n = len(positions)
+    if n == 0:
+        return HaloCatalog(
+            sizes=np.zeros(0, dtype=np.int64),
+            centers=np.zeros((0, 3)),
+            linking_length=0.0,
+            n_particles=0,
+        )
+    if np.any(positions < 0) or np.any(positions >= box_size):
+        raise ValueError("positions must lie in [0, box_size)")
+
+    if mean_separation is None:
+        mean_separation = box_size / n ** (1.0 / 3.0)
+    ll = linking * mean_separation
+    ll2 = ll * ll
+
+    # Cell hash: cells at least one linking length wide, so neighbors
+    # are always within the 27 surrounding cells.
+    n_cells = max(1, int(box_size / ll))
+    n_cells = min(n_cells, 128)  # cap memory for tiny linking lengths
+    cell_size = box_size / n_cells
+    idx = np.minimum((positions / cell_size).astype(np.int64), n_cells - 1)
+    flat = (idx[:, 0] * n_cells + idx[:, 1]) * n_cells + idx[:, 2]
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    # start offset of each occupied cell in `order`
+    unique_cells, starts = np.unique(sorted_flat, return_index=True)
+    cell_lookup = {int(c): (int(s), int(e)) for c, s, e in
+                   zip(unique_cells, starts, np.append(starts[1:], n))}
+
+    uf = _UnionFind(n)
+    offsets = [(dx, dy, dz) for dx in (-1, 0, 1) for dy in (-1, 0, 1) for dz in (-1, 0, 1)]
+    for c, (s, e) in cell_lookup.items():
+        members = order[s:e]
+        cz = c % n_cells
+        cy = (c // n_cells) % n_cells
+        cx = c // (n_cells * n_cells)
+        for dx, dy, dz in offsets:
+            nc = (
+                ((cx + dx) % n_cells) * n_cells + ((cy + dy) % n_cells)
+            ) * n_cells + ((cz + dz) % n_cells)
+            if nc < c:  # each unordered cell pair visited once
+                continue
+            if nc not in cell_lookup:
+                continue
+            ns_, ne_ = cell_lookup[nc]
+            others = order[ns_:ne_]
+            # pairwise periodic distances, vectorized per cell pair
+            d = _periodic_delta(
+                positions[members][:, None, :], positions[others][None, :, :], box_size
+            )
+            close = (d * d).sum(axis=2) <= ll2
+            if nc == c:
+                close = np.triu(close, k=1)
+            for i, j in zip(*np.nonzero(close)):
+                uf.union(int(members[i]), int(others[j]))
+
+    roots = np.fromiter((uf.find(i) for i in range(n)), dtype=np.int64, count=n)
+    unique_roots, inverse, counts = np.unique(roots, return_inverse=True, return_counts=True)
+    keep = counts >= min_particles
+    kept_ids = np.nonzero(keep)[0]
+
+    sizes: List[int] = []
+    centers: List[np.ndarray] = []
+    for gid in kept_ids:
+        members = np.nonzero(inverse == gid)[0]
+        pos = positions[members]
+        # periodic center of mass via circular mean per axis
+        theta = pos / box_size * 2.0 * np.pi
+        mean_angle = np.arctan2(np.sin(theta).mean(axis=0), np.cos(theta).mean(axis=0))
+        center = np.mod(mean_angle / (2.0 * np.pi) * box_size, box_size)
+        sizes.append(len(members))
+        centers.append(center)
+
+    sizes_arr = np.array(sizes, dtype=np.int64)
+    centers_arr = np.array(centers) if centers else np.zeros((0, 3))
+    desc = np.argsort(-sizes_arr, kind="stable")
+    return HaloCatalog(
+        sizes=sizes_arr[desc],
+        centers=centers_arr[desc] if len(desc) else centers_arr,
+        linking_length=ll,
+        n_particles=n,
+    )
+
+
+def halo_mass_function(
+    catalog: HaloCatalog,
+    box_size: float,
+    thresholds: np.ndarray | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative halo abundance n(>N_p) per (Mpc/h)³.
+
+    The classic σ8-sensitive statistic: higher fluctuation amplitude
+    collapses more massive halos.  Returns ``(thresholds, n_gt)``.
+    """
+    if box_size <= 0:
+        raise ValueError("box_size must be positive")
+    if thresholds is None:
+        top = max(8, int(catalog.sizes.max()) if catalog.n_halos else 8)
+        thresholds = np.unique(np.geomspace(8, top, 8).astype(int))
+    thresholds = np.asarray(thresholds)
+    volume = box_size**3
+    n_gt = np.array([(catalog.sizes >= t).sum() / volume for t in thresholds])
+    return thresholds, n_gt

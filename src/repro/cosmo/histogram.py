@@ -1,0 +1,58 @@
+"""Particle gridding and sub-volume extraction.
+
+Paper, Section IV-C: "This volume is histogrammed into a 2563-voxel 3D
+histogram of particle counts using the python function
+numpy.histogramdd, and then split into 8 sub-volumes" of 128³ voxels
+each.  We use the same function and the same 2x2x2 split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["particle_histogram", "split_subvolumes"]
+
+
+def particle_histogram(positions: np.ndarray, n_bins: int, box_size: float) -> np.ndarray:
+    """Histogram particle positions into an ``n_bins³`` count cube.
+
+    Uses ``numpy.histogramdd`` — the exact call the paper's pipeline
+    makes.  Counts sum to the particle count (all particles must lie in
+    ``[0, box_size)``; use periodic wrapping upstream).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError(f"positions must be (N, 3), got {positions.shape}")
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    if np.any(positions < 0.0) or np.any(positions >= box_size):
+        raise ValueError("positions must lie in [0, box_size); wrap them first")
+    edges = np.linspace(0.0, box_size, n_bins + 1)
+    hist, _ = np.histogramdd(positions, bins=(edges, edges, edges))
+    return hist
+
+
+def split_subvolumes(volume: np.ndarray, splits: int = 2) -> np.ndarray:
+    """Split a cube into ``splits³`` equal sub-cubes.
+
+    The paper splits each 256³ histogram into 8 sub-volumes of 128³
+    (``splits=2``).  Returns ``(splits³, s, s, s)`` with
+    ``s = n // splits``; the cube side must be divisible by ``splits``.
+    """
+    volume = np.asarray(volume)
+    if volume.ndim != 3 or len(set(volume.shape)) != 1:
+        raise ValueError(f"volume must be a cube, got shape {volume.shape}")
+    n = volume.shape[0]
+    if splits < 1 or n % splits != 0:
+        raise ValueError(f"cube side {n} not divisible by splits={splits}")
+    s = n // splits
+    out = np.empty((splits**3, s, s, s), dtype=volume.dtype)
+    idx = 0
+    for i in range(splits):
+        for j in range(splits):
+            for k in range(splits):
+                out[idx] = volume[
+                    i * s : (i + 1) * s, j * s : (j + 1) * s, k * s : (k + 1) * s
+                ]
+                idx += 1
+    return out

@@ -1,0 +1,105 @@
+"""Gaussian random-field initial conditions (MUSIC substitute).
+
+MUSIC's job in the paper's pipeline: realize a Gaussian random density
+contrast field δ(x) on a grid whose ensemble power spectrum is the
+linear P(k) of the chosen cosmology.
+
+Normalization convention (used consistently by the estimator in
+:mod:`repro.cosmo.statistics`, and verified round-trip in the tests):
+with ``N³`` cells in a box of volume ``V = L³``, a field δ with
+``δ_k = FFT(δ)`` has estimated spectrum ``P̂(k) = |δ_k|² V / N⁶``.  We
+therefore draw white noise ``w`` (unit variance per cell), transform,
+and scale by ``sqrt(P(k) N³ / V_cell) / N^{3/2} = sqrt(P(k) / V) ...``
+— concretely ``δ_k = W_k sqrt(P(k) N³ / L³)`` so that
+``E[P̂] = P``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cosmo.power_spectrum import PowerSpectrum
+from repro.utils.rng import new_rng
+
+__all__ = ["fourier_grid", "gaussian_random_field", "zero_nyquist", "field_rms"]
+
+
+def fourier_grid(n: int, box_size: float):
+    """Wavenumber grids for an ``n³`` box of side ``box_size`` (Mpc/h).
+
+    Returns ``(kx, ky, kz, k_mag)`` broadcastable to ``(n, n, n)``, in
+    h/Mpc, matching ``numpy.fft.fftfreq`` ordering.
+    """
+    if n < 2:
+        raise ValueError(f"grid must be at least 2, got {n}")
+    if box_size <= 0:
+        raise ValueError(f"box_size must be positive, got {box_size}")
+    k1d = 2.0 * np.pi * np.fft.fftfreq(n, d=box_size / n)
+    kx = k1d[:, None, None]
+    ky = k1d[None, :, None]
+    kz = k1d[None, None, :]
+    k_mag = np.sqrt(kx**2 + ky**2 + kz**2)
+    return kx, ky, kz, k_mag
+
+
+def gaussian_random_field(
+    n: int,
+    box_size: float,
+    spectrum: PowerSpectrum,
+    rng=None,
+    return_fourier: bool = False,
+):
+    """Realize δ(x) on an ``n³`` grid with ensemble spectrum ``spectrum``.
+
+    Parameters
+    ----------
+    n, box_size
+        Grid cells per side and box side length (Mpc/h).
+    spectrum
+        Target power spectrum (callable k -> P(k)).
+    rng
+        Seed or generator.
+    return_fourier
+        Also return ``δ_k`` (needed by the LPT displacement solver,
+        saving a forward FFT).
+
+    Returns
+    -------
+    ``delta`` (and optionally ``delta_k``), both ``float64``/``complex128``
+    with ``delta.mean()`` exactly zero by construction (δ_k[0] = 0).
+    """
+    rng = new_rng(rng)
+    _, _, _, k_mag = fourier_grid(n, box_size)
+    white = rng.standard_normal((n, n, n))
+    wk = np.fft.fftn(white)
+    amplitude = np.sqrt(spectrum(k_mag) * n**3 / box_size**3)
+    delta_k = wk * amplitude
+    delta_k[0, 0, 0] = 0.0  # zero mean: delta is a contrast field
+    delta = np.fft.ifftn(delta_k).real
+    if return_fourier:
+        return delta, delta_k
+    return delta
+
+
+def zero_nyquist(delta_k: np.ndarray) -> np.ndarray:
+    """Zero the Nyquist planes of a Fourier field (even grids only).
+
+    Spectral derivative operators (``i k``) are ill-defined at the
+    Nyquist frequency of an even grid: the mode's imaginary part cannot
+    be represented in a real field, so identities like ``∇·Ψ = −δ``
+    hold exactly only on Nyquist-free fields.  Filtering is standard
+    practice for LPT displacement solvers.
+    """
+    out = np.array(delta_k, copy=True)
+    n = out.shape[0]
+    if n % 2 == 0:
+        m = n // 2
+        out[m, :, :] = 0.0
+        out[:, m, :] = 0.0
+        out[:, :, m] = 0.0
+    return out
+
+
+def field_rms(delta: np.ndarray) -> float:
+    """RMS of a density field (diagnostic)."""
+    return float(np.sqrt(np.mean(np.square(delta))))

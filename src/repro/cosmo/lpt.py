@@ -1,0 +1,157 @@
+"""Lagrangian perturbation theory displacements (Zel'dovich and 2LPT).
+
+The COLA method (Tassev et al. 2013, the algorithm inside pycola)
+splits particle trajectories into an analytic LPT part plus a small
+residual integrated numerically.  This module provides the LPT part:
+
+* first order (Zel'dovich): ``Ψ⁽¹⁾_k = i k / k² δ_k``;
+* second order: source ``S = ½ Σ_{i≠j} (φ_ii φ_jj − φ_ij²)`` built from
+  the first-order potential's Hessian, then ``Ψ⁽²⁾_k = i k / k² S_k``
+  with the standard growth prefactor ``D₂ ≈ −(3/7) D₁² Ω_m^{−1/143}``
+  applied at displacement time.
+
+Particles start on a uniform lattice (one per cell) and are displaced
+with periodic wrapping — exactly pycola's setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cosmo.initial_conditions import fourier_grid
+
+__all__ = [
+    "zeldovich_displacement",
+    "lpt2_displacement",
+    "lattice_positions",
+    "displace_particles",
+    "second_order_growth",
+]
+
+
+def _inverse_k2(k_mag: np.ndarray) -> np.ndarray:
+    """1/k² with the k=0 mode zeroed (mean mode carries no force)."""
+    k2 = k_mag**2
+    with np.errstate(divide="ignore"):
+        inv = np.where(k2 > 0.0, 1.0 / np.maximum(k2, 1e-30), 0.0)
+    return inv
+
+
+def zeldovich_displacement(delta_k: np.ndarray, box_size: float) -> np.ndarray:
+    """First-order displacement field from the Fourier density contrast.
+
+    Parameters
+    ----------
+    delta_k
+        ``FFT(δ)`` on an ``n³`` grid.
+    box_size
+        Box side (Mpc/h).
+
+    Returns
+    -------
+    ``(3, n, n, n)`` real displacement components in Mpc/h (per unit
+    growth factor — multiply by D₁ for a given epoch).
+    """
+    n = delta_k.shape[0]
+    if delta_k.shape != (n, n, n):
+        raise ValueError(f"delta_k must be cubic, got {delta_k.shape}")
+    kx, ky, kz, k_mag = fourier_grid(n, box_size)
+    inv_k2 = _inverse_k2(k_mag)
+    psi = np.empty((3,) + delta_k.shape, dtype=np.float64)
+    for axis, k_axis in enumerate((kx, ky, kz)):
+        psi_k = 1j * k_axis * inv_k2 * delta_k
+        psi[axis] = np.fft.ifftn(psi_k).real
+    return psi
+
+
+def _potential_hessian(delta_k: np.ndarray, box_size: float) -> np.ndarray:
+    """All six independent second derivatives φ_ij of the displacement
+    potential (φ_k = −δ_k/k², Ψ = −∇φ), shape ``(3, 3, n, n, n)``."""
+    n = delta_k.shape[0]
+    kx, ky, kz, k_mag = fourier_grid(n, box_size)
+    inv_k2 = _inverse_k2(k_mag)
+    ks = (kx, ky, kz)
+    phi_k = -delta_k * inv_k2
+    hess = np.empty((3, 3, n, n, n), dtype=np.float64)
+    for i in range(3):
+        for j in range(i, 3):
+            d2 = np.fft.ifftn(-ks[i] * ks[j] * phi_k).real
+            hess[i, j] = d2
+            hess[j, i] = d2
+    return hess
+
+
+def lpt2_displacement(delta_k: np.ndarray, box_size: float) -> np.ndarray:
+    """Second-order LPT displacement (per unit D₂).
+
+    Source: ``S(x) = Σ_{i<j} (φ_ii φ_jj − φ_ij²)``; then the
+    displacement solves ``∇·Ψ⁽²⁾ = S`` in Fourier space.
+    """
+    n = delta_k.shape[0]
+    if delta_k.shape != (n, n, n):
+        raise ValueError(f"delta_k must be cubic, got {delta_k.shape}")
+    hess = _potential_hessian(delta_k, box_size)
+    source = (
+        hess[0, 0] * hess[1, 1]
+        - hess[0, 1] ** 2
+        + hess[0, 0] * hess[2, 2]
+        - hess[0, 2] ** 2
+        + hess[1, 1] * hess[2, 2]
+        - hess[1, 2] ** 2
+    )
+    source_k = np.fft.fftn(source)
+    kx, ky, kz, k_mag = fourier_grid(n, box_size)
+    inv_k2 = _inverse_k2(k_mag)
+    psi = np.empty((3, n, n, n), dtype=np.float64)
+    for axis, k_axis in enumerate((kx, ky, kz)):
+        psi[axis] = np.fft.ifftn(1j * k_axis * inv_k2 * source_k).real
+    return psi
+
+
+def second_order_growth(d1: float, omega_m: float) -> float:
+    """``D₂ ≈ −(3/7) D₁² Ω_m^{−1/143}`` (Bouchet et al. 1995)."""
+    if not 0.0 < omega_m <= 1.0:
+        raise ValueError(f"omega_m out of range: {omega_m}")
+    return -(3.0 / 7.0) * d1**2 * omega_m ** (-1.0 / 143.0)
+
+
+def lattice_positions(n: int, box_size: float) -> np.ndarray:
+    """Unperturbed particle lattice: one particle per cell, at the cell
+    centers ``q_i = (i + ½) Δ``, shape ``(n³, 3)`` in Mpc/h.
+
+    Centers are staggered half a cell from the FFT sample points: a
+    particle exactly on a grid point sits at the *kink* of the CIC
+    kernel, where the deposit responds nonlinearly to displacements.
+    Staggering keeps the kernel response linear (standard PM practice).
+    Displacement fields sampled at grid points and applied to centers
+    translate the realized structure rigidly by half a cell, which is
+    statistically irrelevant; the COLA stepper interpolates fields to
+    particle positions, avoiding even that.
+    """
+    edges = (np.arange(n) + 0.5) * (box_size / n)
+    grid = np.stack(np.meshgrid(edges, edges, edges, indexing="ij"), axis=-1)
+    return grid.reshape(-1, 3)
+
+
+def displace_particles(
+    psi1: np.ndarray,
+    box_size: float,
+    d1: float,
+    psi2: np.ndarray | None = None,
+    d2: float | None = None,
+) -> np.ndarray:
+    """Apply LPT displacements to the lattice, with periodic wrapping.
+
+    ``x = q + D₁ Ψ⁽¹⁾(q) [+ D₂ Ψ⁽²⁾(q)]``.  Returns ``(n³, 3)``
+    positions in ``[0, box_size)``.
+    """
+    n = psi1.shape[1]
+    if psi1.shape != (3, n, n, n):
+        raise ValueError(f"psi1 must be (3, n, n, n), got {psi1.shape}")
+    q = lattice_positions(n, box_size)
+    disp = d1 * psi1.reshape(3, -1).T
+    if psi2 is not None:
+        if d2 is None:
+            raise ValueError("psi2 given without its growth factor d2")
+        disp = disp + d2 * psi2.reshape(3, -1).T
+    return np.mod(q + disp, box_size)

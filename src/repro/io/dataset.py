@@ -1,0 +1,150 @@
+"""File-backed record dataset.
+
+The paper's layout: "We randomly assign the training sub-volumes to
+TFRecord files ... Each TFRecord contains 64 samples and is 512 MB in
+size."  :func:`write_dataset` shards arrays into fixed-size record
+files the same way; :class:`RecordDataset` reads them back, implements
+the trainer's ``len()/batches()`` protocol, and supports the per-rank
+sharding data-parallel training needs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.io.records import RecordReader, write_record_file
+from repro.utils.rng import new_rng
+
+__all__ = ["write_dataset", "RecordDataset"]
+
+#: The paper's samples-per-record-file.
+SAMPLES_PER_FILE = 64
+
+
+def write_dataset(
+    directory,
+    volumes: np.ndarray,
+    targets: np.ndarray,
+    samples_per_file: int = SAMPLES_PER_FILE,
+    prefix: str = "cosmo",
+    shuffle_rng=None,
+) -> List[Path]:
+    """Shard arrays into record files; returns the file paths.
+
+    With ``shuffle_rng`` the samples are randomly assigned to files, as
+    the paper does for training data (and does *not* for validation and
+    test data).
+    """
+    if len(volumes) != len(targets):
+        raise ValueError(f"{len(volumes)} volumes vs {len(targets)} targets")
+    if len(volumes) == 0:
+        raise ValueError("cannot write an empty dataset")
+    if samples_per_file < 1:
+        raise ValueError("samples_per_file must be >= 1")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    order = np.arange(len(volumes))
+    if shuffle_rng is not None:
+        new_rng(shuffle_rng).shuffle(order)
+    paths = []
+    n_files = -(-len(volumes) // samples_per_file)
+    for i in range(n_files):
+        idx = order[i * samples_per_file : (i + 1) * samples_per_file]
+        path = directory / f"{prefix}_{i:05d}.rec"
+        write_record_file(path, [volumes[j] for j in idx], [targets[j] for j in idx])
+        paths.append(path)
+    return paths
+
+
+class RecordDataset:
+    """A dataset backed by record files.
+
+    Indexes the files at construction (one pass to count records), then
+    serves shuffled minibatches by loading files lazily.  Shuffling is
+    two-level — file order, then samples within a read buffer — the
+    standard approximation to full shuffling for record-sharded data
+    (and what the paper's QueueRunner pipeline effectively does).
+    """
+
+    def __init__(self, paths: Sequence, read_hook=None):
+        self.paths = [Path(p) for p in paths]
+        if not self.paths:
+            raise ValueError("RecordDataset needs at least one file")
+        missing = [p for p in self.paths if not p.exists()]
+        if missing:
+            raise FileNotFoundError(f"missing record files: {missing}")
+        #: Optional callable(path, nbytes) invoked per file read — the
+        #: hook the filesystem model uses to inject read latency.
+        self.read_hook = read_hook
+        self._counts = [sum(1 for _ in RecordReader(p)) for p in self.paths]
+        self.bytes_read = 0
+
+    def __len__(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def n_files(self) -> int:
+        return len(self.paths)
+
+    def _load_file(self, path: Path) -> List[Tuple[np.ndarray, np.ndarray]]:
+        nbytes = path.stat().st_size
+        if self.read_hook is not None:
+            self.read_hook(path, nbytes)
+        self.bytes_read += nbytes
+        return list(RecordReader(path).samples())
+
+    def batches(
+        self, batch_size: int = 1, rng=None, shuffle: bool = True
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(x, y)`` batches with ``x`` shaped ``(B, C, D, H, W)``."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        rng = new_rng(rng)
+        file_order = np.arange(len(self.paths))
+        if shuffle:
+            rng.shuffle(file_order)
+        pending_x: List[np.ndarray] = []
+        pending_y: List[np.ndarray] = []
+        for fi in file_order:
+            samples = self._load_file(self.paths[fi])
+            order = np.arange(len(samples))
+            if shuffle:
+                rng.shuffle(order)
+            for si in order:
+                v, t = samples[si]
+                if v.ndim == 3:
+                    v = v[None]
+                pending_x.append(v)
+                pending_y.append(t)
+                if len(pending_x) == batch_size:
+                    yield np.stack(pending_x), np.stack(pending_y)
+                    pending_x, pending_y = [], []
+        if pending_x:
+            yield np.stack(pending_x), np.stack(pending_y)
+
+    def shard(self, rank: int, n_ranks: int) -> "RecordDataset":
+        """Round-robin *file* shard for data-parallel rank ``rank``.
+
+        File-level sharding is what record-based pipelines do (each
+        rank reads disjoint files); requires at least one file per rank.
+        """
+        if not 0 <= rank < n_ranks:
+            raise ValueError(f"rank {rank} out of range for {n_ranks}")
+        picked = self.paths[rank::n_ranks]
+        if not picked:
+            raise ValueError(
+                f"dataset has {len(self.paths)} files, too few for {n_ranks} ranks"
+            )
+        return RecordDataset(picked, read_hook=self.read_hook)
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize the whole dataset (small datasets / tests)."""
+        xs, ys = [], []
+        for path in self.paths:
+            for v, t in self._load_file(path):
+                xs.append(v[None] if v.ndim == 3 else v)
+                ys.append(t)
+        return np.stack(xs), np.stack(ys)

@@ -1,0 +1,108 @@
+"""Dataset directories with manifests.
+
+A reusable dataset is more than record files: consumers need the
+simulation configuration, parameter space, split boundaries and seeds
+that produced it.  ``write_simulation_dataset`` runs the full pipeline
+(simulate → split → shard into record files, as Section IV-C describes)
+and records all of that in a ``manifest.json``;
+``load_simulation_dataset`` reconstructs ready-to-train datasets from
+the directory alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.parameters import ParameterSpace
+from repro.cosmo.dataset_builder import (
+    SimulationConfig,
+    build_arrays,
+    train_val_test_split,
+)
+from repro.io.dataset import RecordDataset, write_dataset
+
+__all__ = ["write_simulation_dataset", "load_simulation_dataset", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def write_simulation_dataset(
+    directory,
+    n_sims: int,
+    config: Optional[SimulationConfig] = None,
+    seed: int = 0,
+    val_fraction: float = 0.1,
+    test_fraction: float = 0.05,
+    samples_per_file: int = 64,
+) -> Path:
+    """Simulate, split by simulation, and write a self-describing
+    dataset directory with ``train/``, ``val/`` and ``test/`` shards.
+
+    Returns the manifest path.
+    """
+    config = config or SimulationConfig()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    volumes, targets, theta = build_arrays(n_sims, config, seed=seed)
+    splits = train_val_test_split(
+        volumes,
+        targets,
+        theta,
+        config.subvolumes_per_sim,
+        val_fraction=val_fraction,
+        test_fraction=test_fraction,
+        rng=seed,
+    )
+    counts: Dict[str, int] = {}
+    for name, (x, y, _), shuffle in zip(
+        ("train", "val", "test"), splits, (seed, None, None)
+    ):
+        # paper: training records are randomly assigned; val/test are not
+        write_dataset(
+            directory / name, x, y, samples_per_file=samples_per_file,
+            prefix=name, shuffle_rng=shuffle,
+        )
+        counts[name] = len(x)
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "n_sims": n_sims,
+        "seed": seed,
+        "simulation": dataclasses.asdict(config),
+        "parameter_space": {k: list(v) for k, v in ParameterSpace().ranges.items()},
+        "splits": counts,
+        "samples_per_file": samples_per_file,
+        "subvolume_size": config.subvolume_size,
+    }
+    path = directory / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def load_simulation_dataset(directory):
+    """Load a dataset directory written by :func:`write_simulation_dataset`.
+
+    Returns ``(manifest_dict, {"train": RecordDataset, "val": ..., "test": ...})``;
+    splits with zero samples are omitted.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory}")
+    manifest = json.loads(path.read_text())
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version {version}")
+    datasets = {}
+    for name in ("train", "val", "test"):
+        files = sorted((directory / name).glob(f"{name}_*.rec"))
+        if files:
+            datasets[name] = RecordDataset(files)
+    if not datasets:
+        raise FileNotFoundError(f"no record files under {directory}")
+    return manifest, datasets

@@ -1,0 +1,175 @@
+"""TFRecord-compatible record framing and sample encoding.
+
+"The TFRecord file format is a simple record-oriented binary format
+commonly used in TensorFlow" (paper, Section IV-C).  The on-disk
+framing implemented here is the actual TFRecord framing::
+
+    uint64  length          (little endian)
+    uint32  masked_crc32(length bytes)
+    bytes   payload[length]
+    uint32  masked_crc32(payload)
+
+with TensorFlow's CRC mask ``((crc >> 15 | crc << 17) + 0xa282ead8)``
+(we compute the CRC with zlib's CRC-32 rather than CRC-32C — the only
+deviation, noted here because real TFRecord readers check it).
+
+The payload is a self-describing binary encoding of one training
+sample: the 3D volume (float32) plus the target parameter vector.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RecordCorruptionError",
+    "masked_crc32",
+    "encode_sample",
+    "decode_sample",
+    "RecordWriter",
+    "RecordReader",
+    "write_record_file",
+    "read_record_file",
+]
+
+_LENGTH = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+#: Payload header: volume ndim + target length, then the shapes.
+_MAGIC = b"CFR1"
+
+
+class RecordCorruptionError(IOError):
+    """A record failed its CRC or structural check."""
+
+
+def masked_crc32(data: bytes) -> int:
+    """TFRecord's masked CRC: rotate and add the mask constant."""
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return ((crc >> 15) | (crc << 17) & 0xFFFFFFFF) + 0xA282EAD8 & 0xFFFFFFFF
+
+
+def encode_sample(volume: np.ndarray, target: np.ndarray) -> bytes:
+    """Serialize one (volume, target) pair to a record payload."""
+    volume = np.ascontiguousarray(volume, dtype=np.float32)
+    target = np.ascontiguousarray(target, dtype=np.float32)
+    if volume.ndim not in (3, 4):
+        raise ValueError(f"volume must be 3D or (C, D, H, W), got shape {volume.shape}")
+    if target.ndim != 1:
+        raise ValueError(f"target must be 1D, got shape {target.shape}")
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    buf.write(struct.pack("<BB", volume.ndim, target.shape[0]))
+    buf.write(struct.pack(f"<{volume.ndim}I", *volume.shape))
+    buf.write(volume.tobytes())
+    buf.write(target.tobytes())
+    return buf.getvalue()
+
+
+def decode_sample(payload: bytes) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_sample`."""
+    if len(payload) < 6 or payload[:4] != _MAGIC:
+        raise RecordCorruptionError("bad sample magic")
+    ndim, tlen = struct.unpack_from("<BB", payload, 4)
+    if ndim not in (3, 4):
+        raise RecordCorruptionError(f"bad volume rank {ndim}")
+    offset = 6
+    shape = struct.unpack_from(f"<{ndim}I", payload, offset)
+    offset += 4 * ndim
+    vol_bytes = 4 * int(np.prod(shape))
+    expected = offset + vol_bytes + 4 * tlen
+    if len(payload) != expected:
+        raise RecordCorruptionError(
+            f"payload length {len(payload)} != expected {expected}"
+        )
+    volume = np.frombuffer(payload, dtype=np.float32, count=vol_bytes // 4, offset=offset)
+    target = np.frombuffer(payload, dtype=np.float32, count=tlen, offset=offset + vol_bytes)
+    return volume.reshape(shape).copy(), target.copy()
+
+
+class RecordWriter:
+    """Write framed records to a file (context manager)."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = open(self.path, "wb")
+        self.records_written = 0
+
+    def write(self, payload: bytes) -> None:
+        length = _LENGTH.pack(len(payload))
+        self._fh.write(length)
+        self._fh.write(_CRC.pack(masked_crc32(length)))
+        self._fh.write(payload)
+        self._fh.write(_CRC.pack(masked_crc32(payload)))
+        self.records_written += 1
+
+    def write_sample(self, volume: np.ndarray, target: np.ndarray) -> None:
+        self.write(encode_sample(volume, target))
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RecordWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RecordReader:
+    """Iterate framed records from a file, verifying CRCs."""
+
+    def __init__(self, path, verify: bool = True):
+        self.path = Path(path)
+        self.verify = verify
+
+    def __iter__(self) -> Iterator[bytes]:
+        with open(self.path, "rb") as fh:
+            while True:
+                header = fh.read(_LENGTH.size)
+                if not header:
+                    return
+                if len(header) != _LENGTH.size:
+                    raise RecordCorruptionError(f"{self.path}: truncated length header")
+                (length,) = _LENGTH.unpack(header)
+                (len_crc,) = _CRC.unpack(self._read_exact(fh, _CRC.size))
+                if self.verify and len_crc != masked_crc32(header):
+                    raise RecordCorruptionError(f"{self.path}: length CRC mismatch")
+                payload = self._read_exact(fh, length)
+                (crc,) = _CRC.unpack(self._read_exact(fh, _CRC.size))
+                if self.verify and crc != masked_crc32(payload):
+                    raise RecordCorruptionError(f"{self.path}: payload CRC mismatch")
+                yield payload
+
+    def samples(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for payload in self:
+            yield decode_sample(payload)
+
+    def _read_exact(self, fh, n: int) -> bytes:
+        data = fh.read(n)
+        if len(data) != n:
+            raise RecordCorruptionError(f"{self.path}: truncated record")
+        return data
+
+
+def write_record_file(
+    path, volumes: Sequence[np.ndarray], targets: Sequence[np.ndarray]
+) -> int:
+    """Write aligned volumes/targets to one record file; returns count."""
+    if len(volumes) != len(targets):
+        raise ValueError(f"{len(volumes)} volumes vs {len(targets)} targets")
+    with RecordWriter(path) as writer:
+        for v, t in zip(volumes, targets):
+            writer.write_sample(v, t)
+        return writer.records_written
+
+
+def read_record_file(path) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Read every sample from a record file."""
+    return list(RecordReader(path).samples())

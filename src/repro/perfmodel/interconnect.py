@@ -1,0 +1,104 @@
+"""Interconnect / gradient-aggregation time model.
+
+The paper measures the CPE ML Plugin's achieved aggregation bandwidth
+directly (Section VI-B): the reduction moves twice the 28.15 MB model
+per step, and the observed aggregation latencies imply **1.7 GB/s per
+node at 1024 nodes** and **1.42 GB/s per node at 8192 nodes** (against
+Aries' ~10 GB/s point-to-point capability).
+
+:class:`InterconnectSpec` interpolates that measured efficiency curve:
+``B(p) = B_ref / (1 + c · (log2 p − log2 p_ref))``, with ``c`` fitted to
+the two published points — a mild logarithmic decay, exactly the shape
+bandwidth-optimal allreduces display as latency terms and network
+contention accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InterconnectSpec", "aries_plugin", "PAPER_COMM"]
+
+#: Paper-reported communication constants (Section VI-B).
+PAPER_COMM = {
+    "model_bytes": 28.15e6,
+    "bandwidth_at_1024_GBps": 1.7,
+    "bandwidth_at_8192_GBps": 1.42,
+    "latency_at_1024_s": 0.033,
+    "aries_peak_GBps": 10.0,
+}
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Achieved allreduce bandwidth as a function of rank count."""
+
+    name: str
+    ref_bandwidth_Bps: float  # achieved per-node B at ref_ranks
+    ref_ranks: int
+    decay_per_doubling: float  # c in B(p) = B_ref / (1 + c (log2 p - log2 ref))
+    peak_bandwidth_Bps: float
+    latency_s: float = 5e-6  # per-message software+network latency
+    #: Helper-thread bandwidth multiplier baseline (the paper's 4
+    #: threads on Cori / 2 on Piz Daint are folded into ref_bandwidth;
+    #: this scales *relative* to that tuning for ablations).
+    helper_thread_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.ref_bandwidth_Bps <= 0 or self.peak_bandwidth_Bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.ref_ranks < 1:
+            raise ValueError("ref_ranks must be >= 1")
+        if self.latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if self.helper_thread_scale <= 0:
+            raise ValueError("helper_thread_scale must be positive")
+
+    def bandwidth_Bps(self, n_ranks: int) -> float:
+        """Achieved per-node aggregation bandwidth at ``n_ranks``."""
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if n_ranks == 1:
+            return self.peak_bandwidth_Bps
+        scale = 1.0 + self.decay_per_doubling * (np.log2(n_ranks) - np.log2(self.ref_ranks))
+        b = self.ref_bandwidth_Bps * self.helper_thread_scale / max(scale, 0.1)
+        return float(min(b, self.peak_bandwidth_Bps))
+
+    def allreduce_time_s(self, n_ranks: int, message_bytes: float) -> float:
+        """Time for one gradient aggregation.
+
+        Bandwidth-optimal reductions move ``2 M (p−1)/p`` bytes per node
+        (the paper: "the reduction algorithm communicates twice the
+        message length for large MPI rank counts") plus a per-stage
+        latency term.
+        """
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if message_bytes < 0:
+            raise ValueError("message_bytes must be >= 0")
+        if n_ranks == 1 or message_bytes == 0:
+            return 0.0
+        p = n_ranks
+        volume = 2.0 * message_bytes * (p - 1) / p
+        return volume / self.bandwidth_Bps(p) + 2.0 * np.log2(p) * self.latency_s
+
+
+def aries_plugin(helper_thread_scale: float = 1.0) -> InterconnectSpec:
+    """Cray Aries + CPE ML Plugin, calibrated to the paper's two
+    measured bandwidth points (1.7 GB/s @ 1024, 1.42 GB/s @ 8192)."""
+    b1, b2 = (
+        PAPER_COMM["bandwidth_at_1024_GBps"],
+        PAPER_COMM["bandwidth_at_8192_GBps"],
+    )
+    # Solve B(8192) = B(1024) / (1 + 3c)  ->  c = (b1/b2 - 1) / 3.
+    decay = (b1 / b2 - 1.0) / 3.0
+    return InterconnectSpec(
+        name="aries-cpe-ml-plugin",
+        ref_bandwidth_Bps=b1 * 1e9,
+        ref_ranks=1024,
+        decay_per_doubling=decay,
+        peak_bandwidth_Bps=PAPER_COMM["aries_peak_GBps"] * 1e9,
+        helper_thread_scale=helper_thread_scale,
+    )

@@ -1,0 +1,75 @@
+"""Per-node compute model.
+
+One number characterizes a node for this workload: its *sustained*
+CosmoFlow training throughput in flop/s, measured by the paper
+("We achieve 535 Gflop/s performance on a single KNL node including the
+overhead of I/O and the CPE ML Plugin.  We also note that the
+corresponding performance on a single GPU node of Piz Daint system is
+388 Gflop/s").  Dividing the per-sample work (69.33 Gflop) by it yields
+the single-node step times the paper reports (129 ms / 179 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import new_rng
+
+__all__ = ["NodeSpec", "knl_node", "p100_node"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node characterized for the CosmoFlow workload."""
+
+    name: str
+    sustained_flops: float  # achieved training flop/s (incl. framework overhead)
+    peak_flops: float  # hardware peak (context only)
+    #: Lognormal sigma of per-step compute-time jitter (OS noise, memory
+    #: effects) — feeds the synchronous-training straggler model.
+    jitter_sigma: float = 0.03
+
+    def __post_init__(self):
+        if self.sustained_flops <= 0 or self.peak_flops <= 0:
+            raise ValueError("flop rates must be positive")
+        if self.sustained_flops > self.peak_flops:
+            raise ValueError("sustained rate cannot exceed peak")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+
+    @property
+    def compute_efficiency(self) -> float:
+        """Sustained / peak — how much of the silicon the stack uses."""
+        return self.sustained_flops / self.peak_flops
+
+    def step_compute_time(self, flops_per_sample: float, batch_size: int = 1) -> float:
+        """Mean time to compute one training step's gradients."""
+        if flops_per_sample <= 0:
+            raise ValueError("flops_per_sample must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return batch_size * flops_per_sample / self.sustained_flops
+
+    def sample_compute_time(
+        self, flops_per_sample: float, rng=None, batch_size: int = 1
+    ) -> float:
+        """One jittered step-compute-time draw (lognormal, mean ~nominal)."""
+        base = self.step_compute_time(flops_per_sample, batch_size)
+        if self.jitter_sigma == 0:
+            return base
+        rng = new_rng(rng)
+        return base * float(
+            rng.lognormal(-0.5 * self.jitter_sigma**2, self.jitter_sigma)
+        )
+
+
+def knl_node() -> NodeSpec:
+    """Cori's Intel Xeon Phi 7250 (KNL): 535 Gflop/s sustained on
+    CosmoFlow; ~6 Tflop/s fp32 peak (68 cores × AVX512 × 1.4 GHz)."""
+    return NodeSpec(name="cori-knl", sustained_flops=535e9, peak_flops=6.0e12)
+
+
+def p100_node() -> NodeSpec:
+    """Piz Daint's NVIDIA P100 (PCIe): 388 Gflop/s sustained on
+    CosmoFlow; 9.3 Tflop/s fp32 peak."""
+    return NodeSpec(name="pizdaint-p100", sustained_flops=388e9, peak_flops=9.3e12)

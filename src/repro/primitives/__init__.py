@@ -1,0 +1,72 @@
+"""3D convolution and pooling primitives (MKL-DNN substitute).
+
+The paper's Section III-C describes hand-optimized MKL-DNN kernels for
+3D convolution (forward, backward-data, backward-weights) and average
+pooling, built around a 16-channel blocked memory layout, SIMD
+vectorization over the channel block, and loop-level threading
+(Algorithm 1).
+
+This subpackage provides two interchangeable implementations, verified
+against each other in the test suite:
+
+* :mod:`repro.primitives.conv3d` — the production path.  It decomposes
+  the convolution over kernel offsets so every step is one BLAS SGEMM
+  (``numpy.tensordot``) on a strided view, which is the same
+  "convolution as matrix multiply" engine MKL-DNN ultimately drives,
+  with NumPy's BLAS standing in for the AVX512 JIT kernels.
+* :mod:`repro.primitives.direct` — a structurally faithful port of the
+  paper's Algorithm 1: channel-blocked layouts (``nCdhw16c``), explicit
+  loops over output/input channel blocks and kernel offsets, and a
+  vectorized 16x16 inner block product.  Slower in Python, but it is
+  the paper's kernel, and it documents/validates the blocking scheme.
+
+Average pooling (:mod:`repro.primitives.pool3d`) is implemented as the
+constant-weight special case of convolution, exactly as the paper
+describes.
+"""
+
+from repro.primitives.conv3d import (
+    conv3d_forward,
+    conv3d_backward_data,
+    conv3d_backward_weights,
+    conv3d_output_shape,
+)
+from repro.primitives.pool3d import (
+    avg_pool3d_forward,
+    avg_pool3d_backward,
+    pool3d_output_shape,
+)
+from repro.primitives.layout import (
+    to_blocked,
+    from_blocked,
+    to_blocked_weights,
+    from_blocked_weights,
+    BLOCK,
+)
+from repro.primitives.direct import (
+    conv3d_forward_direct,
+    conv3d_backward_data_direct,
+    conv3d_backward_weights_direct,
+)
+from repro.primitives.registry import get_impl, set_default_impl, available_impls
+
+__all__ = [
+    "conv3d_forward",
+    "conv3d_backward_data",
+    "conv3d_backward_weights",
+    "conv3d_output_shape",
+    "avg_pool3d_forward",
+    "avg_pool3d_backward",
+    "pool3d_output_shape",
+    "to_blocked",
+    "from_blocked",
+    "to_blocked_weights",
+    "from_blocked_weights",
+    "BLOCK",
+    "conv3d_forward_direct",
+    "conv3d_backward_data_direct",
+    "conv3d_backward_weights_direct",
+    "get_impl",
+    "set_default_impl",
+    "available_impls",
+]

@@ -1,0 +1,103 @@
+"""Channel-blocked tensor layouts (``nCdhw16c`` and friends).
+
+MKL-DNN's 3D kernels operate on arrays whose channel dimension is split
+into blocks of 16 so the innermost loop maps onto one AVX512 SIMD
+register of single-precision lanes (paper, Algorithm 1):
+
+* activations: ``(C, D, H, W)`` -> ``(CB, D, H, W, 16)``
+* weights:     ``(OC, IC, KD, KH, KW)`` -> ``(OCB, ICB, KD, KH, KW, 16ic, 16oc)``
+
+Channels that are not a multiple of the block size are zero-padded; the
+paper sidesteps padding by choosing all channel counts as multiples of
+16 ("to allow for efficient vectorization over the channel dimension"),
+but the layout functions here handle ragged counts so the direct
+kernels stay general.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BLOCK",
+    "blocked_channels",
+    "to_blocked",
+    "from_blocked",
+    "to_blocked_weights",
+    "from_blocked_weights",
+]
+
+#: SIMD block size: 16 fp32 lanes = one AVX512 register, as in the paper.
+BLOCK = 16
+
+
+def blocked_channels(channels: int, block: int = BLOCK) -> int:
+    """Number of channel blocks needed to hold ``channels`` channels."""
+    if channels <= 0:
+        raise ValueError(f"channels must be positive, got {channels}")
+    return -(-channels // block)
+
+
+def to_blocked(x: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Convert activations ``(C, D, H, W)`` to blocked ``(CB, D, H, W, block)``.
+
+    Channels are zero-padded up to a multiple of ``block``.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected (C, D, H, W) activations, got shape {x.shape}")
+    c, d, h, w = x.shape
+    cb = blocked_channels(c, block)
+    out = np.zeros((cb, d, h, w, block), dtype=x.dtype)
+    # View the first `c` channels as (cb_full, block) groups plus a ragged tail.
+    full = (c // block) * block
+    if full:
+        out[: c // block] = (
+            x[:full].reshape(c // block, block, d, h, w).transpose(0, 2, 3, 4, 1)
+        )
+    if c != full:
+        tail = x[full:]
+        out[c // block, :, :, :, : c - full] = tail.transpose(1, 2, 3, 0)
+    return out
+
+
+def from_blocked(xb: np.ndarray, channels: int, block: int = BLOCK) -> np.ndarray:
+    """Inverse of :func:`to_blocked`; drops zero-padded channels."""
+    if xb.ndim != 5 or xb.shape[-1] != block:
+        raise ValueError(f"expected (CB, D, H, W, {block}) blocked activations, got {xb.shape}")
+    cb, d, h, w, _ = xb.shape
+    if blocked_channels(channels, block) != cb:
+        raise ValueError(f"{channels} channels do not fit {cb} blocks of {block}")
+    x = xb.transpose(0, 4, 1, 2, 3).reshape(cb * block, d, h, w)
+    return np.ascontiguousarray(x[:channels])
+
+
+def to_blocked_weights(w: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Convert weights ``(OC, IC, KD, KH, KW)`` to
+    ``(OCB, ICB, KD, KH, KW, block_ic, block_oc)``.
+
+    This matches the paper's ``W ∈ R^{OCB×ICB×KD×KH×KW×16×16}`` with the
+    input-channel block as the second-to-last axis (reduction axis) and
+    the output-channel block innermost (SIMD store axis).
+    """
+    if w.ndim != 5:
+        raise ValueError(f"expected (OC, IC, KD, KH, KW) weights, got shape {w.shape}")
+    oc, ic, kd, kh, kw = w.shape
+    ocb = blocked_channels(oc, block)
+    icb = blocked_channels(ic, block)
+    out = np.zeros((ocb, icb, kd, kh, kw, block, block), dtype=w.dtype)
+    padded = np.zeros((ocb * block, icb * block, kd, kh, kw), dtype=w.dtype)
+    padded[:oc, :ic] = w
+    # (ocb, boc, icb, bic, kd, kh, kw) -> (ocb, icb, kd, kh, kw, bic, boc)
+    out[:] = padded.reshape(ocb, block, icb, block, kd, kh, kw).transpose(0, 2, 4, 5, 6, 3, 1)
+    return out
+
+
+def from_blocked_weights(
+    wb: np.ndarray, out_channels: int, in_channels: int, block: int = BLOCK
+) -> np.ndarray:
+    """Inverse of :func:`to_blocked_weights`."""
+    if wb.ndim != 7 or wb.shape[-1] != block or wb.shape[-2] != block:
+        raise ValueError(f"expected blocked weights with {block}x{block} blocks, got {wb.shape}")
+    ocb, icb, kd, kh, kw, _, _ = wb.shape
+    padded = wb.transpose(0, 6, 1, 5, 2, 3, 4).reshape(ocb * block, icb * block, kd, kh, kw)
+    return np.ascontiguousarray(padded[:out_channels, :in_channels])

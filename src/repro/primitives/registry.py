@@ -1,0 +1,80 @@
+"""Implementation registry for the convolution primitives.
+
+The framework layer (:mod:`repro.tensor.ops.conv3d`) calls through this
+registry so the kernel implementation can be switched globally — used
+by the A1 ablation benchmark to compare the GEMM path against the
+Algorithm-1 direct path, mirroring how TensorFlow dispatches to MKL-DNN
+when built with ``--config=mkl``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.primitives import conv3d as _gemm
+from repro.primitives import direct as _direct
+
+__all__ = ["ConvImpl", "get_impl", "set_default_impl", "available_impls"]
+
+
+@dataclass(frozen=True)
+class ConvImpl:
+    """A triple of convolution kernels sharing one calling convention."""
+
+    name: str
+    forward: Callable
+    backward_data: Callable
+    backward_weights: Callable
+
+
+_IMPLS: Dict[str, ConvImpl] = {
+    "gemm": ConvImpl(
+        name="gemm",
+        forward=_gemm.conv3d_forward,
+        backward_data=_gemm.conv3d_backward_data,
+        backward_weights=_gemm.conv3d_backward_weights,
+    ),
+    "direct": ConvImpl(
+        name="direct",
+        forward=_direct.conv3d_forward_direct,
+        backward_data=lambda grad_out, w, input_shape, stride=1, padding=0: (
+            _direct.conv3d_backward_data_direct(grad_out, w, input_shape, stride)
+            if padding in (0, (0, 0, 0))
+            else _gemm.conv3d_backward_data(grad_out, w, input_shape, stride, padding)
+        ),
+        backward_weights=lambda x, grad_out, kernel, stride=1, padding=0, with_bias=False: (
+            _direct.conv3d_backward_weights_direct(x, grad_out, kernel, stride, with_bias)
+            if padding in (0, (0, 0, 0))
+            else _gemm.conv3d_backward_weights(x, grad_out, kernel, stride, padding, with_bias)
+        ),
+    ),
+}
+
+_default = "gemm"
+
+
+def available_impls() -> list[str]:
+    """Names of the registered convolution implementations."""
+    return sorted(_IMPLS)
+
+
+def get_impl(name: str | None = None) -> ConvImpl:
+    """Look up an implementation by name (``None`` -> current default)."""
+    key = _default if name is None else name
+    try:
+        return _IMPLS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown conv3d implementation {key!r}; available: {available_impls()}"
+        ) from None
+
+
+def set_default_impl(name: str) -> None:
+    """Set the implementation used when callers do not name one."""
+    global _default
+    if name not in _IMPLS:
+        raise KeyError(
+            f"unknown conv3d implementation {name!r}; available: {available_impls()}"
+        )
+    _default = name

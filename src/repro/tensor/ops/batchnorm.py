@@ -1,0 +1,96 @@
+"""Batch normalization.
+
+The paper *removes* batch-norm from the topology: "We remove batch-norm
+layers from the topology for efficient scaling and compute performance.
+We use a batch size of one for all our experiments, and do not see
+accuracy degradation with batch-norm removal."
+
+We implement it anyway — first, because the Ravanbakhsh predecessor the
+topology descends from had it; second, because the removal is an
+ablation worth measuring (benchmark A5): with a mini-batch of one,
+per-batch statistics are degenerate (variance over one sample per
+channel position collapses toward zero and the op mostly cancels the
+sample's own statistics), and in data-parallel training the *global*
+batch statistics would need an extra allreduce per BN layer per step —
+precisely the "efficient scaling" cost the paper avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["batch_norm"]
+
+
+def batch_norm(
+    x,
+    gamma,
+    beta,
+    eps: float = 1e-5,
+    running_stats: tuple[np.ndarray, np.ndarray] | None = None,
+    training: bool = True,
+    momentum: float = 0.1,
+) -> Tensor:
+    """Normalize over batch and spatial axes, per channel.
+
+    Parameters
+    ----------
+    x
+        ``(N, C, ...)`` activations.
+    gamma, beta
+        Per-channel scale and shift, shape ``(C,)``.
+    running_stats
+        Optional ``(running_mean, running_var)`` arrays updated in place
+        during training and used instead of batch statistics at
+        inference.
+    """
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    gamma = gamma if isinstance(gamma, Tensor) else Tensor(gamma)
+    beta = beta if isinstance(beta, Tensor) else Tensor(beta)
+    if x.ndim < 2:
+        raise ValueError(f"batch_norm expects (N, C, ...) input, got {x.shape}")
+    c = x.shape[1]
+    if gamma.shape != (c,) or beta.shape != (c,):
+        raise ValueError(f"gamma/beta must be ({c},), got {gamma.shape}/{beta.shape}")
+
+    axes = (0,) + tuple(range(2, x.ndim))
+    shape = (1, c) + (1,) * (x.ndim - 2)
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        if running_stats is not None:
+            rm, rv = running_stats
+            rm *= 1.0 - momentum
+            rm += momentum * mean
+            rv *= 1.0 - momentum
+            rv += momentum * var
+    else:
+        if running_stats is None:
+            raise ValueError("inference-mode batch_norm needs running_stats")
+        mean, var = running_stats[0], running_stats[1]
+
+    mean_b = mean.reshape(shape).astype(x.dtype)
+    inv_std = (1.0 / np.sqrt(var + eps)).reshape(shape).astype(x.dtype)
+    x_hat = (x.data - mean_b) * inv_std
+    out = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    m = x.size // c  # elements per channel
+
+    def backward(g):
+        g_gamma = (g * x_hat).sum(axis=axes)
+        g_beta = g.sum(axis=axes)
+        if not training:
+            gx = g * gamma.data.reshape(shape) * inv_std
+            return gx.astype(x.dtype, copy=False), g_gamma, g_beta
+        # standard BN backward through the batch statistics
+        g_hat = g * gamma.data.reshape(shape)
+        term1 = g_hat
+        term2 = g_hat.mean(axis=axes).reshape(shape)
+        term3 = x_hat * (g_hat * x_hat).mean(axis=axes).reshape(shape)
+        gx = inv_std * (term1 - term2 - term3)
+        return gx.astype(x.dtype, copy=False), g_gamma, g_beta
+
+    return Tensor._make(out.astype(x.dtype, copy=False), (x, gamma, beta), backward, "batch_norm")

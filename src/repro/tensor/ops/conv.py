@@ -1,0 +1,63 @@
+"""Differentiable 3D convolution, dispatching to :mod:`repro.primitives`.
+
+This is the framework/primitive boundary the paper optimizes across:
+TensorFlow's Conv3D op calling into MKL-DNN's forward, backward-data
+and backward-weights kernels.  The kernel implementation is selected
+through :mod:`repro.primitives.registry` ("gemm" by default, "direct"
+for the Algorithm-1 blocked kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.registry import get_impl
+from repro.tensor.tensor import Tensor
+
+__all__ = ["conv3d"]
+
+
+def conv3d(x, w, bias=None, stride=1, padding=0, impl: str | None = None) -> Tensor:
+    """3D convolution with autograd.
+
+    Parameters
+    ----------
+    x
+        Input ``(N, IC, D, H, W)`` tensor.
+    w
+        Weights ``(OC, IC, KD, KH, KW)`` tensor.
+    bias
+        Optional ``(OC,)`` tensor.
+    stride, padding
+        Int or 3-tuple.
+    impl
+        Kernel implementation name (``None`` -> registry default).
+    """
+    kernels = get_impl(impl)
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    w = w if isinstance(w, Tensor) else Tensor(w)
+    b = None if bias is None else (bias if isinstance(bias, Tensor) else Tensor(bias))
+
+    out = kernels.forward(x.data, w.data, None if b is None else b.data, stride, padding)
+    input_shape = x.shape[2:]
+    kernel = w.shape[2:]
+
+    if b is None:
+        def backward(g):
+            g = np.ascontiguousarray(g)
+            gx = kernels.backward_data(g, w.data, input_shape, stride, padding) if x.requires_grad else None
+            gw = kernels.backward_weights(x.data, g, kernel, stride, padding) if w.requires_grad else None
+            return gx, gw
+
+        return Tensor._make(out, (x, w), backward, "conv3d")
+
+    def backward_b(g):
+        g = np.ascontiguousarray(g)
+        gx = kernels.backward_data(g, w.data, input_shape, stride, padding) if x.requires_grad else None
+        if w.requires_grad or b.requires_grad:
+            gw, gb = kernels.backward_weights(x.data, g, kernel, stride, padding, with_bias=True)
+        else:
+            gw = gb = None
+        return gx, gw, gb
+
+    return Tensor._make(out, (x, w, b), backward_b, "conv3d")

@@ -1,0 +1,127 @@
+"""Element-wise differentiable ops with NumPy broadcasting.
+
+The paper's profiling (Section V-B) singles out "many element-wise and
+data reordering operations" — leaky ReLU forward/backward, the
+optimizer update, loss terms — as the non-convolutional hotspots they
+threaded with OpenMP.  Here they are plain vectorized NumPy, which is
+the Python-level analogue of that loop-level parallelism (NumPy runs
+the loop in C and, through BLAS/ufunc inner loops, may use threads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, unbroadcast
+
+__all__ = ["add", "sub", "mul", "div", "neg", "power", "exp", "log", "maximum", "clip"]
+
+
+def _as_tensor(x) -> Tensor:
+    if isinstance(x, Tensor):
+        return x
+    # Python scalars promote weakly (stay in the tensor's precision):
+    # `float32_tensor + 1.0` must not silently upcast the whole graph
+    # to float64, which is what wrapping 1.0 as a float64 array does.
+    if isinstance(x, (bool, int, float)):
+        return Tensor(np.asarray(x, dtype=np.float32))
+    return Tensor(x)
+
+
+def add(a, b) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data + b.data
+
+    def backward(g):
+        return unbroadcast(g, a.shape), unbroadcast(g, b.shape)
+
+    return Tensor._make(out, (a, b), backward, "add")
+
+
+def sub(a, b) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data - b.data
+
+    def backward(g):
+        return unbroadcast(g, a.shape), unbroadcast(-g, b.shape)
+
+    return Tensor._make(out, (a, b), backward, "sub")
+
+
+def mul(a, b) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data * b.data
+
+    def backward(g):
+        return unbroadcast(g * b.data, a.shape), unbroadcast(g * a.data, b.shape)
+
+    return Tensor._make(out, (a, b), backward, "mul")
+
+
+def div(a, b) -> Tensor:
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = a.data / b.data
+
+    def backward(g):
+        ga = unbroadcast(g / b.data, a.shape)
+        gb = unbroadcast(-g * a.data / (b.data * b.data), b.shape)
+        return ga, gb
+
+    return Tensor._make(out, (a, b), backward, "div")
+
+
+def neg(a) -> Tensor:
+    a = _as_tensor(a)
+    return Tensor._make(-a.data, (a,), lambda g: (-g,), "neg")
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a Python-scalar exponent."""
+    a = _as_tensor(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("power() exponent must be a Python scalar")
+    e = float(exponent)
+    out = a.data**e
+
+    def backward(g):
+        return (g * e * a.data ** (e - 1.0),)
+
+    return Tensor._make(out, (a,), backward, "power")
+
+
+def exp(a) -> Tensor:
+    a = _as_tensor(a)
+    out = np.exp(a.data)
+    return Tensor._make(out, (a,), lambda g: (g * out,), "exp")
+
+
+def log(a) -> Tensor:
+    a = _as_tensor(a)
+    return Tensor._make(np.log(a.data), (a,), lambda g: (g / a.data,), "log")
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise max; at ties the gradient goes to the first input
+    (the subgradient convention NumPy frameworks use)."""
+    a, b = _as_tensor(a), _as_tensor(b)
+    out = np.maximum(a.data, b.data)
+    mask_a = a.data >= b.data
+
+    def backward(g):
+        ga = unbroadcast(g * mask_a, a.shape)
+        gb = unbroadcast(g * ~mask_a, b.shape)
+        return ga, gb
+
+    return Tensor._make(out, (a, b), backward, "maximum")
+
+
+def clip(a, lo: float, hi: float) -> Tensor:
+    """Clip values to ``[lo, hi]``; gradient is zero outside the band."""
+    a = _as_tensor(a)
+    out = np.clip(a.data, lo, hi)
+    mask = (a.data >= lo) & (a.data <= hi)
+
+    def backward(g):
+        return (g * mask,)
+
+    return Tensor._make(out, (a,), backward, "clip")

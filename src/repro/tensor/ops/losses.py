@@ -1,0 +1,50 @@
+"""Loss functions.
+
+CosmoFlow is a regression network; training minimizes the mean squared
+error between the predicted and true (normalized) cosmological
+parameters (ΩM, σ8, ns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["mse_loss", "mae_loss"]
+
+
+def _pair(pred, target):
+    pred = pred if isinstance(pred, Tensor) else Tensor(pred)
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"prediction shape {pred.shape} != target shape {target.shape}")
+    return pred, target
+
+
+def mse_loss(pred, target) -> Tensor:
+    """Mean squared error over all elements (scalar tensor)."""
+    pred, target = _pair(pred, target)
+    diff = pred.data - target.data
+    out = np.asarray((diff * diff).mean(), dtype=pred.dtype)
+    scale = 2.0 / pred.size
+
+    def backward(g):
+        gp = g * scale * diff
+        return gp.astype(pred.dtype, copy=False), (-gp).astype(pred.dtype, copy=False)
+
+    return Tensor._make(out, (pred, target), backward, "mse_loss")
+
+
+def mae_loss(pred, target) -> Tensor:
+    """Mean absolute error over all elements (scalar tensor)."""
+    pred, target = _pair(pred, target)
+    diff = pred.data - target.data
+    out = np.asarray(np.abs(diff).mean(), dtype=pred.dtype)
+    sign = np.sign(diff) / pred.size
+
+    def backward(g):
+        gp = g * sign
+        return gp.astype(pred.dtype, copy=False), (-gp).astype(pred.dtype, copy=False)
+
+    return Tensor._make(out, (pred, target), backward, "mae_loss")

@@ -1,0 +1,49 @@
+"""Reduction ops (sum, mean)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["sum_", "mean"]
+
+
+def _normalize_axes(axis, ndim: int) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if np.isscalar(axis):
+        axis = (int(axis),)
+    return tuple(a % ndim for a in axis)
+
+
+def _expand_reduced(g: np.ndarray, shape: tuple[int, ...], axes: tuple[int, ...], keepdims: bool):
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    if not keepdims:
+        for a in sorted(axes):
+            g = np.expand_dims(g, a)
+    return np.broadcast_to(g, shape)
+
+
+def sum_(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    axes = _normalize_axes(axis, a.ndim)
+    out = a.data.sum(axis=axes if axes else None, keepdims=keepdims)
+
+    def backward(g):
+        return (_expand_reduced(g, a.shape, axes, keepdims).astype(a.dtype, copy=False),)
+
+    return Tensor._make(out, (a,), backward, "sum")
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    axes = _normalize_axes(axis, a.ndim)
+    count = int(np.prod([a.shape[ax] for ax in axes])) if axes else 1
+    out = a.data.mean(axis=axes if axes else None, keepdims=keepdims)
+
+    def backward(g):
+        g = _expand_reduced(g, a.shape, axes, keepdims) / count
+        return (g.astype(a.dtype, copy=False),)
+
+    return Tensor._make(out, (a,), backward, "mean")

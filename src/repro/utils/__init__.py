@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG helpers, stage timers, logging.
+
+These helpers are deliberately tiny and dependency-free; every other
+subpackage may import them, and they import nothing from the rest of
+:mod:`repro`.
+"""
+
+from repro.utils.rng import new_rng, spawn_rngs, derive_seed
+from repro.utils.timer import StageTimer, Timer, format_duration
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "StageTimer",
+    "Timer",
+    "format_duration",
+    "get_logger",
+]

@@ -1,0 +1,37 @@
+"""Library logging setup.
+
+A thin wrapper over :mod:`logging` so all subpackages share one logger
+namespace (``repro.*``) and benchmarks/examples can turn verbosity up or
+down in one call.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def configure(level: int = logging.INFO, stream=None) -> None:
+    """Attach a stream handler to the library root logger (idempotent)."""
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not _configured:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+        _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

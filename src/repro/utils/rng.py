@@ -1,0 +1,65 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library (weight initialization, data
+shuffling, simulation initial conditions, straggler sampling) takes an
+explicit seed or :class:`numpy.random.Generator`.  These helpers
+centralize how seeds are derived so that
+
+* a single top-level seed reproduces an entire experiment, and
+* independent components (e.g. MPI-style ranks) get *independent*
+  streams rather than accidentally-correlated ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["new_rng", "spawn_rngs", "derive_seed"]
+
+
+def new_rng(seed: int | None | np.random.Generator = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh OS entropy), an integer seed, or an existing
+    generator (returned unchanged), so call sites can be agnostic about
+    which the user supplied.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, the supported way
+    to fan a seed out to parallel workers (one stream per simulated MPI
+    rank, I/O thread, etc.).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def derive_seed(seed: int | None, *keys: int | str) -> int:
+    """Derive a child integer seed from ``seed`` and a path of keys.
+
+    The same ``(seed, keys)`` pair always yields the same child seed;
+    distinct key paths yield independent seeds.  Used where a component
+    must be handed a plain integer (e.g. stored in a config or written
+    into a dataset manifest) rather than a generator object.
+    """
+    material = [0 if seed is None else int(seed) & 0xFFFFFFFF]
+    for key in keys:
+        if isinstance(key, str):
+            # Stable, platform-independent string hash (FNV-1a, 32-bit).
+            h = 2166136261
+            for byte in key.encode("utf-8"):
+                h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+            material.append(h)
+        else:
+            material.append(int(key) & 0xFFFFFFFF)
+    return int(np.random.SeedSequence(material).generate_state(1, np.uint32)[0])

@@ -1,0 +1,81 @@
+"""Additional edge-case coverage for the allreduce schedules."""
+
+import numpy as np
+import pytest
+
+from repro.comm.algorithms import (
+    ALLREDUCE_ALGORITHMS,
+    halving_doubling_schedule,
+    reduce_broadcast_schedule,
+    ring_allreduce_schedule,
+)
+from repro.comm.communicator import ReduceOp, reduce_arrays
+
+ALGOS = sorted(ALLREDUCE_ALGORITHMS)
+
+
+class TestDtypesAndShapes:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_float64_inputs_preserved(self, algo):
+        rng = np.random.default_rng(0)
+        arrays = [rng.standard_normal(17) for _ in range(4)]  # float64
+        result = ALLREDUCE_ALGORITHMS[algo](arrays)
+        assert result.results[0].dtype == np.float64
+        want = reduce_arrays(arrays, ReduceOp.SUM)
+        np.testing.assert_allclose(result.results[0], want, rtol=1e-12)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_3d_arrays(self, algo):
+        rng = np.random.default_rng(1)
+        arrays = [rng.standard_normal((2, 3, 4)).astype(np.float32) for _ in range(3)]
+        result = ALLREDUCE_ALGORITHMS[algo](arrays)
+        assert result.results[0].shape == (2, 3, 4)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_single_element_vector(self, algo):
+        arrays = [np.array([float(i)]) for i in range(6)]
+        result = ALLREDUCE_ALGORITHMS[algo](arrays, ReduceOp.MEAN)
+        for r in result.results:
+            np.testing.assert_allclose(r, [2.5])
+
+    def test_two_ranks_ring(self):
+        """Degenerate ring (p=2): one reduce-scatter + one allgather step."""
+        result = ring_allreduce_schedule([np.ones(10), np.full(10, 2.0)])
+        np.testing.assert_allclose(result.results[0], 3.0)
+        assert result.steps == 2
+
+    def test_halving_doubling_p3_fold(self):
+        """Non-power-of-two: rank 2 folds into rank 0 and gets the
+        result back — messages to/from the extra rank must appear."""
+        result = halving_doubling_schedule([np.ones(8)] * 3)
+        srcs = {m.src for m in result.messages}
+        dsts = {m.dst for m in result.messages}
+        assert 2 in srcs and 2 in dsts
+
+    def test_reduce_broadcast_nonzero_root(self):
+        arrays = [np.full(4, float(i)) for i in range(4)]
+        result = reduce_broadcast_schedule(arrays, root=2)
+        hot = max(
+            range(4),
+            key=lambda r: sum(m.nbytes for m in result.messages if r in (m.src, m.dst)),
+        )
+        assert hot == 2
+        np.testing.assert_allclose(result.results[1], 6.0)
+
+
+class TestMessageLogs:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_no_self_messages(self, algo):
+        rng = np.random.default_rng(2)
+        arrays = [rng.standard_normal(32).astype(np.float32) for _ in range(6)]
+        result = ALLREDUCE_ALGORITHMS[algo](arrays)
+        assert all(m.src != m.dst for m in result.messages)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_steps_monotone_fields(self, algo):
+        rng = np.random.default_rng(3)
+        arrays = [rng.standard_normal(32).astype(np.float32) for _ in range(5)]
+        result = ALLREDUCE_ALGORITHMS[algo](arrays)
+        steps = [m.step for m in result.messages]
+        assert steps == sorted(steps)
+        assert all(m.nbytes > 0 for m in result.messages)

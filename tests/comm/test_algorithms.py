@@ -1,0 +1,171 @@
+"""Tests for allreduce schedules and the alpha-beta time model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.algorithms import (
+    ALLREDUCE_ALGORITHMS,
+    allreduce_time_model,
+    halving_doubling_schedule,
+    reduce_broadcast_schedule,
+    ring_allreduce_schedule,
+)
+from repro.comm.communicator import ReduceOp, reduce_arrays
+
+ALGOS = sorted(ALLREDUCE_ALGORITHMS)
+
+
+def make_arrays(p, n, seed=0, dtype=np.float32):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n).astype(dtype) for _ in range(p)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algo", ALGOS)
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8, 9, 16])
+    def test_sum_matches_reference(self, algo, p):
+        arrays = make_arrays(p, 50, seed=p)
+        result = ALLREDUCE_ALGORITHMS[algo](arrays, ReduceOp.SUM)
+        want = reduce_arrays([a.astype(np.float64) for a in arrays], ReduceOp.SUM)
+        assert len(result.results) == p
+        for r in result.results:
+            assert r.dtype == arrays[0].dtype
+            np.testing.assert_allclose(r, want, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_mean(self, algo):
+        arrays = make_arrays(4, 20, seed=1)
+        result = ALLREDUCE_ALGORITHMS[algo](arrays, ReduceOp.MEAN)
+        want = reduce_arrays([a.astype(np.float64) for a in arrays], ReduceOp.MEAN)
+        for r in result.results:
+            np.testing.assert_allclose(r, want, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_preserves_shape(self, algo):
+        arrays = [np.ones((3, 4), dtype=np.float32)] * 4
+        result = ALLREDUCE_ALGORITHMS[algo](arrays)
+        assert result.results[0].shape == (3, 4)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_small_vector_more_ranks_than_elements(self, algo):
+        arrays = make_arrays(8, 3, seed=2)
+        result = ALLREDUCE_ALGORITHMS[algo](arrays)
+        want = reduce_arrays([a.astype(np.float64) for a in arrays], ReduceOp.SUM)
+        for r in result.results:
+            np.testing.assert_allclose(r, want, rtol=1e-5, atol=1e-5)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_schedule([np.ones(2), np.ones(3)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_schedule([])
+
+    def test_unsupported_op(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_schedule([np.ones(4)] * 2, ReduceOp.MAX)
+
+    @given(
+        p=st.integers(min_value=1, max_value=12),
+        n=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_all_algorithms_agree(self, p, n, seed):
+        arrays = make_arrays(p, n, seed=seed)
+        want = reduce_arrays([a.astype(np.float64) for a in arrays], ReduceOp.SUM)
+        for algo in ALGOS:
+            result = ALLREDUCE_ALGORITHMS[algo](arrays)
+            for r in result.results:
+                np.testing.assert_allclose(r, want, rtol=1e-4, atol=1e-4)
+
+
+class TestMessageAccounting:
+    def test_ring_bytes_per_rank(self):
+        """Each ring rank sends ~2 M (p-1)/p bytes."""
+        p, n = 4, 1000
+        arrays = make_arrays(p, n)
+        result = ring_allreduce_schedule(arrays)
+        m = n * 4  # float32
+        expect = 2 * m * (p - 1) / p
+        for r in range(p):
+            assert result.bytes_sent_by(r) == pytest.approx(expect, rel=0.01)
+
+    def test_ring_steps(self):
+        result = ring_allreduce_schedule(make_arrays(5, 100))
+        assert result.steps == 2 * (5 - 1)
+
+    def test_halving_doubling_steps_power_of_two(self):
+        result = halving_doubling_schedule(make_arrays(8, 128))
+        assert result.steps == 2 * 3  # 2 log2(8)
+
+    def test_halving_doubling_bytes(self):
+        p, n = 8, 1024
+        result = halving_doubling_schedule(make_arrays(p, n))
+        m = n * 4
+        expect = 2 * m * (p - 1) / p
+        for r in range(p):
+            assert result.bytes_sent_by(r) == pytest.approx(expect, rel=0.05)
+
+    def test_reduce_broadcast_root_bottleneck(self):
+        p, n = 8, 100
+        result = reduce_broadcast_schedule(make_arrays(p, n))
+        m = n * 4
+        # root sends and receives (p-1) full messages each
+        assert result.max_bytes_through_any_rank() == 2 * (p - 1) * m
+        # non-root ranks touch only 2 messages
+        assert result.bytes_sent_by(1) == m
+
+    def test_single_rank_no_messages(self):
+        for algo in ALGOS:
+            result = ALLREDUCE_ALGORITHMS[algo](make_arrays(1, 10))
+            assert result.messages == []
+            assert result.steps == 0
+
+    def test_total_bytes_positive(self):
+        for algo in ALGOS:
+            assert ALLREDUCE_ALGORITHMS[algo](make_arrays(3, 10)).total_bytes > 0
+
+
+class TestTimeModel:
+    COMMON = dict(message_bytes=28.15e6, latency_s=1e-6, bandwidth_Bps=10e9)
+
+    def test_single_rank_free(self):
+        assert allreduce_time_model("ring", 1, **self.COMMON) == 0.0
+
+    def test_ring_vs_centralized_at_scale(self):
+        ring = allreduce_time_model("ring", 1024, **self.COMMON)
+        central = allreduce_time_model("reduce_broadcast", 1024, **self.COMMON)
+        assert central > 100 * ring  # centralized collapses at scale
+
+    def test_halving_doubling_beats_ring_latency(self):
+        # tiny message: latency dominated, ring's 2(p-1) alpha loses
+        hd = allreduce_time_model("halving_doubling", 1024, 1024, 1e-6, 10e9)
+        ring = allreduce_time_model("ring", 1024, 1024, 1e-6, 10e9)
+        assert hd < ring
+
+    def test_bandwidth_term_saturates(self):
+        """Ring time approaches 2M/B as p grows (paper's 2x message)."""
+        t = allreduce_time_model("ring", 8192, 28.15e6, 0.0, 10e9)
+        assert t == pytest.approx(2 * 28.15e6 / 10e9, rel=0.01)
+
+    def test_helper_threads_speed_up(self):
+        slow = allreduce_time_model("ring", 64, **self.COMMON, helper_thread_speedup=1.0)
+        fast = allreduce_time_model("ring", 64, **self.COMMON, helper_thread_speedup=2.0)
+        assert fast < slow
+
+    def test_monotone_in_message_size(self):
+        small = allreduce_time_model("ring", 16, 1e6, 1e-6, 10e9)
+        big = allreduce_time_model("ring", 16, 1e8, 1e-6, 10e9)
+        assert big > small
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            allreduce_time_model("hypercube", 4, **self.COMMON)
+
+    def test_bad_ranks(self):
+        with pytest.raises(ValueError):
+            allreduce_time_model("ring", 0, **self.COMMON)

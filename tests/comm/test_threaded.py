@@ -1,0 +1,140 @@
+"""Tests for the threaded SPMD backend."""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import ReduceOp, reduce_arrays
+from repro.comm.serial import SteppedGroup
+from repro.comm.threaded import ThreadedGroup
+
+
+class TestThreadedGroup:
+    def test_allreduce_sum(self):
+        g = ThreadedGroup(4)
+
+        def body(comm):
+            x = np.full(5, float(comm.rank), dtype=np.float32)
+            return comm.allreduce(x, ReduceOp.SUM)
+
+        results = g.run(body)
+        for r in results:
+            np.testing.assert_allclose(r, 0 + 1 + 2 + 3)
+
+    def test_allreduce_mean_matches_reference(self):
+        rng = np.random.default_rng(0)
+        arrays = [rng.standard_normal(64).astype(np.float32) for _ in range(3)]
+        g = ThreadedGroup(3)
+        results = g.run(lambda comm: comm.allreduce(arrays[comm.rank], ReduceOp.MEAN))
+        want = reduce_arrays(arrays, ReduceOp.MEAN)
+        for r in results:
+            np.testing.assert_array_equal(r, want)
+
+    def test_matches_stepped_bitwise(self):
+        """Threaded and stepped backends share reduction numerics."""
+        rng = np.random.default_rng(1)
+        arrays = [rng.standard_normal(33).astype(np.float32) for _ in range(5)]
+        threaded = ThreadedGroup(5).run(
+            lambda comm: comm.allreduce(arrays[comm.rank], ReduceOp.MEAN)
+        )
+        stepped = SteppedGroup(5).allreduce(arrays, ReduceOp.MEAN)
+        for a, b in zip(threaded, stepped):
+            np.testing.assert_array_equal(a, b)
+
+    def test_sequential_collectives(self):
+        """Multiple collectives in sequence do not cross-contaminate."""
+        g = ThreadedGroup(3)
+
+        def body(comm):
+            a = comm.allreduce(np.array([float(comm.rank)]), ReduceOp.SUM)
+            b = comm.allreduce(np.array([float(comm.rank * 10)]), ReduceOp.SUM)
+            return a[0], b[0]
+
+        for a, b in g.run(body):
+            assert a == 3.0
+            assert b == 30.0
+
+    def test_bcast(self):
+        g = ThreadedGroup(4)
+
+        def body(comm):
+            payload = np.array([42.0]) if comm.rank == 2 else None
+            return comm.bcast(payload, root=2)
+
+        for r in g.run(body):
+            np.testing.assert_allclose(r, [42.0])
+
+    def test_gather(self):
+        g = ThreadedGroup(3)
+
+        def body(comm):
+            return comm.gather(np.array([float(comm.rank)]), root=1)
+
+        results = g.run(body)
+        assert results[0] is None and results[2] is None
+        np.testing.assert_allclose(np.concatenate(results[1]), [0.0, 1.0, 2.0])
+
+    def test_allgather(self):
+        g = ThreadedGroup(3)
+
+        def body(comm):
+            return comm.allgather(np.array([float(comm.rank)]))
+
+        for r in g.run(body):
+            np.testing.assert_allclose(np.concatenate(r), [0.0, 1.0, 2.0])
+
+    def test_barrier_runs(self):
+        g = ThreadedGroup(4)
+
+        def body(comm):
+            comm.barrier()
+            return comm.rank
+
+        assert sorted(g.run(body)) == [0, 1, 2, 3]
+
+    def test_args_per_rank(self):
+        g = ThreadedGroup(2)
+        results = g.run(lambda comm, x: x * 2, args_per_rank=[(1,), (10,)])
+        assert results == [2, 20]
+
+    def test_args_per_rank_length_check(self):
+        g = ThreadedGroup(2)
+        with pytest.raises(ValueError):
+            g.run(lambda comm, x: x, args_per_rank=[(1,)])
+
+    def test_exception_propagates_without_hang(self):
+        g = ThreadedGroup(3)
+
+        def body(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            comm.allreduce(np.ones(2))  # would deadlock without abort
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            g.run(body)
+
+    def test_reusable_after_error(self):
+        g = ThreadedGroup(2)
+
+        def bad(comm):
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            g.run(bad)
+        results = g.run(lambda comm: comm.allreduce(np.array([1.0]))[0])
+        assert results == [2.0, 2.0]
+
+    def test_stats(self):
+        g = ThreadedGroup(2)
+        g.run(lambda comm: comm.allreduce(np.ones(4, dtype=np.float32)))
+        assert g.reductions == 1
+        assert g.bytes_reduced == 4 * 4 * 2
+
+    def test_size_one(self):
+        g = ThreadedGroup(1)
+        out = g.run(lambda comm: comm.allreduce(np.array([3.0]), ReduceOp.MEAN))
+        np.testing.assert_allclose(out[0], [3.0])
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            ThreadedGroup(0)

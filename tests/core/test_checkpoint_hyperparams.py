@@ -1,0 +1,136 @@
+"""Tests for checkpointing and the hyperparameter search harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.hyperparams import HyperparameterSearch
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import CosmoFlowOptimizer, OptimizerConfig
+from repro.core.topology import ConvSpec, CosmoFlowConfig, tiny_16
+from repro.core.trainer import InMemoryData
+
+MICRO = CosmoFlowConfig(
+    name="micro4ckpt",
+    input_size=4,
+    conv_layers=(ConvSpec(16, 2),),
+    fc_sizes=(8,),
+    n_outputs=3,
+)
+
+
+def make_data(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, 4, 4, 4)).astype(np.float32)
+    y = rng.uniform(0.2, 0.8, size=(n, 3)).astype(np.float32)
+    return InMemoryData(x, y)
+
+
+class TestCheckpoint:
+    def test_model_round_trip(self, tmp_path):
+        model = CosmoFlowModel(MICRO, seed=1)
+        path = save_checkpoint(tmp_path / "ckpt", model)
+        assert path.suffix == ".npz"
+        clone = CosmoFlowModel(MICRO, seed=2)
+        load_checkpoint(path, clone)
+        np.testing.assert_array_equal(
+            clone.get_flat_parameters(), model.get_flat_parameters()
+        )
+
+    def test_optimizer_state_round_trip(self, tmp_path):
+        model = CosmoFlowModel(MICRO, seed=1)
+        opt = CosmoFlowOptimizer(model.parameter_arrays(), OptimizerConfig())
+        x = np.zeros((1, 1, 4, 4, 4), dtype=np.float32)
+        y = np.full((1, 3), 0.5, dtype=np.float32)
+        for _ in range(3):
+            _, grads = model.loss_and_gradients(x, y)
+            opt.step(grads)
+        path = save_checkpoint(tmp_path / "full", model, opt)
+
+        clone = CosmoFlowModel(MICRO, seed=9)
+        clone_opt = CosmoFlowOptimizer(clone.parameter_arrays(), OptimizerConfig())
+        load_checkpoint(path, clone, clone_opt)
+        assert clone_opt.adam.t == 3
+        assert clone_opt.step_count == 3
+        for a, b in zip(clone_opt.adam.m, opt.adam.m):
+            np.testing.assert_array_equal(a, b)
+        # continued training is bitwise identical
+        _, g1 = model.loss_and_gradients(x, y)
+        _, g2 = clone.loss_and_gradients(x, y)
+        opt.step(g1)
+        clone_opt.step(g2)
+        np.testing.assert_array_equal(
+            model.get_flat_parameters(), clone.get_flat_parameters()
+        )
+
+    def test_wrong_config_rejected(self, tmp_path):
+        model = CosmoFlowModel(MICRO, seed=0)
+        path = save_checkpoint(tmp_path / "x", model)
+        other = CosmoFlowModel(tiny_16(), seed=0)
+        with pytest.raises(ValueError, match="config"):
+            load_checkpoint(path, other)
+
+    def test_missing_optimizer_state(self, tmp_path):
+        model = CosmoFlowModel(MICRO, seed=0)
+        path = save_checkpoint(tmp_path / "noopt", model)
+        opt = CosmoFlowOptimizer(model.parameter_arrays())
+        with pytest.raises(ValueError, match="optimizer"):
+            load_checkpoint(path, model, opt)
+
+    def test_foreign_optimizer_rejected(self, tmp_path):
+        model = CosmoFlowModel(MICRO, seed=0)
+        foreign = CosmoFlowOptimizer([np.zeros(3, dtype=np.float32)])
+        with pytest.raises(ValueError, match="belong"):
+            save_checkpoint(tmp_path / "bad", model, foreign)
+
+
+class TestHyperparameterSearch:
+    def test_grid_candidates(self):
+        search = HyperparameterSearch(MICRO, {"eta0": [1e-3, 2e-3], "beta1": [0.9]})
+        cands = search.grid_candidates()
+        assert len(cands) == 2
+        assert {"beta1", "eta0"} == set(cands[0])
+
+    def test_random_candidates(self):
+        search = HyperparameterSearch(MICRO, {"eta0": [1e-3, 2e-3, 4e-3]})
+        cands = search.random_candidates(5, rng=np.random.default_rng(0))
+        assert len(cands) == 5
+        assert all(c["eta0"] in (1e-3, 2e-3, 4e-3) for c in cands)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            HyperparameterSearch(MICRO, {"learning_rate": [1e-3]})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            HyperparameterSearch(MICRO, {})
+
+    def test_run_ranks_by_val_loss(self):
+        search = HyperparameterSearch(
+            MICRO, {"eta0": [1e-4, 5e-3]}, epochs=3, seed=0
+        )
+        results = search.run(make_data(8), make_data(4, seed=5))
+        assert len(results) == 2
+        assert results[0].best_val_loss <= results[1].best_val_loss
+        assert search.best is results[0]
+
+    def test_parallel_matches_serial(self):
+        grid = {"eta0": [1e-3, 3e-3]}
+        serial = HyperparameterSearch(MICRO, grid, epochs=2, seed=0)
+        parallel = HyperparameterSearch(MICRO, grid, epochs=2, seed=0)
+        train, val = make_data(6), make_data(3, seed=7)
+        rs = serial.run(train, val, n_workers=1)
+        rp = parallel.run(train, val, n_workers=2)
+        for a, b in zip(rs, rp):
+            assert a.params == b.params
+            assert a.best_val_loss == pytest.approx(b.best_val_loss, rel=1e-5)
+
+    def test_best_before_run_raises(self):
+        search = HyperparameterSearch(MICRO, {"eta0": [1e-3]})
+        with pytest.raises(RuntimeError):
+            _ = search.best
+
+    def test_bad_workers(self):
+        search = HyperparameterSearch(MICRO, {"eta0": [1e-3]})
+        with pytest.raises(ValueError):
+            search.run(make_data(4), make_data(2), n_workers=0)

@@ -1,0 +1,119 @@
+"""Tests for analytical flop/parameter accounting — including the
+checks against the paper's published constants."""
+
+import numpy as np
+import pytest
+
+from repro.core.flops import (
+    PAPER_PARAM_BYTES,
+    PAPER_TOTAL_FLOPS,
+    network_costs,
+    parameter_bytes,
+    parameter_count,
+    report,
+    table1_rows,
+    total_flops,
+)
+from repro.core.model import CosmoFlowModel
+from repro.core.topology import paper_128, tiny_16
+
+#: Table I implied per-layer forward flops (time x rate), Gflop.
+TABLE1_IMPLIED_FWD = {
+    "conv1": 1.14e-3 * 1.52e12,
+    "conv2": 4.04e-3 * 3.51e12,
+    "conv3": 2.32e-3 * 2.22e12,
+}
+
+
+class TestPaperConstants:
+    def test_conv123_match_table1_exactly(self):
+        """Our reconstruction reproduces Table I's implied flops for the
+        three big conv layers to within timing-precision noise."""
+        rows = {r["layer"]: r for r in table1_rows(paper_128())}
+        for name, implied in TABLE1_IMPLIED_FWD.items():
+            assert rows[name]["fwd_flops"] == pytest.approx(implied, rel=0.02)
+
+    def test_parameter_count_vs_paper(self):
+        """'slightly more than seven million parameters' / 28.15 MB."""
+        n = parameter_count(paper_128())
+        assert 7_000_000 < n < 7_200_000
+        assert parameter_bytes(paper_128()) == pytest.approx(PAPER_PARAM_BYTES, rel=0.01)
+
+    def test_total_flops_vs_paper(self):
+        """69.33 Gflop total; our reconstruction lands within 10%."""
+        total = total_flops(paper_128())["total"]
+        assert total == pytest.approx(PAPER_TOTAL_FLOPS, rel=0.10)
+
+    def test_conv1_has_no_backward_data(self):
+        """Table I's empty conv1 Bwd cell."""
+        conv1 = next(c for c in network_costs(paper_128()) if c.name == "conv1")
+        assert conv1.bwd_data_flops == 0.0
+        assert conv1.bwd_weight_flops > 0.0
+
+    def test_conv_dominates(self):
+        """'The majority of the floating-point operations occur in the
+        forward and backward convolution layers.'"""
+        totals = total_flops(paper_128())
+        assert totals["conv_total"] / totals["total"] > 0.95
+
+    def test_last_layers_small(self):
+        """'The last four convolution layers have relatively little
+        computation due to the smaller input sizes.'"""
+        rows = table1_rows(paper_128())
+        tail = sum(r["fwd_flops"] for r in rows[3:])
+        head = sum(r["fwd_flops"] for r in rows[:3])
+        assert tail < 0.05 * head
+
+
+class TestAccountingConsistency:
+    def test_params_match_built_network(self):
+        for preset in (paper_128, tiny_16):
+            cfg = preset()
+            model = CosmoFlowModel(cfg, seed=0) if cfg.input_size <= 16 else None
+            if model is not None:
+                assert model.num_parameters == parameter_count(cfg)
+
+    def test_tiny_params_match_network(self):
+        cfg = tiny_16()
+        model = CosmoFlowModel(cfg, seed=0)
+        assert model.num_parameters == parameter_count(cfg)
+        assert model.parameter_nbytes == parameter_bytes(cfg)
+
+    def test_total_is_sum_of_parts(self):
+        totals = total_flops(tiny_16())
+        assert totals["total"] == pytest.approx(
+            totals["fwd"] + totals["bwd_data"] + totals["bwd_weights"]
+        )
+
+    def test_costs_all_nonnegative(self):
+        for c in network_costs(paper_128()):
+            assert c.params >= 0
+            assert c.fwd_flops >= 0 and c.bwd_data_flops >= 0 and c.bwd_weight_flops >= 0
+
+    def test_conv_flops_formula(self):
+        """Spot-check conv2: 2 * 60^3 * 32 * 16 * 4^3."""
+        conv2 = next(c for c in network_costs(paper_128()) if c.name == "conv2")
+        assert conv2.fwd_flops == 2 * 60**3 * 32 * 16 * 64
+
+    def test_fc_flops_formula(self):
+        fc1 = next(c for c in network_costs(paper_128()) if c.name == "fc1")
+        assert fc1.fwd_flops == 2 * 8000 * 784
+        assert fc1.params == 8001 * 784
+
+    def test_pool_layers_counted(self):
+        kinds = [c.kind for c in network_costs(paper_128())]
+        assert kinds.count("pool") == 3
+        assert kinds.count("conv") == 7
+        assert kinds.count("dense") == 3
+
+    def test_report_strings(self):
+        text = report(paper_128())
+        assert "7,081,523" in text
+        assert "paper constants" in text
+        text2 = report(tiny_16())
+        assert "paper constants" not in text2  # only for the full network
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows(paper_128())
+        assert [r["layer"] for r in rows] == [f"conv{i}" for i in range(1, 8)]
+        assert rows[0]["bwd_flops"] == 0.0

@@ -1,0 +1,59 @@
+"""Tests for metrics (the paper's relative-error definition)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import PAPER_REL_ERRORS, relative_errors
+
+
+class TestRelativeErrors:
+    def test_exact_prediction_zero_error(self):
+        theta = np.array([[0.3, 0.8, 0.95]])
+        summary = relative_errors(theta, theta)
+        assert summary.errors == (0.0, 0.0, 0.0)
+
+    def test_paper_formula_denominator_is_model(self):
+        """|model - true| / model, not / true."""
+        pred = np.array([[2.0]])
+        true = np.array([[1.0]])
+        summary = relative_errors(pred, true)
+        assert summary.errors[0] == pytest.approx(0.5)  # 1/2, not 1/1
+
+    def test_averages_over_samples(self):
+        pred = np.array([[1.0], [1.0]])
+        true = np.array([[0.9], [1.1]])
+        summary = relative_errors(pred, true)
+        assert summary.errors[0] == pytest.approx(0.1)
+
+    def test_1d_inputs_promoted(self):
+        summary = relative_errors(np.array([2.0, 4.0]), np.array([1.0, 2.0]))
+        assert summary.errors == (pytest.approx(0.5), pytest.approx(0.5))
+
+    def test_named_summary(self):
+        summary = relative_errors(
+            np.array([[0.3, 0.8, 0.95]]),
+            np.array([[0.31, 0.81, 0.96]]),
+            names=("omega_m", "sigma_8", "n_s"),
+        )
+        d = summary.as_dict()
+        assert set(d) == {"omega_m", "sigma_8", "n_s"}
+        assert "omega_m" in str(summary)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_name_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.ones((1, 3)), np.ones((1, 3)), names=("a",))
+
+    def test_zero_estimate_raises(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.zeros((1, 1)), np.ones((1, 1)))
+
+    def test_paper_reference_values_recorded(self):
+        assert PAPER_REL_ERRORS["2048_node"]["omega_m"] == 0.0022
+        assert PAPER_REL_ERRORS["8192_node"]["n_s"] == 0.022
+        # 2048-node run is better converged than 8192 across the board
+        for key in PAPER_REL_ERRORS["2048_node"]:
+            assert PAPER_REL_ERRORS["2048_node"][key] < PAPER_REL_ERRORS["8192_node"][key]

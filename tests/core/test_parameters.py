@@ -1,0 +1,99 @@
+"""Tests for the cosmological parameter space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import (
+    PLANCK_BEST_FIT,
+    PLANCK_RANGES,
+    PLANCK_UNCERTAINTY,
+    ParameterSpace,
+)
+
+
+class TestRanges:
+    def test_paper_ranges(self):
+        assert PLANCK_RANGES["omega_m"] == (0.25, 0.35)
+        assert PLANCK_RANGES["sigma_8"] == (0.78, 0.95)
+        assert PLANCK_RANGES["n_s"] == (0.9, 1.0)
+
+    def test_best_fit_inside_ranges(self):
+        space = ParameterSpace()
+        theta = np.array([PLANCK_BEST_FIT[n] for n in space.names])
+        assert space.contains(theta)
+
+    def test_uncertainties_present(self):
+        assert set(PLANCK_UNCERTAINTY) == set(PLANCK_RANGES)
+
+
+class TestParameterSpace:
+    def test_names_ordered(self):
+        assert ParameterSpace().names == ("omega_m", "sigma_8", "n_s")
+
+    def test_sample_shape_and_bounds(self):
+        space = ParameterSpace()
+        theta = space.sample(100, rng=np.random.default_rng(0))
+        assert theta.shape == (100, 3)
+        assert np.all(space.contains(theta))
+
+    def test_sample_deterministic(self):
+        space = ParameterSpace()
+        a = space.sample(5, rng=np.random.default_rng(1))
+        b = space.sample(5, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_zero(self):
+        assert ParameterSpace().sample(0, rng=np.random.default_rng(0)).shape == (0, 3)
+
+    def test_sample_negative_raises(self):
+        with pytest.raises(ValueError):
+            ParameterSpace().sample(-1)
+
+    def test_normalize_bounds(self):
+        space = ParameterSpace()
+        np.testing.assert_allclose(space.normalize(space.lows), 0.0)
+        np.testing.assert_allclose(space.normalize(space.highs), 1.0)
+
+    def test_normalize_round_trip(self):
+        space = ParameterSpace()
+        theta = space.sample(20, rng=np.random.default_rng(2))
+        np.testing.assert_allclose(space.denormalize(space.normalize(theta)), theta)
+
+    def test_clip(self):
+        space = ParameterSpace()
+        theta = np.array([0.0, 2.0, 0.95])
+        clipped = space.clip(theta)
+        assert space.contains(clipped)
+        assert clipped[0] == 0.25 and clipped[1] == 0.95 and clipped[2] == 0.95
+
+    def test_contains_batch(self):
+        space = ParameterSpace()
+        batch = np.array([[0.3, 0.8, 0.95], [0.1, 0.8, 0.95]])
+        np.testing.assert_array_equal(space.contains(batch), [True, False])
+
+    def test_subset(self):
+        sub = ParameterSpace().subset(["omega_m", "sigma_8"])
+        assert sub.n_params == 2
+        assert sub.names == ("omega_m", "sigma_8")
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ParameterSpace().subset(["h0"])
+
+    def test_wrong_axis_raises(self):
+        with pytest.raises(ValueError):
+            ParameterSpace().normalize(np.zeros(2))
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            ParameterSpace({"x": (1.0, 1.0)})
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=20, deadline=None)
+    def test_property_normalize_in_unit_box(self, n, seed):
+        space = ParameterSpace()
+        theta = space.sample(n, rng=np.random.default_rng(seed))
+        unit = space.normalize(theta)
+        assert np.all(unit >= 0.0) and np.all(unit <= 1.0)

@@ -1,0 +1,242 @@
+"""Tests for the single-process trainer."""
+
+import numpy as np
+import pytest
+
+from repro.comm.plugin import MLPlugin
+from repro.comm.serial import SerialCommunicator
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import OptimizerConfig
+from repro.core.topology import tiny_16
+from repro.core.trainer import InMemoryData, Trainer, TrainerConfig, random_cube_symmetry
+
+
+def make_dataset(n=8, seed=0, size=16):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, size, size, size)).astype(np.float32)
+    y = rng.uniform(0.2, 0.8, size=(n, 3)).astype(np.float32)
+    return InMemoryData(x, y)
+
+
+class TestInMemoryData:
+    def test_len(self):
+        assert len(make_dataset(5)) == 5
+
+    def test_batches_cover_all(self):
+        data = make_dataset(7)
+        seen = sum(len(x) for x, _ in data.batches(2, shuffle=False))
+        assert seen == 7
+
+    def test_last_batch_short(self):
+        sizes = [len(x) for x, _ in make_dataset(7).batches(3, shuffle=False)]
+        assert sizes == [3, 3, 1]
+
+    def test_shuffle_deterministic(self):
+        data = make_dataset(8)
+        a = [y for _, y in data.batches(1, rng=np.random.default_rng(1))]
+        b = [y for _, y in data.batches(1, rng=np.random.default_rng(1))]
+        np.testing.assert_array_equal(np.concatenate(a), np.concatenate(b))
+
+    def test_no_shuffle_preserves_order(self):
+        data = make_dataset(4)
+        ys = np.concatenate([y for _, y in data.batches(1, shuffle=False)])
+        np.testing.assert_array_equal(ys, data.y)
+
+    def test_shard_partition(self):
+        data = make_dataset(10)
+        shards = [data.shard(r, 3) for r in range(3)]
+        assert sum(len(s) for s in shards) == 10
+        np.testing.assert_array_equal(shards[1].y, data.y[1::3])
+
+    def test_shard_bad_rank(self):
+        with pytest.raises(ValueError):
+            make_dataset(4).shard(3, 3)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            InMemoryData(np.zeros((2, 1, 4, 4, 4)), np.zeros((3, 3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            InMemoryData(np.zeros((0, 1, 4, 4, 4)), np.zeros((0, 3)))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(make_dataset(4).batches(0))
+
+
+class TestAugmentation:
+    def test_preserves_multiset_of_values(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((1, 4, 4, 4)).astype(np.float32)
+        out = random_cube_symmetry(v, np.random.default_rng(1))
+        assert out.shape == v.shape
+        np.testing.assert_allclose(np.sort(out.ravel()), np.sort(v.ravel()))
+
+    def test_identity_possible(self):
+        """Some draws are the identity transform."""
+        v = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        seen_identity = any(
+            np.array_equal(random_cube_symmetry(v, np.random.default_rng(s)), v)
+            for s in range(200)
+        )
+        assert seen_identity
+
+    def test_nontrivial_transforms_occur(self):
+        v = np.arange(27, dtype=np.float32).reshape(1, 3, 3, 3)
+        outs = {random_cube_symmetry(v, np.random.default_rng(s)).tobytes() for s in range(50)}
+        assert len(outs) > 5  # many distinct group elements sampled
+
+    def test_deterministic_given_rng(self):
+        v = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        a = random_cube_symmetry(v, np.random.default_rng(7))
+        b = random_cube_symmetry(v, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_channel_axis_untouched(self):
+        rng = np.random.default_rng(2)
+        v = rng.standard_normal((3, 2, 2, 2)).astype(np.float32)
+        out = random_cube_symmetry(v, np.random.default_rng(3))
+        # per-channel value multisets preserved -> channels not mixed
+        for c in range(3):
+            np.testing.assert_allclose(np.sort(out[c].ravel()), np.sort(v[c].ravel()))
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            random_cube_symmetry(np.zeros((2, 2, 2)), np.random.default_rng(0))
+
+    def test_dataset_augment_flag(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((4, 1, 3, 3, 3)).astype(np.float32)
+        y = rng.random((4, 3)).astype(np.float32)
+        plain = InMemoryData(x, y)
+        aug = InMemoryData(x, y, augment=True)
+        xp = np.concatenate([b for b, _ in plain.batches(1, shuffle=False)])
+        xa = np.concatenate([b for b, _ in aug.batches(1, rng=np.random.default_rng(5), shuffle=False)])
+        np.testing.assert_array_equal(xp, x)
+        assert not np.array_equal(xa, x)  # some volume transformed
+        # targets unchanged by augmentation
+        ya = np.concatenate([t for _, t in aug.batches(1, shuffle=False)])
+        np.testing.assert_array_equal(ya, y)
+
+    def test_shard_inherits_augment(self):
+        x = np.zeros((4, 1, 2, 2, 2), dtype=np.float32)
+        y = np.zeros((4, 3), dtype=np.float32)
+        assert InMemoryData(x, y, augment=True).shard(0, 2).augment
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        trainer = Trainer(
+            model,
+            make_dataset(8),
+            optimizer_config=OptimizerConfig(eta0=5e-3, decay_steps=100),
+            config=TrainerConfig(epochs=6, validate=False),
+        )
+        hist = trainer.run()
+        assert len(hist.train_loss) == 6
+        assert hist.train_loss[-1] < hist.train_loss[0]
+
+    def test_validation_tracked(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        trainer = Trainer(
+            model,
+            make_dataset(6),
+            val_data=make_dataset(4, seed=9),
+            config=TrainerConfig(epochs=2),
+        )
+        hist = trainer.run()
+        assert len(hist.val_loss) == 2
+        assert all(np.isfinite(v) for v in hist.val_loss)
+
+    def test_no_val_data_gives_nan(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        trainer = Trainer(model, make_dataset(4), config=TrainerConfig(epochs=1))
+        hist = trainer.run()
+        assert np.isnan(hist.val_loss[0])
+
+    def test_validate_without_data_raises(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        trainer = Trainer(model, make_dataset(4), config=TrainerConfig(epochs=1))
+        with pytest.raises(RuntimeError):
+            trainer.validate()
+
+    def test_stage_timer_populated(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        trainer = Trainer(model, make_dataset(4), config=TrainerConfig(epochs=1, validate=False))
+        trainer.run()
+        assert "compute" in trainer.timer.stages
+        assert "optimizer" in trainer.timer.stages
+        assert trainer.timer.stages["compute"].total > 0
+
+    def test_throughput(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        trainer = Trainer(model, make_dataset(4), config=TrainerConfig(epochs=1, validate=False))
+        assert trainer.throughput()["samples_per_sec"] == 0.0
+        trainer.run()
+        tp = trainer.throughput()
+        assert tp["samples_per_sec"] > 0
+        assert tp["flops_per_sec"] == pytest.approx(
+            tp["samples_per_sec"] * model.flops_per_sample()
+        )
+
+    def test_with_single_rank_plugin(self):
+        """Paper-style: plugin enabled even on a single node."""
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        plugin = MLPlugin(SerialCommunicator())
+        trainer = Trainer(
+            model,
+            make_dataset(4),
+            val_data=make_dataset(2, seed=5),
+            config=TrainerConfig(epochs=2),
+            plugin=plugin,
+        )
+        hist = trainer.run()
+        assert plugin.stats.calls == 8  # 4 samples x 2 epochs, batch 1
+        assert "comm" in trainer.timer.stages
+        assert len(hist.train_loss) == 2
+
+    def test_plugin_does_not_change_numerics(self):
+        """A single-rank plugin must be a numerical no-op."""
+        a = CosmoFlowModel(tiny_16(), seed=0)
+        b = CosmoFlowModel(tiny_16(), seed=0)
+        data = make_dataset(4)
+        cfg = TrainerConfig(epochs=2, validate=False, seed=11)
+        Trainer(a, data, config=cfg, optimizer_config=OptimizerConfig()).run()
+        Trainer(
+            b,
+            data,
+            config=cfg,
+            optimizer_config=OptimizerConfig(),
+            plugin=MLPlugin(SerialCommunicator()),
+        ).run()
+        np.testing.assert_allclose(
+            a.get_flat_parameters(), b.get_flat_parameters(), rtol=1e-6, atol=1e-7
+        )
+
+    def test_optimizer_and_config_conflict(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        from repro.core.optimizer import CosmoFlowOptimizer
+
+        opt = CosmoFlowOptimizer(model.parameter_arrays())
+        with pytest.raises(ValueError):
+            Trainer(model, make_dataset(4), optimizer=opt, optimizer_config=OptimizerConfig())
+
+    def test_history_lr_recorded(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        trainer = Trainer(
+            model,
+            make_dataset(4),
+            optimizer_config=OptimizerConfig(decay_steps=8),
+            config=TrainerConfig(epochs=2, validate=False),
+        )
+        hist = trainer.run()
+        assert hist.lr[0] == pytest.approx(2e-3)
+        assert hist.lr[1] < hist.lr[0]
+
+    def test_history_as_dict(self):
+        model = CosmoFlowModel(tiny_16(), seed=0)
+        trainer = Trainer(model, make_dataset(4), config=TrainerConfig(epochs=1, validate=False))
+        d = trainer.run().as_dict()
+        assert set(d) == {"train_loss", "val_loss", "epoch_time", "lr"}

@@ -1,0 +1,111 @@
+"""Tests for the friends-of-friends halo finder and mass function."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.dataset_builder import SimulationConfig, run_simulation
+from repro.cosmo.halos import HaloCatalog, fof_halos, halo_mass_function
+
+
+class TestFofBasics:
+    def test_empty(self):
+        cat = fof_halos(np.zeros((0, 3)), 10.0)
+        assert cat.n_halos == 0 and cat.n_particles == 0
+
+    def test_single_clump_found(self):
+        rng = np.random.default_rng(0)
+        clump = 5.0 + 0.01 * rng.standard_normal((20, 3))
+        cat = fof_halos(clump, 10.0, mean_separation=1.0, min_particles=8)
+        assert cat.n_halos == 1
+        assert cat.sizes[0] == 20
+        np.testing.assert_allclose(cat.centers[0], 5.0, atol=0.05)
+
+    def test_two_separated_clumps(self):
+        rng = np.random.default_rng(1)
+        a = 2.0 + 0.01 * rng.standard_normal((12, 3))
+        b = 8.0 + 0.01 * rng.standard_normal((10, 3))
+        cat = fof_halos(np.vstack([a, b]), 10.0, mean_separation=1.0)
+        assert cat.n_halos == 2
+        assert list(cat.sizes) == [12, 10]  # descending
+
+    def test_distant_particles_not_linked(self):
+        pos = np.array([[1.0, 1.0, 1.0], [5.0, 5.0, 5.0]])
+        cat = fof_halos(pos, 10.0, mean_separation=1.0, min_particles=1)
+        assert cat.n_halos == 2
+
+    def test_chain_linking_is_transitive(self):
+        """FoF links chains: a-b close, b-c close -> one group."""
+        pos = np.array([[1.0, 1, 1], [1.15, 1, 1], [1.3, 1, 1]])
+        cat = fof_halos(pos, 10.0, mean_separation=1.0, min_particles=1)
+        assert cat.n_halos == 1
+        assert cat.sizes[0] == 3
+
+    def test_periodic_wrapping_links_across_boundary(self):
+        pos = np.array([[0.05, 5.0, 5.0], [9.95, 5.0, 5.0]])
+        cat = fof_halos(pos, 10.0, mean_separation=1.0, min_particles=1)
+        assert cat.n_halos == 1
+        # periodic center of mass sits at the boundary, not mid-box
+        assert min(cat.centers[0][0], 10.0 - cat.centers[0][0]) < 0.2
+
+    def test_min_particles_filter(self):
+        rng = np.random.default_rng(2)
+        clump = 5.0 + 0.01 * rng.standard_normal((5, 3))
+        cat = fof_halos(clump, 10.0, mean_separation=1.0, min_particles=8)
+        assert cat.n_halos == 0
+
+    def test_masses(self):
+        cat = HaloCatalog(
+            sizes=np.array([10, 5]), centers=np.zeros((2, 3)),
+            linking_length=0.2, n_particles=100,
+        )
+        np.testing.assert_allclose(cat.masses(2.0), [20.0, 10.0])
+        with pytest.raises(ValueError):
+            cat.masses(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fof_halos(np.zeros((3, 2)), 10.0)
+        with pytest.raises(ValueError):
+            fof_halos(np.zeros((3, 3)), -1.0)
+        with pytest.raises(ValueError):
+            fof_halos(np.zeros((3, 3)), 10.0, linking=1.5)
+        with pytest.raises(ValueError):
+            fof_halos(np.array([[11.0, 1, 1]]), 10.0)
+
+
+class TestOnSimulations:
+    @pytest.fixture(scope="class")
+    def sims(self):
+        cfg = SimulationConfig(particle_grid=24, histogram_grid=24, box_size=48.0)
+        lo = run_simulation((0.31, 0.70, 0.96), cfg, seed=0)
+        hi = run_simulation((0.31, 1.05, 0.96), cfg, seed=0)
+        return cfg, lo, hi
+
+    def test_evolved_field_has_halos(self, sims):
+        cfg, _, hi = sims
+        cat = fof_halos(hi, cfg.box_size)
+        assert cat.n_halos > 0
+        assert cat.sizes[0] >= 8
+
+    def test_sigma8_increases_halo_abundance(self, sims):
+        """The defining cosmological sensitivity: higher amplitude
+        collapses more (and more massive) halos."""
+        cfg, lo, hi = sims
+        cat_lo = fof_halos(lo, cfg.box_size)
+        cat_hi = fof_halos(hi, cfg.box_size)
+        mass_lo = cat_lo.sizes.sum() if cat_lo.n_halos else 0
+        mass_hi = cat_hi.sizes.sum()
+        assert mass_hi > mass_lo
+
+    def test_mass_function_decreasing(self, sims):
+        cfg, _, hi = sims
+        cat = fof_halos(hi, cfg.box_size)
+        thresholds, n_gt = halo_mass_function(cat, cfg.box_size)
+        assert np.all(np.diff(n_gt) <= 1e-12)  # cumulative: nonincreasing
+        assert n_gt[0] > 0
+
+    def test_mass_function_validation(self, sims):
+        cfg, _, hi = sims
+        cat = fof_halos(hi, cfg.box_size)
+        with pytest.raises(ValueError):
+            halo_mass_function(cat, -1.0)

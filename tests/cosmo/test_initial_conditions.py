@@ -1,0 +1,89 @@
+"""Tests for Gaussian random-field initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.initial_conditions import fourier_grid, gaussian_random_field
+from repro.cosmo.power_spectrum import PowerSpectrum
+from repro.cosmo.statistics import measure_power_spectrum
+
+
+class TestFourierGrid:
+    def test_shapes_broadcast(self):
+        kx, ky, kz, k = fourier_grid(8, 100.0)
+        assert kx.shape == (8, 1, 1) and ky.shape == (1, 8, 1) and kz.shape == (1, 1, 8)
+        assert k.shape == (8, 8, 8)
+
+    def test_fundamental_mode(self):
+        kx, _, _, _ = fourier_grid(8, 100.0)
+        assert kx[1, 0, 0] == pytest.approx(2 * np.pi / 100.0)
+
+    def test_nyquist(self):
+        kx, _, _, _ = fourier_grid(8, 100.0)
+        assert np.abs(kx).max() == pytest.approx(np.pi * 8 / 100.0)
+
+    def test_zero_mode_at_origin(self):
+        _, _, _, k = fourier_grid(8, 100.0)
+        assert k[0, 0, 0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fourier_grid(1, 100.0)
+        with pytest.raises(ValueError):
+            fourier_grid(8, 0.0)
+
+
+class TestGaussianRandomField:
+    def test_shape_and_realness(self):
+        delta = gaussian_random_field(16, 64.0, PowerSpectrum(), rng=0)
+        assert delta.shape == (16, 16, 16)
+        assert np.isrealobj(delta)
+
+    def test_zero_mean_exact(self):
+        delta = gaussian_random_field(16, 64.0, PowerSpectrum(), rng=1)
+        assert abs(delta.mean()) < 1e-12
+
+    def test_deterministic(self):
+        a = gaussian_random_field(8, 64.0, PowerSpectrum(), rng=2)
+        b = gaussian_random_field(8, 64.0, PowerSpectrum(), rng=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = gaussian_random_field(8, 64.0, PowerSpectrum(), rng=1)
+        b = gaussian_random_field(8, 64.0, PowerSpectrum(), rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_return_fourier_consistent(self):
+        delta, delta_k = gaussian_random_field(
+            8, 64.0, PowerSpectrum(), rng=3, return_fourier=True
+        )
+        np.testing.assert_allclose(np.fft.ifftn(delta_k).real, delta, atol=1e-12)
+
+    def test_power_spectrum_round_trip(self):
+        """The generated field's measured P(k) matches the input P(k)
+        (averaged over realizations, within sample variance)."""
+        ps = PowerSpectrum()
+        n, box = 32, 128.0
+        ratios = []
+        for seed in range(6):
+            delta = gaussian_random_field(n, box, ps, rng=seed)
+            k, p = measure_power_spectrum(delta, box, n_bins=8)
+            mask = np.isfinite(p) & (k > 2 * 2 * np.pi / box)
+            ratios.append(p[mask] / ps(k[mask]))
+        mean_ratio = np.mean(ratios, axis=0)
+        np.testing.assert_allclose(mean_ratio, 1.0, atol=0.35)
+
+    def test_higher_sigma8_higher_variance(self):
+        lo = gaussian_random_field(16, 64.0, PowerSpectrum(sigma_8=0.78), rng=5)
+        hi = gaussian_random_field(16, 64.0, PowerSpectrum(sigma_8=0.95), rng=5)
+        assert hi.std() > lo.std()
+        # same white noise: fields are proportional
+        assert hi.std() / lo.std() == pytest.approx(0.95 / 0.78, rel=1e-6)
+
+    def test_amplitude_scales_with_box_discretization(self):
+        """Variance grows as resolution increases (more small-scale
+        power enters the grid) — a sanity property of the convention."""
+        ps = PowerSpectrum()
+        coarse = gaussian_random_field(8, 64.0, ps, rng=7).std()
+        fine = gaussian_random_field(32, 64.0, ps, rng=7).std()
+        assert fine > coarse

@@ -1,0 +1,72 @@
+"""Tests for the two-point correlation function."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.initial_conditions import gaussian_random_field
+from repro.cosmo.power_spectrum import PowerSpectrum
+from repro.cosmo.statistics import two_point_correlation
+
+
+class TestTwoPointCorrelation:
+    def test_output_shapes(self):
+        delta = np.zeros((16, 16, 16))
+        r, xi = two_point_correlation(delta, 64.0, n_bins=8)
+        assert r.shape == (8,) and xi.shape == (8,)
+        assert r[0] >= 0 and r[-1] <= 32.0
+
+    def test_zero_field(self):
+        _, xi = two_point_correlation(np.zeros((8, 8, 8)), 32.0)
+        finite = xi[np.isfinite(xi)]
+        np.testing.assert_allclose(finite, 0.0, atol=1e-12)
+
+    def test_xi0_equals_variance(self):
+        """ξ(r→0) is the field variance (the first bin contains r=0)."""
+        rng = np.random.default_rng(0)
+        delta = rng.standard_normal((16, 16, 16))
+        delta -= delta.mean()
+        r, xi = two_point_correlation(delta, 16.0, n_bins=16)
+        # first bin is dominated by the r=0 self-pair on a 1-cell grid
+        assert xi[0] == pytest.approx(delta.var(), rel=0.05)
+
+    def test_white_noise_uncorrelated_at_large_r(self):
+        rng = np.random.default_rng(1)
+        delta = rng.standard_normal((16, 16, 16))
+        delta -= delta.mean()
+        _, xi = two_point_correlation(delta, 16.0, n_bins=8)
+        assert abs(xi[-1]) < 0.05 * delta.var()
+
+    def test_correlated_field_decays(self):
+        """A GRF with red spectrum: ξ positive at small r, decaying."""
+        delta = gaussian_random_field(32, 128.0, PowerSpectrum(), rng=2)
+        r, xi = two_point_correlation(delta, 128.0, n_bins=12)
+        finite = xi[np.isfinite(xi)]
+        assert finite[0] > 0
+        assert finite[0] > abs(finite[-1])
+
+    def test_quadratic_scaling(self):
+        rng = np.random.default_rng(3)
+        delta = rng.standard_normal((8, 8, 8))
+        _, x1 = two_point_correlation(delta, 8.0)
+        _, x2 = two_point_correlation(3.0 * delta, 8.0)
+        mask = np.isfinite(x1)
+        np.testing.assert_allclose(x2[mask], 9.0 * x1[mask], rtol=1e-9)
+
+    def test_fourier_pair_with_power_spectrum(self):
+        """ξ(0) equals the integral of the measured power spectrum
+        (Parseval) — the defining Fourier-pair relation."""
+        rng = np.random.default_rng(4)
+        n, box = 16, 32.0
+        delta = rng.standard_normal((n, n, n))
+        delta -= delta.mean()
+        # direct Parseval check against the unbinned power
+        power = np.abs(np.fft.fftn(delta)) ** 2
+        variance_from_power = power.sum() / n**6
+        _, xi = two_point_correlation(delta, box, n_bins=32)
+        assert xi[0] == pytest.approx(variance_from_power, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_point_correlation(np.zeros((4, 4, 8)), 8.0)
+        with pytest.raises(ValueError):
+            two_point_correlation(np.zeros((4, 4, 4)), 8.0, n_bins=0)

@@ -1,0 +1,59 @@
+"""Shared finite-difference gradient checking utilities for tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f()`` w.r.t. ``x``.
+
+    ``f`` must read the *current* contents of ``x`` (mutated in place).
+    """
+    g = np.zeros(x.shape, dtype=np.float64)
+    flat_x = x.reshape(-1)
+    flat_g = g.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        fp = float(f())
+        flat_x[i] = orig - eps
+        fm = float(f())
+        flat_x[i] = orig
+        flat_g[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+def check_grads(build, arrays: dict[str, np.ndarray], rtol=1e-4, atol=1e-5, eps=1e-4):
+    """Check autograd gradients of a scalar expression against finite
+    differences.
+
+    Parameters
+    ----------
+    build
+        Callable taking ``dict[str, Tensor]`` and returning a scalar
+        :class:`Tensor`.
+    arrays
+        Named float64 input arrays; each is treated as requiring grad.
+    """
+    tensors = {k: Tensor(v.copy(), requires_grad=True) for k, v in arrays.items()}
+    out = build(tensors)
+    out.backward()
+    for name, base in arrays.items():
+        work = base.copy()
+
+        def f(name=name, work=work):
+            probe = {
+                k: Tensor(work if k == name else arrays[k], requires_grad=False)
+                for k in arrays
+            }
+            return build(probe).item()
+
+        want = numerical_grad(f, work, eps)
+        got = tensors[name].grad
+        assert got is not None, f"no gradient for {name}"
+        np.testing.assert_allclose(
+            got, want, rtol=rtol, atol=atol, err_msg=f"gradient mismatch for {name}"
+        )

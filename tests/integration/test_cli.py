@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("simulate", "train", "predict", "topology", "scaling"):
+            args = {
+                "simulate": ["simulate", "--out", "x"],
+                "train": ["train", "--data", "x"],
+                "predict": ["predict", "--data", "x", "--checkpoint", "y"],
+                "topology": ["topology"],
+                "scaling": ["scaling"],
+            }[cmd]
+            parsed = parser.parse_args(args)
+            assert parsed.command == cmd
+
+
+class TestCommands:
+    def test_topology(self, capsys):
+        assert main(["topology", "tiny_16"]) == 0
+        out = capsys.readouterr().out
+        assert "69,763 parameters" in out
+
+    def test_topology_default_is_paper(self, capsys):
+        assert main(["topology"]) == 0
+        assert "7,081,523" in capsys.readouterr().out
+
+    def test_topology_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "resnet50"])
+
+    def test_scaling_table(self, capsys):
+        assert main(["scaling", "--machine", "cori_bb", "--max-nodes", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "256" in out and "efficiency" in out
+
+    @pytest.mark.slow
+    def test_full_workflow(self, tmp_path, capsys):
+        """simulate -> train -> predict through the CLI."""
+        ds = tmp_path / "ds"
+        ckpt = tmp_path / "model"
+        assert (
+            main(
+                [
+                    "simulate", "--out", str(ds), "--sims", "8",
+                    "--particle-grid", "32", "--histogram-grid", "32",
+                    "--box-size", "64",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "train", "--data", str(ds), "--epochs", "2",
+                    "--checkpoint", str(ckpt),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "epoch 2" in out and "checkpoint" in out
+        assert main(["predict", "--data", str(ds), "--checkpoint", str(ckpt) + ".npz"]) == 0
+        out = capsys.readouterr().out
+        assert "relative errors" in out
+
+    @pytest.mark.slow
+    def test_train_preset_mismatch(self, tmp_path):
+        ds = tmp_path / "small"
+        main(
+            [
+                "simulate", "--out", str(ds), "--sims", "4",
+                "--particle-grid", "16", "--histogram-grid", "16",
+                "--box-size", "32",
+            ]
+        )
+        with pytest.raises(SystemExit, match="expects"):
+            main(["train", "--data", str(ds), "--preset", "tiny_16", "--epochs", "1"])

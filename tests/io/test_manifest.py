@@ -1,0 +1,73 @@
+"""Tests for dataset directories with manifests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cosmo.dataset_builder import SimulationConfig
+from repro.io.manifest import (
+    MANIFEST_NAME,
+    load_simulation_dataset,
+    write_simulation_dataset,
+)
+
+SMALL = SimulationConfig(particle_grid=16, histogram_grid=16, box_size=32.0)
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = write_simulation_dataset(
+            tmp_path / "ds", n_sims=10, config=SMALL, seed=3, samples_per_file=16
+        )
+        assert path.name == MANIFEST_NAME
+        manifest, datasets = load_simulation_dataset(tmp_path / "ds")
+        assert manifest["n_sims"] == 10
+        assert manifest["seed"] == 3
+        assert manifest["subvolume_size"] == 8
+        assert set(datasets) == {"train", "val", "test"}
+        total = sum(len(d) for d in datasets.values())
+        assert total == 10 * 8
+
+    def test_split_counts_match_manifest(self, tmp_path):
+        write_simulation_dataset(tmp_path, n_sims=10, config=SMALL, seed=0)
+        manifest, datasets = load_simulation_dataset(tmp_path)
+        for name, ds in datasets.items():
+            assert manifest["splits"][name] == len(ds)
+
+    def test_simulation_config_recorded(self, tmp_path):
+        write_simulation_dataset(tmp_path, n_sims=4, config=SMALL, seed=0)
+        manifest, _ = load_simulation_dataset(tmp_path)
+        assert manifest["simulation"]["particle_grid"] == 16
+        assert manifest["simulation"]["box_size"] == 32.0
+
+    def test_samples_readable_and_shaped(self, tmp_path):
+        write_simulation_dataset(tmp_path, n_sims=5, config=SMALL, seed=1)
+        _, datasets = load_simulation_dataset(tmp_path)
+        x, y = datasets["test"].to_arrays()
+        assert x.shape[1:] == (1, 8, 8, 8)
+        assert y.shape[1] == 3
+        assert np.all((y >= 0) & (y <= 1))
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_simulation_dataset(tmp_path)
+
+    def test_bad_version_raises(self, tmp_path):
+        write_simulation_dataset(tmp_path, n_sims=4, config=SMALL, seed=0)
+        manifest_path = tmp_path / MANIFEST_NAME
+        data = json.loads(manifest_path.read_text())
+        data["format_version"] = 99
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="version"):
+            load_simulation_dataset(tmp_path)
+
+    def test_deterministic_given_seed(self, tmp_path):
+        write_simulation_dataset(tmp_path / "a", n_sims=4, config=SMALL, seed=7)
+        write_simulation_dataset(tmp_path / "b", n_sims=4, config=SMALL, seed=7)
+        _, da = load_simulation_dataset(tmp_path / "a")
+        _, db = load_simulation_dataset(tmp_path / "b")
+        xa, ya = da["test"].to_arrays()
+        xb, yb = db["test"].to_arrays()
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, yb)

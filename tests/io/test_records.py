@@ -1,0 +1,165 @@
+"""Tests for the TFRecord-style framing and sample encoding."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.records import (
+    RecordCorruptionError,
+    RecordReader,
+    RecordWriter,
+    decode_sample,
+    encode_sample,
+    masked_crc32,
+    read_record_file,
+    write_record_file,
+)
+
+
+def sample(seed=0, size=4, n_params=3):
+    rng = np.random.default_rng(seed)
+    vol = rng.standard_normal((size, size, size)).astype(np.float32)
+    tgt = rng.random(n_params).astype(np.float32)
+    return vol, tgt
+
+
+class TestMaskedCRC:
+    def test_deterministic(self):
+        assert masked_crc32(b"hello") == masked_crc32(b"hello")
+
+    def test_sensitive_to_content(self):
+        assert masked_crc32(b"hello") != masked_crc32(b"hellp")
+
+    def test_uint32_range(self):
+        for data in (b"", b"x", b"a" * 1000):
+            assert 0 <= masked_crc32(data) < 2**32
+
+
+class TestSampleEncoding:
+    def test_round_trip_3d(self):
+        vol, tgt = sample()
+        v2, t2 = decode_sample(encode_sample(vol, tgt))
+        np.testing.assert_array_equal(v2, vol)
+        np.testing.assert_array_equal(t2, tgt)
+
+    def test_round_trip_4d(self):
+        vol = np.random.default_rng(1).standard_normal((2, 3, 3, 3)).astype(np.float32)
+        tgt = np.array([0.5], dtype=np.float32)
+        v2, t2 = decode_sample(encode_sample(vol, tgt))
+        np.testing.assert_array_equal(v2, vol)
+
+    def test_dtype_coerced(self):
+        vol = np.zeros((2, 2, 2), dtype=np.float64)
+        tgt = np.zeros(3, dtype=np.float64)
+        v2, t2 = decode_sample(encode_sample(vol, tgt))
+        assert v2.dtype == np.float32 and t2.dtype == np.float32
+
+    def test_bad_volume_rank(self):
+        with pytest.raises(ValueError):
+            encode_sample(np.zeros((2, 2)), np.zeros(3))
+
+    def test_bad_target_rank(self):
+        with pytest.raises(ValueError):
+            encode_sample(np.zeros((2, 2, 2)), np.zeros((3, 1)))
+
+    def test_bad_magic(self):
+        with pytest.raises(RecordCorruptionError):
+            decode_sample(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated_payload(self):
+        payload = encode_sample(*sample())
+        with pytest.raises(RecordCorruptionError):
+            decode_sample(payload[:-4])
+
+    @given(
+        size=st.integers(min_value=1, max_value=8),
+        n_params=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip(self, size, n_params, seed):
+        vol, tgt = sample(seed, size, n_params)
+        v2, t2 = decode_sample(encode_sample(vol, tgt))
+        np.testing.assert_array_equal(v2, vol)
+        np.testing.assert_array_equal(t2, tgt)
+
+
+class TestRecordFiles:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "test.rec"
+        vols = [sample(i)[0] for i in range(5)]
+        tgts = [sample(i)[1] for i in range(5)]
+        assert write_record_file(path, vols, tgts) == 5
+        out = read_record_file(path)
+        assert len(out) == 5
+        for (v, t), vo, to in zip(out, vols, tgts):
+            np.testing.assert_array_equal(v, vo)
+            np.testing.assert_array_equal(t, to)
+
+    def test_empty_file_iterates_empty(self, tmp_path):
+        path = tmp_path / "empty.rec"
+        with RecordWriter(path):
+            pass
+        assert read_record_file(path) == []
+
+    def test_mismatched_lengths_raise(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_record_file(tmp_path / "x.rec", [np.zeros((2, 2, 2))], [])
+
+    def test_corrupted_payload_detected(self, tmp_path):
+        path = tmp_path / "corrupt.rec"
+        write_record_file(path, [sample()[0]], [sample()[1]])
+        data = bytearray(path.read_bytes())
+        data[30] ^= 0xFF  # flip a payload byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(RecordCorruptionError, match="CRC"):
+            read_record_file(path)
+
+    def test_corrupted_length_detected(self, tmp_path):
+        path = tmp_path / "corrupt2.rec"
+        write_record_file(path, [sample()[0]], [sample()[1]])
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0x01  # flip a length byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(RecordCorruptionError):
+            read_record_file(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "trunc.rec"
+        write_record_file(path, [sample()[0]], [sample()[1]])
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(RecordCorruptionError, match="truncated"):
+            read_record_file(path)
+
+    def test_verification_can_be_disabled(self, tmp_path):
+        path = tmp_path / "noverify.rec"
+        write_record_file(path, [sample()[0]], [sample()[1]])
+        data = bytearray(path.read_bytes())
+        # corrupt the payload CRC itself (not the payload)
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert len(list(RecordReader(path, verify=False))) == 1
+        with pytest.raises(RecordCorruptionError):
+            list(RecordReader(path, verify=True))
+
+    def test_framing_layout(self, tmp_path):
+        """First 8 bytes are the little-endian payload length."""
+        path = tmp_path / "layout.rec"
+        payload = encode_sample(*sample())
+        with RecordWriter(path) as w:
+            w.write(payload)
+        raw = path.read_bytes()
+        (length,) = struct.unpack("<Q", raw[:8])
+        assert length == len(payload)
+        assert len(raw) == 8 + 4 + length + 4
+
+    def test_writer_context_manager_closes(self, tmp_path):
+        path = tmp_path / "cm.rec"
+        with RecordWriter(path) as w:
+            w.write_sample(*sample())
+        assert w._fh.closed
+        assert w.records_written == 1

@@ -1,0 +1,162 @@
+"""Tests for the assembled cluster model — including the checks against
+every published number of the paper's Sections V-C, V-D and VI."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.cluster import (
+    ClusterModel,
+    FullScaleRun,
+    cori_datawarp_machine,
+    cori_lustre_machine,
+    pizdaint_lustre_machine,
+)
+
+
+@pytest.fixture
+def bb():
+    return cori_datawarp_machine(straggler_exposure=0.0)
+
+
+@pytest.fixture
+def lustre():
+    return cori_lustre_machine(straggler_exposure=0.0)
+
+
+@pytest.fixture
+def pizdaint():
+    return pizdaint_lustre_machine(straggler_exposure=0.0)
+
+
+class TestPaperStepTimes:
+    def test_single_node_129ms(self, bb):
+        assert bb.step_time_s(1) == pytest.approx(0.1296, rel=0.01)
+
+    def test_1024_nodes_162ms(self, bb):
+        """Paper: 'At 1024 nodes, each node achieves 6.19 samples/sec or
+        a step time of 162 ms.'"""
+        assert bb.step_time_s(1024) == pytest.approx(0.162, rel=0.02)
+
+    def test_8192_nodes_168ms(self, bb):
+        """Paper: 'Each node for the 8192 node job achieved 5.96
+        samples/sec or a step time of 168 ms.'"""
+        assert bb.step_time_s(8192) == pytest.approx(0.168, rel=0.02)
+
+    def test_lustre_128_nodes_179ms(self, lustre):
+        """Paper: 'The step time at 128 nodes is 150 ms using DataWarp
+        and 179 ms using Lustre.'"""
+        assert lustre.step_time_s(128) == pytest.approx(0.179, rel=0.02)
+
+    def test_bb_beats_lustre_at_128_by_16pct(self, bb, lustre):
+        """Paper: 'absolute performance is 16% better using DataWarp at
+        128 MPI ranks'."""
+        gain = lustre.step_time_s(128) / bb.step_time_s(128) - 1.0
+        assert 0.10 < gain < 0.22
+
+
+class TestPaperScaling:
+    def test_bb_77pct_at_8192(self, bb):
+        assert bb.efficiency(8192) == pytest.approx(0.77, abs=0.02)
+
+    def test_bb_speedup_6324x(self, bb):
+        """Paper: '77% parallel efficiency relative to a single node
+        (6324X speedup)'."""
+        assert bb.speedup(8192) == pytest.approx(6324, rel=0.03)
+
+    def test_sustained_3_5_pflops(self, bb):
+        """Paper: 'slightly over 3.5 Pflop/s'. Our model gives 3.35-3.5
+        (the paper's own numbers are not perfectly consistent:
+        8192 x 69.33 Gflop / 0.168 s = 3.38 Pflop/s)."""
+        assert bb.sustained_flops(8192) / 1e15 == pytest.approx(3.4, abs=0.15)
+
+    def test_lustre_knee_at_1024(self, lustre):
+        """Paper: 'efficiency dropping to less than 58% at 1024 nodes'."""
+        assert lustre.efficiency(1024) == pytest.approx(0.58, abs=0.02)
+        assert lustre.efficiency(512) > lustre.efficiency(1024)
+
+    def test_lustre_poor_beyond_512(self, lustre, bb):
+        for n in (1024, 2048):
+            assert lustre.efficiency(n) < bb.efficiency(n) - 0.15
+
+    def test_pizdaint_44pct_at_512(self, pizdaint):
+        """Paper: 'the scaling efficiency drops to 44% at 512 node
+        count' on Piz Daint Lustre."""
+        assert pizdaint.efficiency(512) == pytest.approx(0.44, abs=0.03)
+
+    def test_dummy_data_removes_io_bottleneck(self):
+        """Paper's diagnostic: 'tests with dummy data ... suggest that
+        I/O causes significant scaling drop'."""
+        lustre = cori_lustre_machine(straggler_exposure=0.0)
+        dummy = cori_lustre_machine(straggler_exposure=0.0, filesystem=None)
+        assert dummy.efficiency(1024) > lustre.efficiency(1024) + 0.15
+
+    def test_efficiency_monotone_decreasing(self, bb):
+        effs = [bb.efficiency(n) for n in (1, 64, 512, 4096, 8192)]
+        assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+
+
+class TestFullScaleRun:
+    def test_flagship_run_numbers(self):
+        """Section V-D: 3.35 +- 0.32 s epochs, ~8 min training, 77%."""
+        run = FullScaleRun(cori_datawarp_machine(), seed=1).run()
+        assert run.mean_epoch_s == pytest.approx(3.35, rel=0.08)
+        assert 0.1 < run.std_epoch_s < 0.6
+        assert run.training_time_s / 60 == pytest.approx(8.0, rel=0.15)
+        assert run.parallel_efficiency == pytest.approx(0.77, abs=0.03)
+        assert run.sustained_pflops == pytest.approx(3.4, abs=0.2)
+
+    def test_epoch_count(self):
+        run = FullScaleRun(cori_datawarp_machine(), epochs=10, seed=0).run()
+        assert len(run.epoch_times) == 10
+
+
+class TestModelMechanics:
+    def test_io_stall_zero_when_fast(self, bb):
+        assert bb.io_stall_s(1) == 0.0
+        assert bb.io_stall_s(8192) == 0.0
+
+    def test_io_stall_positive_when_slow(self, lustre):
+        assert lustre.io_stall_s(1024) > 0.0
+
+    def test_dummy_data_no_read_time(self):
+        m = cori_lustre_machine(filesystem=None)
+        assert m.io_read_time_s(1024) == 0.0
+
+    def test_straggler_increases_compute(self):
+        base = cori_datawarp_machine(straggler_exposure=0.0)
+        strag = cori_datawarp_machine(straggler_exposure=1.0)
+        assert strag.compute_time_s(8192) > base.compute_time_s(8192)
+        assert strag.compute_time_s(1) == pytest.approx(base.compute_time_s(1))
+
+    def test_steps_per_epoch(self, bb):
+        assert bb.steps_per_epoch(8192, 8192 * 20) == 20
+
+    def test_steps_per_epoch_too_few_samples(self, bb):
+        with pytest.raises(ValueError):
+            bb.steps_per_epoch(100, 50)
+
+    def test_epoch_noise_sampling(self, bb):
+        rng = np.random.default_rng(0)
+        times = {bb.epoch_time_s(8192, 8192 * 20, rng=rng) for _ in range(5)}
+        assert len(times) == 5
+
+    def test_sweep_rows(self, bb):
+        points = bb.sweep([1, 16, 64])
+        assert [p.n_nodes for p in points] == [1, 16, 64]
+        assert points[0].efficiency == pytest.approx(1.0)
+        for p in points:
+            assert p.step_time_s > 0 and p.sustained_flops > 0
+
+    def test_validation(self, bb):
+        with pytest.raises(ValueError):
+            bb.step_time_s(0)
+        with pytest.raises(ValueError):
+            ClusterModel(
+                node=bb.node, interconnect=bb.interconnect, flops_per_sample=-1.0
+            )
+        with pytest.raises(ValueError):
+            ClusterModel(node=bb.node, interconnect=bb.interconnect, batch_per_node=0)
+        with pytest.raises(ValueError):
+            ClusterModel(
+                node=bb.node, interconnect=bb.interconnect, straggler_exposure=2.0
+            )

@@ -1,0 +1,107 @@
+"""Tests for the node and interconnect models."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.interconnect import PAPER_COMM, InterconnectSpec, aries_plugin
+from repro.perfmodel.node import NodeSpec, knl_node, p100_node
+
+
+class TestNodeSpec:
+    def test_knl_step_time_matches_paper(self):
+        """535 Gflop/s on 69.33 Gflop -> the paper's 129 ms step."""
+        t = knl_node().step_compute_time(69.33e9)
+        assert t == pytest.approx(0.1296, rel=0.01)
+
+    def test_knl_samples_per_sec(self):
+        """Paper: 'A single node ... achieves 7.72 samples/sec'."""
+        sps = 1.0 / knl_node().step_compute_time(69.33e9)
+        assert sps == pytest.approx(7.72, rel=0.01)
+
+    def test_p100_step_time(self):
+        """388 Gflop/s -> ~179 ms per sample on Piz Daint."""
+        t = p100_node().step_compute_time(69.33e9)
+        assert t == pytest.approx(0.1787, rel=0.01)
+
+    def test_compute_efficiency_below_peak(self):
+        for node in (knl_node(), p100_node()):
+            assert 0.0 < node.compute_efficiency < 0.2
+
+    def test_batch_scales_linearly(self):
+        n = knl_node()
+        assert n.step_compute_time(1e9, batch_size=4) == pytest.approx(
+            4 * n.step_compute_time(1e9)
+        )
+
+    def test_jitter_sampling(self):
+        node = NodeSpec("t", 1e9, 1e10, jitter_sigma=0.1)
+        rng = np.random.default_rng(0)
+        times = [node.sample_compute_time(1e9, rng=rng) for _ in range(200)]
+        assert np.mean(times) == pytest.approx(1.0, rel=0.05)
+        assert np.std(times) > 0.01
+
+    def test_zero_jitter_deterministic(self):
+        node = NodeSpec("t", 1e9, 1e10, jitter_sigma=0.0)
+        assert node.sample_compute_time(1e9) == node.step_compute_time(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec("t", 0.0, 1e10)
+        with pytest.raises(ValueError):
+            NodeSpec("t", 1e12, 1e10)  # sustained > peak
+        with pytest.raises(ValueError):
+            NodeSpec("t", 1e9, 1e10, jitter_sigma=-0.1)
+        with pytest.raises(ValueError):
+            knl_node().step_compute_time(0.0)
+        with pytest.raises(ValueError):
+            knl_node().step_compute_time(1e9, batch_size=0)
+
+
+class TestInterconnect:
+    def test_calibration_points(self):
+        """The model passes exactly through the paper's two measured
+        bandwidths."""
+        ic = aries_plugin()
+        assert ic.bandwidth_Bps(1024) == pytest.approx(1.7e9, rel=1e-6)
+        assert ic.bandwidth_Bps(8192) == pytest.approx(1.42e9, rel=1e-6)
+
+    def test_allreduce_latency_at_1024(self):
+        """Paper: 'the latency from gradient aggregation is 33 ms' at
+        1024 nodes for the 28.15 MB model."""
+        t = aries_plugin().allreduce_time_s(1024, PAPER_COMM["model_bytes"])
+        assert t == pytest.approx(0.033, rel=0.02)
+
+    def test_allreduce_at_8192(self):
+        """2 x 28.15 MB / 1.42 GB/s ~ 39.6 ms."""
+        t = aries_plugin().allreduce_time_s(8192, PAPER_COMM["model_bytes"])
+        assert t == pytest.approx(0.0396, rel=0.03)
+
+    def test_single_rank_free(self):
+        assert aries_plugin().allreduce_time_s(1, 28.15e6) == 0.0
+
+    def test_bandwidth_capped_at_peak(self):
+        ic = aries_plugin()
+        assert ic.bandwidth_Bps(2) <= ic.peak_bandwidth_Bps
+
+    def test_bandwidth_decays_with_scale(self):
+        ic = aries_plugin()
+        assert ic.bandwidth_Bps(256) > ic.bandwidth_Bps(4096)
+
+    def test_helper_threads_scale_bandwidth(self):
+        base = aries_plugin().bandwidth_Bps(1024)
+        doubled = aries_plugin(helper_thread_scale=2.0).bandwidth_Bps(1024)
+        assert doubled == pytest.approx(2 * base, rel=1e-6)
+
+    def test_time_monotone_in_message(self):
+        ic = aries_plugin()
+        assert ic.allreduce_time_s(1024, 1e6) < ic.allreduce_time_s(1024, 1e8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectSpec("t", 0.0, 4, 0.1, 1e9)
+        with pytest.raises(ValueError):
+            InterconnectSpec("t", 1e9, 0, 0.1, 1e9)
+        with pytest.raises(ValueError):
+            aries_plugin().bandwidth_Bps(0)
+        with pytest.raises(ValueError):
+            aries_plugin().allreduce_time_s(4, -1.0)

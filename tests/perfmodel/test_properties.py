@@ -1,0 +1,86 @@
+"""Property-based invariants of the performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import (
+    aries_plugin,
+    cori_datawarp_machine,
+    cori_lustre_machine,
+    pizdaint_lustre_machine,
+)
+
+MACHINES = {
+    "bb": cori_datawarp_machine,
+    "lustre": cori_lustre_machine,
+    "pizdaint": pizdaint_lustre_machine,
+}
+
+node_counts = st.integers(min_value=1, max_value=16384)
+
+
+class TestClusterInvariants:
+    @pytest.mark.parametrize("factory", MACHINES.values(), ids=MACHINES.keys())
+    @given(n=node_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_speedup_bounded_by_node_count(self, factory, n):
+        m = factory()
+        assert 0.0 < m.speedup(n) <= n + 1e-9
+
+    @pytest.mark.parametrize("factory", MACHINES.values(), ids=MACHINES.keys())
+    @given(n=node_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_efficiency_in_unit_interval(self, factory, n):
+        m = factory()
+        assert 0.0 < m.efficiency(n) <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("factory", MACHINES.values(), ids=MACHINES.keys())
+    @given(n=st.integers(min_value=1, max_value=8192))
+    @settings(max_examples=20, deadline=None)
+    def test_step_time_never_below_single_node_compute(self, factory, n):
+        m = factory()
+        assert m.step_time_s(n) >= m.compute_time_s(1) - 1e-12
+
+    @pytest.mark.parametrize("factory", MACHINES.values(), ids=MACHINES.keys())
+    def test_efficiency_monotone_nonincreasing(self, factory):
+        m = factory()
+        effs = [m.efficiency(n) for n in (1, 2, 8, 64, 512, 2048, 8192)]
+        assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+
+    @given(n=node_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_dummy_data_at_least_as_fast(self, n):
+        real = cori_lustre_machine()
+        dummy = cori_lustre_machine(filesystem=None)
+        assert dummy.step_time_s(n) <= real.step_time_s(n) + 1e-12
+
+    @given(n=node_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_step_decomposition_consistent(self, n):
+        m = cori_lustre_machine()
+        total = m.step_time_s(n)
+        parts = m.compute_time_s(n) + m.comm_time_s(n) + m.io_stall_s(n)
+        assert total == pytest.approx(parts, rel=1e-12)
+
+
+class TestInterconnectInvariants:
+    @given(
+        p=st.integers(min_value=2, max_value=65536),
+        mb=st.floats(min_value=0.001, max_value=1000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_time_positive_and_bandwidth_bounded(self, p, mb):
+        ic = aries_plugin()
+        t = ic.allreduce_time_s(p, mb * 1e6)
+        assert t > 0
+        # effective bandwidth can never exceed the Aries peak
+        volume = 2 * mb * 1e6 * (p - 1) / p
+        assert volume / t <= ic.peak_bandwidth_Bps * 1.01
+
+    @given(p=st.integers(min_value=2, max_value=65536))
+    @settings(max_examples=30, deadline=None)
+    def test_bandwidth_monotone_nonincreasing_in_ranks(self, p):
+        ic = aries_plugin()
+        assert ic.bandwidth_Bps(p) >= ic.bandwidth_Bps(2 * p) - 1e-9

@@ -1,0 +1,215 @@
+"""Tests for the GEMM-path 3D convolution kernels.
+
+Correctness anchors:
+* forward vs an independent scipy.ndimage/scipy.signal reference,
+* backward-data and backward-weights vs numerical finite differences,
+* shape arithmetic edge cases.
+"""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate
+
+from repro.primitives.conv3d import (
+    conv3d_backward_data,
+    conv3d_backward_weights,
+    conv3d_forward,
+    conv3d_output_shape,
+)
+
+
+def reference_conv3d(x, w, bias=None, stride=1, padding=0):
+    """Independent reference: per-(n, oc, ic) scipy cross-correlation."""
+    if np.isscalar(stride):
+        stride = (stride,) * 3
+    if np.isscalar(padding):
+        padding = (padding,) * 3
+    n, ic = x.shape[:2]
+    oc = w.shape[0]
+    xp = np.pad(x, ((0, 0), (0, 0)) + tuple((p, p) for p in padding))
+    outs = []
+    for b in range(n):
+        per_oc = []
+        for o in range(oc):
+            acc = None
+            for i in range(ic):
+                r = correlate(xp[b, i], w[o, i], mode="valid")
+                acc = r if acc is None else acc + r
+            per_oc.append(acc[:: stride[0], :: stride[1], :: stride[2]])
+        outs.append(np.stack(per_oc))
+    out = np.stack(outs)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1, 1)
+    return out
+
+
+class TestOutputShape:
+    @pytest.mark.parametrize(
+        "inp,k,s,p,expect",
+        [
+            ((8, 8, 8), 3, 1, 0, (6, 6, 6)),
+            ((128, 128, 128), 3, 1, 0, (126, 126, 126)),
+            ((63, 63, 63), 4, 1, 0, (60, 60, 60)),
+            ((8, 8, 8), 2, 2, 0, (4, 4, 4)),
+            ((9, 9, 9), 2, 2, 0, (4, 4, 4)),  # floor semantics
+            ((27, 27, 27), 2, 2, 0, (13, 13, 13)),
+            ((6, 6, 6), 3, 1, 1, (6, 6, 6)),  # "same"-style pad
+            ((5, 7, 9), (3, 3, 3), (1, 2, 3), 0, (3, 3, 3)),
+        ],
+    )
+    def test_values(self, inp, k, s, p, expect):
+        assert conv3d_output_shape(inp, k, s, p) == expect
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ValueError):
+            conv3d_output_shape((2, 2, 2), 3, 1, 0)
+
+
+class TestForward:
+    @pytest.mark.parametrize(
+        "n,ic,oc,size,k,stride,padding",
+        [
+            (1, 1, 1, 5, 3, 1, 0),
+            (2, 3, 4, 6, 3, 1, 0),
+            (1, 2, 2, 7, 4, 1, 0),
+            (1, 2, 3, 8, 3, 2, 0),
+            (1, 2, 3, 6, 3, 1, 1),
+            (2, 1, 2, 6, 2, 2, 0),
+        ],
+    )
+    def test_matches_scipy_reference(self, n, ic, oc, size, k, stride, padding):
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal((n, ic, size, size, size)).astype(np.float32)
+        w = rng.standard_normal((oc, ic, k, k, k)).astype(np.float32)
+        b = rng.standard_normal(oc).astype(np.float32)
+        got = conv3d_forward(x, w, b, stride, padding)
+        want = reference_conv3d(x, w, b, stride, padding)
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-4)
+
+    def test_identity_kernel(self):
+        """A 1x1x1 kernel with weight 1 copies the input channel."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 1, 4, 4, 4)).astype(np.float32)
+        w = np.ones((1, 1, 1, 1, 1), dtype=np.float32)
+        np.testing.assert_allclose(conv3d_forward(x, w), x)
+
+    def test_anisotropic_stride(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 7, 9, 11)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3, 3)).astype(np.float32)
+        got = conv3d_forward(x, w, stride=(1, 2, 3))
+        want = reference_conv3d(x, w, stride=(1, 2, 3))
+        assert got.shape == (1, 3, 5, 4, 3)
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-4)
+
+    def test_dtype_preserved(self):
+        x = np.zeros((1, 1, 4, 4, 4), dtype=np.float32)
+        w = np.zeros((1, 1, 3, 3, 3), dtype=np.float32)
+        assert conv3d_forward(x, w).dtype == np.float32
+
+    def test_output_contiguous(self):
+        x = np.zeros((1, 1, 4, 4, 4), dtype=np.float32)
+        w = np.zeros((2, 1, 3, 3, 3), dtype=np.float32)
+        assert conv3d_forward(x, w).flags["C_CONTIGUOUS"]
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            conv3d_forward(
+                np.zeros((1, 2, 4, 4, 4), dtype=np.float32),
+                np.zeros((1, 3, 3, 3, 3), dtype=np.float32),
+            )
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            conv3d_forward(np.zeros((2, 4, 4, 4)), np.zeros((1, 2, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            conv3d_forward(np.zeros((1, 2, 4, 4, 4)), np.zeros((2, 3, 3, 3)))
+
+    def test_linearity(self):
+        """conv(a*x1 + x2) == a*conv(x1) + conv(x2) (no bias)."""
+        rng = np.random.default_rng(3)
+        x1 = rng.standard_normal((1, 2, 5, 5, 5)).astype(np.float32)
+        x2 = rng.standard_normal((1, 2, 5, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3, 3)).astype(np.float32)
+        lhs = conv3d_forward(2.0 * x1 + x2, w)
+        rhs = 2.0 * conv3d_forward(x1, w) + conv3d_forward(x2, w)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-4, atol=1e-4)
+
+
+def numerical_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f w.r.t. array x (float64)."""
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gf = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gf[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+class TestBackward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 0), (1, 1)])
+    def test_backward_data_matches_numerical(self, stride, padding):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((1, 2, 5, 5, 5)).astype(np.float64)
+        w = rng.standard_normal((3, 2, 3, 3, 3)).astype(np.float64)
+        out_shape = conv3d_output_shape(x.shape[2:], (3, 3, 3), stride, padding)
+        g = rng.standard_normal((1, 3) + out_shape).astype(np.float64)
+
+        def loss():
+            return float(np.sum(conv3d_forward(x, w, None, stride, padding) * g))
+
+        want = numerical_grad(loss, x)
+        got = conv3d_backward_data(g, w, x.shape[2:], stride, padding)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 0), (1, 1)])
+    def test_backward_weights_matches_numerical(self, stride, padding):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((2, 2, 5, 5, 5)).astype(np.float64)
+        w = rng.standard_normal((2, 2, 3, 3, 3)).astype(np.float64)
+        out_shape = conv3d_output_shape(x.shape[2:], (3, 3, 3), stride, padding)
+        g = rng.standard_normal((2, 2) + out_shape).astype(np.float64)
+
+        def loss():
+            return float(np.sum(conv3d_forward(x, w, None, stride, padding) * g))
+
+        want = numerical_grad(loss, w)
+        got = conv3d_backward_weights(x, g, (3, 3, 3), stride, padding)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_backward_bias(self):
+        rng = np.random.default_rng(9)
+        g = rng.standard_normal((2, 3, 4, 4, 4)).astype(np.float64)
+        x = rng.standard_normal((2, 2, 6, 6, 6)).astype(np.float64)
+        _, gb = conv3d_backward_weights(x, g, (3, 3, 3), with_bias=True)
+        np.testing.assert_allclose(gb, g.sum(axis=(0, 2, 3, 4)))
+
+    def test_backward_data_shape_validation(self):
+        g = np.zeros((1, 2, 4, 4, 4))
+        w = np.zeros((2, 1, 3, 3, 3))
+        with pytest.raises(ValueError):
+            conv3d_backward_data(g, w, (5, 5, 5))  # expects 3^3 output from 5^3
+
+    def test_backward_weights_shape_validation(self):
+        x = np.zeros((1, 1, 5, 5, 5))
+        g = np.zeros((1, 2, 4, 4, 4))
+        with pytest.raises(ValueError):
+            conv3d_backward_weights(x, g, (3, 3, 3))
+
+    def test_batch_mismatch_raises(self):
+        x = np.zeros((2, 1, 5, 5, 5))
+        g = np.zeros((1, 2, 3, 3, 3))
+        with pytest.raises(ValueError):
+            conv3d_backward_weights(x, g, (3, 3, 3))
+
+    def test_grad_channel_mismatch_raises(self):
+        g = np.zeros((1, 3, 3, 3, 3))
+        w = np.zeros((2, 1, 3, 3, 3))
+        with pytest.raises(ValueError):
+            conv3d_backward_data(g, w, (5, 5, 5))

@@ -1,0 +1,152 @@
+"""Tests for the Algorithm-1 direct blocked convolution kernels.
+
+The direct kernels must agree with the GEMM-path kernels on every
+shape, including ragged channel counts (which the blocked layout
+zero-pads) and the paper's 28-voxel output-width blocking.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.conv3d import (
+    conv3d_backward_data,
+    conv3d_backward_weights,
+    conv3d_forward,
+)
+from repro.primitives.direct import (
+    WIDTH_BLOCK,
+    conv3d_backward_data_direct,
+    conv3d_backward_weights_direct,
+    conv3d_forward_direct,
+)
+
+
+def rand_case(rng, n, ic, oc, size, k):
+    x = rng.standard_normal((n, ic, size, size, size)).astype(np.float32)
+    w = rng.standard_normal((oc, ic, k, k, k)).astype(np.float32)
+    return x, w
+
+
+class TestForwardDirect:
+    @pytest.mark.parametrize(
+        "n,ic,oc,size,k,stride",
+        [
+            (1, 16, 16, 6, 3, 1),
+            (1, 16, 32, 7, 4, 1),
+            (2, 32, 16, 6, 3, 1),
+            (1, 1, 16, 6, 3, 1),  # ragged input channels
+            (1, 16, 5, 6, 3, 1),  # ragged output channels
+            (1, 3, 5, 6, 3, 1),  # both ragged
+            (1, 16, 16, 8, 2, 2),  # strided
+        ],
+    )
+    def test_matches_gemm(self, n, ic, oc, size, k, stride):
+        rng = np.random.default_rng(0)
+        x, w = rand_case(rng, n, ic, oc, size, k)
+        b = rng.standard_normal(oc).astype(np.float32)
+        got = conv3d_forward_direct(x, w, b, stride)
+        want = conv3d_forward(x, w, b, stride)
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-4)
+
+    def test_width_blocking_is_equivalent(self):
+        """The 28-voxel output-width blocking changes nothing numerically."""
+        rng = np.random.default_rng(1)
+        # width 30 > WIDTH_BLOCK=28 so blocking actually splits the row
+        x = rng.standard_normal((1, 16, 3, 3, 32)).astype(np.float32)
+        w = rng.standard_normal((16, 16, 3, 3, 3)).astype(np.float32)
+        full = conv3d_forward_direct(x, w, width_block=None)
+        blocked = conv3d_forward_direct(x, w, width_block=WIDTH_BLOCK)
+        assert full.shape[-1] == 30
+        np.testing.assert_allclose(full, blocked, rtol=1e-5, atol=1e-6)
+
+    def test_small_width_block(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 16, 4, 4, 9)).astype(np.float32)
+        w = rng.standard_normal((16, 16, 2, 2, 2)).astype(np.float32)
+        np.testing.assert_allclose(
+            conv3d_forward_direct(x, w, width_block=3),
+            conv3d_forward(x, w),
+            rtol=2e-4,
+            atol=2e-4,
+        )
+
+    def test_padding_via_prepad(self):
+        rng = np.random.default_rng(3)
+        x, w = rand_case(rng, 1, 16, 16, 5, 3)
+        np.testing.assert_allclose(
+            conv3d_forward_direct(x, w, padding=1),
+            conv3d_forward(x, w, padding=1),
+            rtol=2e-4,
+            atol=2e-4,
+        )
+
+    @given(
+        ic=st.integers(min_value=1, max_value=20),
+        oc=st.integers(min_value=1, max_value=20),
+        k=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_gemm(self, ic, oc, k, seed):
+        rng = np.random.default_rng(seed)
+        x, w = rand_case(rng, 1, ic, oc, 5, k)
+        np.testing.assert_allclose(
+            conv3d_forward_direct(x, w),
+            conv3d_forward(x, w),
+            rtol=3e-4,
+            atol=3e-4,
+        )
+
+
+class TestBackwardDirect:
+    def test_backward_data_matches_gemm(self):
+        rng = np.random.default_rng(4)
+        w = rng.standard_normal((16, 16, 3, 3, 3)).astype(np.float32)
+        g = rng.standard_normal((2, 16, 4, 4, 4)).astype(np.float32)
+        got = conv3d_backward_data_direct(g, w, (6, 6, 6))
+        want = conv3d_backward_data(g, w, (6, 6, 6))
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-4)
+
+    def test_backward_data_ragged_channels(self):
+        rng = np.random.default_rng(5)
+        w = rng.standard_normal((5, 3, 2, 2, 2)).astype(np.float32)
+        g = rng.standard_normal((1, 5, 3, 3, 3)).astype(np.float32)
+        got = conv3d_backward_data_direct(g, w, (4, 4, 4))
+        want = conv3d_backward_data(g, w, (4, 4, 4))
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-4)
+
+    def test_backward_data_strided(self):
+        rng = np.random.default_rng(6)
+        w = rng.standard_normal((16, 16, 2, 2, 2)).astype(np.float32)
+        g = rng.standard_normal((1, 16, 3, 3, 3)).astype(np.float32)
+        got = conv3d_backward_data_direct(g, w, (6, 6, 6), stride=2)
+        want = conv3d_backward_data(g, w, (6, 6, 6), stride=2)
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-4)
+
+    def test_backward_weights_matches_gemm(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((2, 16, 6, 6, 6)).astype(np.float32)
+        g = rng.standard_normal((2, 16, 4, 4, 4)).astype(np.float32)
+        got = conv3d_backward_weights_direct(x, g, (3, 3, 3))
+        want = conv3d_backward_weights(x, g, (3, 3, 3))
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-4)
+
+    def test_backward_weights_with_bias(self):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((1, 16, 5, 5, 5)).astype(np.float32)
+        g = rng.standard_normal((1, 16, 3, 3, 3)).astype(np.float32)
+        gw, gb = conv3d_backward_weights_direct(x, g, (3, 3, 3), with_bias=True)
+        gw2, gb2 = conv3d_backward_weights(x, g, (3, 3, 3), with_bias=True)
+        np.testing.assert_allclose(gw, gw2, rtol=2e-4, atol=2e-4)
+        np.testing.assert_allclose(gb, gb2, rtol=1e-5)
+
+    def test_backward_weights_ragged(self):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((1, 3, 5, 5, 5)).astype(np.float32)
+        g = rng.standard_normal((1, 5, 3, 3, 3)).astype(np.float32)
+        got = conv3d_backward_weights_direct(x, g, (3, 3, 3))
+        want = conv3d_backward_weights(x, g, (3, 3, 3))
+        assert got.shape == (5, 3, 3, 3, 3)
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-4)

@@ -1,0 +1,120 @@
+"""Tests for channel-blocked layouts (repro.primitives.layout)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.layout import (
+    BLOCK,
+    blocked_channels,
+    from_blocked,
+    from_blocked_weights,
+    to_blocked,
+    to_blocked_weights,
+)
+
+
+class TestBlockedChannels:
+    @pytest.mark.parametrize("c,expect", [(1, 1), (16, 1), (17, 2), (32, 2), (33, 3)])
+    def test_values(self, c, expect):
+        assert blocked_channels(c) == expect
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            blocked_channels(0)
+
+
+class TestActivationLayout:
+    def test_shape(self):
+        x = np.zeros((32, 4, 5, 6), dtype=np.float32)
+        xb = to_blocked(x)
+        assert xb.shape == (2, 4, 5, 6, BLOCK)
+
+    def test_round_trip_multiple_of_block(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 3, 4, 5)).astype(np.float32)
+        np.testing.assert_array_equal(from_blocked(to_blocked(x), 32), x)
+
+    def test_round_trip_ragged(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((5, 2, 3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(from_blocked(to_blocked(x), 5), x)
+
+    def test_padding_is_zero(self):
+        x = np.ones((5, 2, 2, 2), dtype=np.float32)
+        xb = to_blocked(x)
+        assert np.all(xb[0, :, :, :, 5:] == 0.0)
+
+    def test_element_mapping(self):
+        # channel c maps to block c//16, lane c%16
+        x = np.arange(32, dtype=np.float32).reshape(32, 1, 1, 1)
+        xb = to_blocked(x)
+        for c in range(32):
+            assert xb[c // BLOCK, 0, 0, 0, c % BLOCK] == c
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            to_blocked(np.zeros((2, 2, 2)))
+
+    def test_from_blocked_channel_mismatch(self):
+        xb = np.zeros((2, 1, 1, 1, BLOCK))
+        with pytest.raises(ValueError):
+            from_blocked(xb, 5)  # 5 channels need 1 block, not 2
+
+    @given(
+        c=st.integers(min_value=1, max_value=40),
+        d=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, c, d, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((c, d, 2, 3)).astype(np.float32)
+        np.testing.assert_array_equal(from_blocked(to_blocked(x), c), x)
+
+
+class TestWeightLayout:
+    def test_shape(self):
+        w = np.zeros((32, 16, 3, 3, 3), dtype=np.float32)
+        wb = to_blocked_weights(w)
+        assert wb.shape == (2, 1, 3, 3, 3, BLOCK, BLOCK)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((32, 16, 2, 3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(from_blocked_weights(to_blocked_weights(w), 32, 16), w)
+
+    def test_round_trip_ragged(self):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal((5, 3, 1, 1, 1)).astype(np.float32)
+        np.testing.assert_array_equal(from_blocked_weights(to_blocked_weights(w), 5, 3), w)
+
+    def test_element_mapping(self):
+        # W[ocb, icb, kd, kh, kw, ic%16, oc%16] == w[oc, ic, ...]
+        rng = np.random.default_rng(4)
+        w = rng.standard_normal((32, 32, 1, 1, 1)).astype(np.float32)
+        wb = to_blocked_weights(w)
+        for oc in (0, 15, 16, 31):
+            for ic in (0, 7, 16, 31):
+                assert (
+                    wb[oc // BLOCK, ic // BLOCK, 0, 0, 0, ic % BLOCK, oc % BLOCK]
+                    == w[oc, ic, 0, 0, 0]
+                )
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            to_blocked_weights(np.zeros((4, 4, 3, 3)))
+
+    @given(
+        oc=st.integers(min_value=1, max_value=33),
+        ic=st.integers(min_value=1, max_value=33),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, oc, ic, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((oc, ic, 2, 1, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            from_blocked_weights(to_blocked_weights(w), oc, ic), w
+        )

@@ -1,0 +1,73 @@
+"""Tests for the conv implementation registry."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.registry import available_impls, get_impl, set_default_impl
+
+
+@pytest.fixture(autouse=True)
+def restore_default():
+    yield
+    set_default_impl("gemm")
+
+
+class TestRegistry:
+    def test_both_registered(self):
+        assert available_impls() == ["direct", "gemm"]
+
+    def test_default_is_gemm(self):
+        assert get_impl().name == "gemm"
+
+    def test_lookup_by_name(self):
+        assert get_impl("direct").name == "direct"
+
+    def test_set_default(self):
+        set_default_impl("direct")
+        assert get_impl().name == "direct"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_impl("cudnn")
+        with pytest.raises(KeyError):
+            set_default_impl("cudnn")
+
+    def test_impls_agree_end_to_end(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 16, 6, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((16, 16, 3, 3, 3)).astype(np.float32)
+        g = rng.standard_normal((1, 16, 4, 4, 4)).astype(np.float32)
+        a, b = get_impl("gemm"), get_impl("direct")
+        np.testing.assert_allclose(a.forward(x, w), b.forward(x, w), rtol=2e-4, atol=2e-4)
+        np.testing.assert_allclose(
+            a.backward_data(g, w, (6, 6, 6)),
+            b.backward_data(g, w, (6, 6, 6)),
+            rtol=2e-4,
+            atol=2e-4,
+        )
+        np.testing.assert_allclose(
+            a.backward_weights(x, g, (3, 3, 3)),
+            b.backward_weights(x, g, (3, 3, 3)),
+            rtol=2e-4,
+            atol=2e-4,
+        )
+
+    def test_direct_padding_fallback(self):
+        """The direct wrappers fall back to GEMM kernels when padding != 0."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 4, 5, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((4, 4, 3, 3, 3)).astype(np.float32)
+        g = rng.standard_normal((1, 4, 5, 5, 5)).astype(np.float32)
+        d, r = get_impl("direct"), get_impl("gemm")
+        np.testing.assert_allclose(
+            d.backward_data(g, w, (5, 5, 5), 1, 1),
+            r.backward_data(g, w, (5, 5, 5), 1, 1),
+            rtol=2e-4,
+            atol=2e-4,
+        )
+        np.testing.assert_allclose(
+            d.backward_weights(x, g, (3, 3, 3), 1, 1),
+            r.backward_weights(x, g, (3, 3, 3), 1, 1),
+            rtol=2e-4,
+            atol=2e-4,
+        )

@@ -1,0 +1,145 @@
+"""Tests for batch normalization (op and layer)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.layers import BatchNorm
+from repro.tensor.ops.batchnorm import batch_norm
+from repro.tensor.tensor import Tensor
+from tests.gradcheck import check_grads
+
+
+def randn(rng, *shape):
+    return rng.standard_normal(shape)
+
+
+class TestBatchNormOp:
+    def test_normalizes_batch(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(randn(rng, 8, 3, 4))
+        g = Tensor(np.ones(3))
+        b = Tensor(np.zeros(3))
+        out = batch_norm(x, g, b).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2)), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=(0, 2)), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(randn(rng, 8, 2, 4))
+        g = Tensor(np.array([2.0, 3.0]))
+        b = Tensor(np.array([1.0, -1.0]))
+        out = batch_norm(x, g, b).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2)), [1.0, -1.0], atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=(0, 2)), [2.0, 3.0], rtol=1e-3)
+
+    def test_running_stats_updated(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(randn(rng, 16, 2, 4) * 3.0 + 1.0)
+        rm, rv = np.zeros(2), np.ones(2)
+        batch_norm(x, Tensor(np.ones(2)), Tensor(np.zeros(2)), running_stats=(rm, rv))
+        assert np.all(rm != 0.0)  # moved toward batch mean
+
+    def test_inference_uses_running_stats(self):
+        x = Tensor(np.full((4, 1, 2), 10.0))
+        rm, rv = np.array([10.0]), np.array([4.0])
+        out = batch_norm(
+            x, Tensor(np.ones(1)), Tensor(np.zeros(1)),
+            running_stats=(rm, rv), training=False,
+        ).data
+        np.testing.assert_allclose(out, 0.0, atol=1e-3)
+
+    def test_inference_without_stats_raises(self):
+        x = Tensor(np.zeros((2, 1, 2)))
+        with pytest.raises(ValueError):
+            batch_norm(x, Tensor(np.ones(1)), Tensor(np.zeros(1)), training=False)
+
+    def test_gradients_match_numerical_training_mode(self):
+        rng = np.random.default_rng(3)
+        check_grads(
+            lambda t: (batch_norm(t["x"], t["g"], t["b"]) ** 2).sum(),
+            {"x": randn(rng, 4, 2, 3), "g": randn(rng, 2) + 2.0, "b": randn(rng, 2)},
+            rtol=5e-4,
+            atol=5e-5,
+        )
+
+    def test_gradients_inference_mode(self):
+        rng = np.random.default_rng(4)
+        rm, rv = np.zeros(2), np.ones(2)
+        check_grads(
+            lambda t: (
+                batch_norm(
+                    t["x"], t["g"], t["b"], running_stats=(rm, rv), training=False
+                )
+                ** 2
+            ).sum(),
+            {"x": randn(rng, 3, 2, 2), "g": randn(rng, 2) + 2.0, "b": randn(rng, 2)},
+        )
+
+    def test_batch_one_degeneracy(self):
+        """The paper's removal rationale: at batch 1 the op normalizes
+        the sample by its own statistics — the channel mean is erased
+        regardless of input amplitude."""
+        rng = np.random.default_rng(5)
+        weak = Tensor(randn(rng, 1, 2, 64) * 0.1)
+        strong = Tensor(randn(rng, 1, 2, 64) * 10.0)
+        g, b = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        out_w = batch_norm(weak, g, b).data
+        out_s = batch_norm(strong, g, b).data
+        # amplitude information (the sigma_8 signal!) is gone
+        assert out_w.std() == pytest.approx(out_s.std(), rel=1e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            batch_norm(Tensor(np.zeros(3)), Tensor(np.ones(1)), Tensor(np.zeros(1)))
+        with pytest.raises(ValueError):
+            batch_norm(Tensor(np.zeros((2, 3, 2))), Tensor(np.ones(2)), Tensor(np.zeros(2)))
+
+
+class TestBatchNormLayer:
+    def test_forward_shape(self):
+        layer = BatchNorm(4)
+        out = layer(np.random.default_rng(0).standard_normal((2, 4, 3, 3, 3)).astype(np.float32))
+        assert out.shape == (2, 4, 3, 3, 3)
+
+    def test_parameters(self):
+        layer = BatchNorm(8)
+        assert layer.num_parameters() == 16
+        assert layer.output_shape((8, 4, 4, 4)) == (8, 4, 4, 4)
+
+    def test_train_eval_modes(self):
+        layer = BatchNorm(1)
+        rng = np.random.default_rng(1)
+        x = (rng.standard_normal((8, 1, 4)) * 2.0 + 5.0).astype(np.float32)
+        for _ in range(20):
+            layer(x)  # accumulate running stats
+        layer.eval()
+        out = layer(x).data
+        # running stats approximate batch stats -> output ~standardized
+        assert abs(out.mean()) < 0.5
+        layer.train()
+        assert layer.training
+
+    def test_gradients_flow(self):
+        layer = BatchNorm(2)
+        x = np.random.default_rng(2).standard_normal((4, 2, 3)).astype(np.float32)
+        layer(x).sum().backward()
+        assert layer.gamma.grad is not None
+        assert layer.beta.grad is not None
+
+    def test_output_shape_channel_check(self):
+        with pytest.raises(ValueError):
+            BatchNorm(4).output_shape((3, 2, 2, 2))
+
+    def test_bad_channels(self):
+        with pytest.raises(ValueError):
+            BatchNorm(0)
+
+    def test_sequential_propagates_mode(self):
+        from repro.tensor.layers import Dense, Sequential
+
+        bn = BatchNorm(4)
+        net = Sequential([bn, Dense(4, 2, rng=np.random.default_rng(0))])
+        net.eval()
+        assert not bn.training
+        net.train()
+        assert bn.training

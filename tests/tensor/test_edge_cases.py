@@ -1,0 +1,141 @@
+"""Edge-case and property tests for the tensor framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class TestDtypePolicy:
+    def test_ops_preserve_float32(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        for expr in (a + 1.0, a * 2.0, ops.leaky_relu(a), a.sum(), a.mean()):
+            assert expr.dtype in (np.float32, np.dtype(np.float32)), expr.op_name
+
+    def test_mixed_precision_promotes(self):
+        a = Tensor(np.ones(3, dtype=np.float32))
+        b = Tensor(np.ones(3, dtype=np.float64))
+        assert (a + b).dtype == np.float64
+
+    def test_bool_input_coerced(self):
+        t = Tensor(np.array([True, False]))
+        assert t.dtype == np.float32
+
+
+class TestGraphShapes:
+    def test_scalar_times_tensor_grad_shapes(self):
+        s = Tensor(2.0, requires_grad=True)
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        (s * x).sum().backward()
+        assert s.grad.shape == ()
+        assert x.grad.shape == (2, 3)
+
+    def test_chained_reshapes_grad(self):
+        x = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        y = x.reshape(2, 3).reshape(3, 2).reshape(6)
+        (y * y).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data)
+
+    def test_zero_size_axis_mean(self):
+        # mean over an axis of a 0-size array: keep graceful NaN behavior
+        x = Tensor(np.ones((2, 3)))
+        out = x.sum(axis=0)
+        assert out.shape == (3,)
+
+    def test_keepdims_grad(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        x.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+
+class TestNoGradInteractions:
+    def test_mixed_graph_segments(self):
+        x = Tensor(2.0, requires_grad=True)
+        with no_grad():
+            frozen = x * 3.0  # constant from here on
+        y = x * frozen  # d/dx = frozen = 6
+        y.backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_detach_mid_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        a = x * 3.0
+        y = x * a.detach()
+        y.backward()
+        assert x.grad == pytest.approx(6.0)
+
+
+class TestPropertyGradients:
+    @given(
+        shape=st.sampled_from([(3,), (2, 2), (1, 4), (2, 1, 3)]),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sum_of_squares_gradient(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal(shape), requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data, rtol=1e-6)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_leaky_relu_idempotent_on_positive(self, seed):
+        rng = np.random.default_rng(seed)
+        x = np.abs(rng.standard_normal(8)) + 0.1
+        out = ops.leaky_relu(Tensor(x)).data
+        np.testing.assert_allclose(out, x, rtol=1e-7)
+
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_leaky_relu_bounds(self, alpha, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(16)
+        out = ops.leaky_relu(Tensor(x), alpha=alpha).data
+        assert np.all(out <= np.maximum(x, alpha * x) + 1e-7)
+        assert np.all(out >= np.minimum(x, alpha * x) - 1e-7)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_mse_nonnegative_and_zero_iff_equal(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((3, 2))
+        assert ops.mse_loss(Tensor(a), Tensor(a.copy())).item() == pytest.approx(0.0)
+        b = a + rng.standard_normal((3, 2)) * 0.1 + 0.05
+        assert ops.mse_loss(Tensor(a), Tensor(b)).item() > 0.0
+
+
+class TestConvOpEdges:
+    def test_kernel_equal_to_input(self):
+        """A kernel the size of the input produces a 1x1x1 output — the
+        'backward weights is a big-kernel conv' regime."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 2, 4, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 4, 4, 4)).astype(np.float32)
+        out = ops.conv3d(Tensor(x), Tensor(w))
+        assert out.shape == (1, 3, 1, 1, 1)
+        want = np.tensordot(w, x[0], axes=([1, 2, 3, 4], [0, 1, 2, 3]))
+        np.testing.assert_allclose(out.data[0, :, 0, 0, 0], want, rtol=1e-4)
+
+    def test_1x1x1_kernel_is_channel_mix(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 3, 2, 2, 2)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 1, 1, 1)).astype(np.float32)
+        out = ops.conv3d(Tensor(x), Tensor(w)).data
+        want = np.einsum("oc,ncdhw->nodhw", w[:, :, 0, 0, 0], x)
+        np.testing.assert_allclose(out, want, rtol=1e-5, atol=1e-6)
+
+    def test_batch_independence(self):
+        """conv(concat(a, b)) == concat(conv(a), conv(b))."""
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((1, 2, 4, 4, 4)).astype(np.float32)
+        b = rng.standard_normal((1, 2, 4, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3, 3)).astype(np.float32)
+        both = ops.conv3d(Tensor(np.concatenate([a, b])), Tensor(w)).data
+        np.testing.assert_allclose(both[0], ops.conv3d(Tensor(a), Tensor(w)).data[0], rtol=1e-5)
+        np.testing.assert_allclose(both[1], ops.conv3d(Tensor(b), Tensor(w)).data[0], rtol=1e-5)

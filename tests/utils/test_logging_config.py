@@ -1,0 +1,27 @@
+"""Tests for the logging configuration helper."""
+
+import logging
+
+from repro.utils.logging import configure, get_logger
+
+
+class TestConfigure:
+    def test_idempotent_handler_attachment(self):
+        root = logging.getLogger("repro")
+        configure(level=logging.DEBUG)
+        n_handlers = len(root.handlers)
+        configure(level=logging.INFO)
+        assert len(root.handlers) == n_handlers  # no duplicates
+        assert root.level == logging.INFO
+
+    def test_child_loggers_propagate(self):
+        configure()
+        child = get_logger("cosmo.nbody")
+        assert child.name == "repro.cosmo.nbody"
+        assert child.parent.name.startswith("repro")
+
+    def test_messages_flow_to_handler(self, caplog):
+        lg = get_logger("test_flow")
+        with caplog.at_level(logging.WARNING, logger="repro.test_flow"):
+            lg.warning("straggler detected")
+        assert "straggler detected" in caplog.text

@@ -1,0 +1,115 @@
+"""Tests for repro.utils.timer and repro.utils.logging."""
+
+import time
+
+import pytest
+
+from repro.utils.logging import get_logger
+from repro.utils.timer import StageTimer, Timer, format_duration
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expect",
+        [
+            (5e-10, "ns"),
+            (5e-7, "ns"),
+            (5e-5, "us"),
+            (5e-3, "ms"),
+            (0.5, "ms"),
+            (5.0, "s"),
+            (600.0, "min"),
+        ],
+    )
+    def test_units(self, seconds, expect):
+        assert expect in format_duration(seconds)
+
+    def test_negative(self):
+        assert format_duration(-2.0).startswith("-")
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_accumulates(self):
+        t = Timer()
+        for _ in range(2):
+            t.start()
+            time.sleep(0.005)
+            t.stop()
+        assert t.elapsed >= 0.009
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestStageTimer:
+    def test_stage_accumulation(self):
+        st = StageTimer()
+        with st.stage("a"):
+            time.sleep(0.005)
+        with st.stage("a"):
+            pass
+        assert st.stages["a"].count == 2
+        assert st.stages["a"].total >= 0.004
+
+    def test_add_external(self):
+        st = StageTimer()
+        st.add("io", 1.5)
+        st.add("io", 0.5)
+        assert st.stages["io"].total == 2.0
+        assert st.stages["io"].count == 2
+        assert st.stages["io"].mean == 1.0
+
+    def test_fractions_sum_to_one(self):
+        st = StageTimer()
+        st.add("a", 3.0)
+        st.add("b", 1.0)
+        fr = st.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-12
+        assert fr["a"] == pytest.approx(0.75)
+
+    def test_fractions_empty(self):
+        assert StageTimer().fractions() == {}
+
+    def test_report_contains_stages(self):
+        st = StageTimer()
+        st.add("conv3d", 2.0)
+        st.add("comm", 1.0)
+        rep = st.report("breakdown")
+        assert "conv3d" in rep and "comm" in rep and "breakdown" in rep
+
+    def test_reset(self):
+        st = StageTimer()
+        st.add("a", 1.0)
+        st.reset()
+        assert st.total() == 0.0
+
+    def test_exception_still_recorded(self):
+        st = StageTimer()
+        with pytest.raises(ValueError):
+            with st.stage("x"):
+                raise ValueError("boom")
+        assert st.stages["x"].count == 1
+
+
+class TestLogging:
+    def test_namespaced(self):
+        lg = get_logger("comm")
+        assert lg.name == "repro.comm"
+
+    def test_already_namespaced(self):
+        lg = get_logger("repro.io")
+        assert lg.name == "repro.io"
