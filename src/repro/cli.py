@@ -11,6 +11,7 @@ Commands
 ``predict``    run a trained checkpoint on a dataset's test split
 ``topology``   print a preset's architecture and cost audit
 ``scaling``    print the Figure-4 scaling table for a machine model
+``faultsim``   run elastic SSGD under an injected fault plan
 """
 
 from __future__ import annotations
@@ -63,6 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="cori_bb",
     )
     p.add_argument("--max-nodes", type=int, default=8192)
+
+    p = sub.add_parser(
+        "faultsim",
+        help="train elastically on synthetic data under an injected fault plan",
+    )
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--samples", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crash-rate", type=float, default=0.01,
+                   help="per-rank per-step crash probability")
+    p.add_argument("--hang-rate", type=float, default=0.0)
+    p.add_argument("--corrupt-rate", type=float, default=0.0,
+                   help="per-rank per-collective message corruption probability")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--quorum-fraction", type=float, default=0.5)
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="enables checkpoint/restart on quorum loss")
     return parser
 
 
@@ -180,6 +199,60 @@ def cmd_scaling(args) -> int:
     return 0
 
 
+def cmd_faultsim(args) -> int:
+    from repro.comm.errors import QuorumLostError
+    from repro.core.distributed import DistributedConfig
+    from repro.core.elastic import ElasticConfig, ElasticTrainer
+    from repro.core.optimizer import OptimizerConfig
+    from repro.core.topology import tiny_16
+    from repro.core.trainer import InMemoryData
+    from repro.faults import FaultInjector, FaultPlan
+
+    if args.samples < args.ranks:
+        raise SystemExit("--samples must be >= --ranks")
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((args.samples, 1, 16, 16, 16)).astype(np.float32)
+    y = rng.uniform(0.2, 0.8, size=(args.samples, 3)).astype(np.float32)
+    steps = (args.samples // args.ranks) * args.epochs
+    plan = FaultPlan.sample(
+        args.seed,
+        args.ranks,
+        steps,
+        crash_rate=args.crash_rate,
+        hang_rate=args.hang_rate,
+        corrupt_rate=args.corrupt_rate,
+    )
+    print(plan.describe())
+    trainer = ElasticTrainer(
+        tiny_16(),
+        InMemoryData(x, y),
+        config=DistributedConfig(
+            n_ranks=args.ranks, epochs=args.epochs, mode="elastic", validate=False
+        ),
+        optimizer_config=OptimizerConfig(eta0=5e-3, decay_steps=max(1, steps)),
+        elastic=ElasticConfig(
+            timeout_s=args.timeout,
+            quorum_fraction=args.quorum_fraction,
+            checkpoint_dir=args.checkpoint_dir,
+        ),
+        injector=FaultInjector(plan),
+    )
+    try:
+        hist = trainer.run()
+    except QuorumLostError as exc:
+        print(f"FAILED: quorum lost with survivors {list(exc.survivors)} "
+              "(pass --checkpoint-dir to enable restart)")
+        return 1
+    stats = trainer.group_stats
+    for e, tl in enumerate(hist.train_loss, 1):
+        print(f"epoch {e}: train {tl:.4f}")
+    print(f"survivors: {stats['survivors']}  failed: {stats['failed_ranks']}  "
+          f"evicted: {stats['evicted_ranks']}")
+    print(f"restarts: {stats['restarts']}  retransmits: {stats['retransmits']}  "
+          f"faults fired: {stats['faults_injected'] or 'none'}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(suppress=True)
@@ -189,6 +262,7 @@ def main(argv=None) -> int:
         "predict": cmd_predict,
         "topology": cmd_topology,
         "scaling": cmd_scaling,
+        "faultsim": cmd_faultsim,
     }[args.command](args)
 
 

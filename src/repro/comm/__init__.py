@@ -26,11 +26,25 @@ This subpackage reproduces that stack in-process:
   thread teams, chunked pipelining).
 * :mod:`repro.comm.grpc_baseline` — the parameter-server-style
   centralized aggregator the paper contrasts against.
+* :mod:`repro.comm.errors` — the typed :class:`CommError` hierarchy
+  (timeouts, rank failure/eviction, message corruption, quorum loss).
+* :mod:`repro.comm.elastic` — :class:`ElasticThreadedGroup`, the
+  fault-tolerant threaded backend whose collectives shrink and continue
+  over surviving ranks.
 """
 
 from repro.comm.communicator import Communicator, ReduceOp
+from repro.comm.errors import (
+    CommError,
+    CommTimeoutError,
+    MessageCorruptError,
+    QuorumLostError,
+    RankEvictedError,
+    RankFailedError,
+)
 from repro.comm.serial import SerialCommunicator, SteppedGroup
 from repro.comm.threaded import ThreadedGroup
+from repro.comm.elastic import ElasticComm, ElasticThreadedGroup
 from repro.comm.algorithms import (
     ring_allreduce_schedule,
     halving_doubling_schedule,
@@ -48,6 +62,14 @@ __all__ = [
     "SerialCommunicator",
     "SteppedGroup",
     "ThreadedGroup",
+    "ElasticComm",
+    "ElasticThreadedGroup",
+    "CommError",
+    "CommTimeoutError",
+    "RankFailedError",
+    "RankEvictedError",
+    "MessageCorruptError",
+    "QuorumLostError",
     "ring_allreduce_schedule",
     "halving_doubling_schedule",
     "reduce_broadcast_schedule",

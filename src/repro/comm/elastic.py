@@ -1,0 +1,440 @@
+"""Elastic threaded backend: collectives that survive rank loss.
+
+The paper's training mode is *fully synchronous* (Algorithm 2): every
+rank contributes to every allreduce, so one dead or hung rank stalls
+all 8192.  :class:`ElasticThreadedGroup` is the resilient counterpart
+of :class:`~repro.comm.threaded.ThreadedGroup`:
+
+* membership is dynamic — a rank that crashes (raises out of its rank
+  body) is removed from the group, and in-flight collectives complete
+  over the survivors ("shrink and continue");
+* every collective wait is bounded — a rank that fails to arrive
+  within ``timeout_s`` is **evicted** by the peers that did arrive (the
+  timeout is the heartbeat: arriving at a collective is proof of life),
+  and the straggler itself gets a :class:`RankEvictedError` when it
+  finally shows up;
+* reductions stay deterministic — contributions are reduced in
+  original-rank order through the shared
+  :func:`~repro.comm.communicator.reduce_arrays`, so a fault-free
+  elastic run is bitwise identical to the fixed-membership backends,
+  and a post-crash run is exactly the fixed-membership result over the
+  surviving rank set (``MEAN`` renormalizes by survivor count);
+* contributions can be checksummed — when a
+  :class:`~repro.faults.FaultInjector` with message-corruption events
+  is attached, each contribution carries a CRC32; a corrupted "wire
+  copy" is detected at reduce time and recovered by retransmitting the
+  sender's pristine source buffer (counted in ``retransmits``);
+* a configurable **quorum** bounds degradation — when survivors fall
+  below ``quorum``, every live rank raises
+  :class:`QuorumLostError` and the elastic trainer restarts from the
+  last checkpoint instead of limping on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp, reduce_arrays
+from repro.comm.errors import (
+    MessageCorruptError,
+    QuorumLostError,
+    RankEvictedError,
+    RankFailedError,
+)
+from repro.utils.logging import get_logger
+
+__all__ = ["ElasticThreadedGroup", "ElasticComm"]
+
+_log = get_logger("comm.elastic")
+
+
+class _Contribution:
+    """One rank's payload for the pending collective."""
+
+    __slots__ = ("wire", "crc", "source")
+
+    def __init__(self, wire: Optional[np.ndarray], crc: Optional[int], source):
+        self.wire = wire
+        self.crc = crc
+        self.source = source
+
+
+class _ElasticState:
+    """Membership, pending collective, and result shared by all ranks."""
+
+    def __init__(self, size: int, timeout_s: float, quorum: int, injector=None):
+        self.size = size
+        self.timeout_s = timeout_s
+        self.quorum = quorum
+        self.injector = injector
+        self.checksums = injector is not None and injector.corrupts_messages
+        self.cond = threading.Condition()
+        self.active: set = set(range(size))
+        self.slots: Dict[int, _Contribution] = {}
+        self.pending_op: Optional[Tuple] = None
+        self.generation = 0
+        # (generation, payload, error, active-set) of the last finished
+        # collective; every contributor reads it before its next
+        # collective can overwrite it.
+        self.result: Tuple = (-1, None, None, frozenset())
+        self.quorum_lost = False
+        self.failures: Dict[int, BaseException] = {}
+        self.evictions: List[Tuple[int, int]] = []  # (generation, rank)
+        self.reductions = 0
+        self.bytes_reduced = 0
+        self.retransmits = 0
+
+    # All methods below require ``self.cond`` to be held by the caller.
+
+    def _check_quorum_locked(self) -> None:
+        if not self.quorum_lost and len(self.active) < self.quorum:
+            self.quorum_lost = True
+            _log.warning(
+                "quorum lost: %d survivors < quorum %d", len(self.active), self.quorum
+            )
+
+    def _payloads_locked(self) -> Dict[int, Optional[np.ndarray]]:
+        """Checksum-validated contributions, retransmitting corrupt ones."""
+        out: Dict[int, Optional[np.ndarray]] = {}
+        for r in sorted(self.slots):
+            c = self.slots[r]
+            if c.crc is not None and c.wire is not None:
+                if zlib.crc32(np.ascontiguousarray(c.wire).tobytes()) != c.crc:
+                    if c.source is None:
+                        raise MessageCorruptError(
+                            f"rank {r}'s contribution corrupt and unrecoverable"
+                        )
+                    self.retransmits += 1
+                    _log.warning(
+                        "corrupt contribution from rank %d in collective %d — "
+                        "retransmitted", r, self.generation,
+                    )
+                    out[r] = np.asarray(c.source)
+                    continue
+            out[r] = c.wire
+        return out
+
+    def finish_locked(self) -> None:
+        """Complete the pending collective over the active contributors."""
+        kind = self.pending_op[0]
+        error: Optional[BaseException] = None
+        payload: Any = None
+        try:
+            contribs = self._payloads_locked()
+            ranks = sorted(r for r in contribs if r in self.active)
+            if kind == "allreduce":
+                op = self.pending_op[1]
+                arrays = [contribs[r] for r in ranks]
+                payload = reduce_arrays(arrays, op)
+                self.reductions += 1
+                self.bytes_reduced += payload.nbytes * len(arrays)
+            elif kind == "bcast":
+                root = self.pending_op[1]
+                if root not in self.active or contribs.get(root) is None:
+                    error = RankFailedError(
+                        f"bcast root {root} died before contributing",
+                        failed_ranks=[root],
+                    )
+                else:
+                    payload = np.asarray(contribs[root])
+            elif kind == "gather":
+                payload = {r: np.array(contribs[r], copy=True) for r in ranks}
+            elif kind == "barrier":
+                payload = None
+            else:  # pragma: no cover - closed set
+                error = RuntimeError(f"unknown collective {kind!r}")
+        except BaseException as exc:  # noqa: BLE001 - delivered to every rank
+            error = exc
+        self.result = (self.generation, payload, error, frozenset(self.active))
+        self.generation += 1
+        self.slots.clear()
+        self.pending_op = None
+        self.cond.notify_all()
+
+    def maybe_finish_locked(self) -> None:
+        """Finish the pending collective if every active rank arrived."""
+        if self.pending_op is not None and self.active and set(self.slots) >= self.active:
+            self.finish_locked()
+
+    def mark_failed(self, rank: int, exc: BaseException) -> None:
+        """A rank died: shrink the group and unblock any waiters."""
+        with self.cond:
+            if rank not in self.active and rank in self.failures:
+                return
+            self.active.discard(rank)
+            self.slots.pop(rank, None)
+            self.failures[rank] = exc
+            _log.warning("rank %d failed (%r); %d survivors", rank, exc, len(self.active))
+            self._check_quorum_locked()
+            if not self.quorum_lost:
+                self.maybe_finish_locked()
+            self.cond.notify_all()
+
+    def evict_locked(self, rank: int, waited_s: float) -> None:
+        self.active.discard(rank)
+        self.slots.pop(rank, None)
+        self.evictions.append((self.generation, rank))
+        _log.warning(
+            "rank %d evicted after %.2fs without a heartbeat (collective %d); "
+            "%d survivors", rank, waited_s, self.generation, len(self.active),
+        )
+        self._check_quorum_locked()
+
+
+class ElasticComm(Communicator):
+    """Per-rank handle to an elastic group.
+
+    ``rank`` and ``size`` keep their *original* values for the life of
+    the group (shards and RNG streams stay stable across shrinks);
+    ``active_ranks`` reports current membership.
+    """
+
+    def __init__(self, rank: int, state: _ElasticState):
+        self._rank = rank
+        self._st = state
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._st.size
+
+    @property
+    def active_ranks(self) -> List[int]:
+        with self._st.cond:
+            return sorted(self._st.active)
+
+    @property
+    def n_active(self) -> int:
+        with self._st.cond:
+            return len(self._st.active)
+
+    # -- the one collective engine ----------------------------------------
+
+    def _collective(self, op: Tuple, array: Optional[np.ndarray]):
+        st = self._st
+        with st.cond:
+            if st.quorum_lost:
+                raise QuorumLostError(
+                    f"group below quorum {st.quorum}", survivors=sorted(st.active)
+                )
+            if self._rank not in st.active:
+                raise RankEvictedError(self._rank)
+            if st.pending_op is None:
+                st.pending_op = op
+            elif st.pending_op != op:
+                raise RuntimeError(
+                    f"collective mismatch: rank {self._rank} called {op!r} while "
+                    f"the group is in {st.pending_op!r}"
+                )
+            st.slots[self._rank] = self._contribution(array)
+            gen = st.generation
+            st.maybe_finish_locked()
+            deadline = time.monotonic() + st.timeout_s
+            while st.generation == gen and not st.quorum_lost:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Heartbeat expired: the ranks that never arrived are
+                    # presumed dead — evict them and continue without them.
+                    missing = sorted(st.active - set(st.slots))
+                    for r in missing:
+                        st.evict_locked(r, st.timeout_s)
+                    if not st.quorum_lost:
+                        st.maybe_finish_locked()
+                    st.cond.notify_all()
+                    break
+                st.cond.wait(remaining)
+            if st.quorum_lost:
+                raise QuorumLostError(
+                    f"group below quorum {st.quorum}", survivors=sorted(st.active)
+                )
+            rgen, payload, error, members = st.result
+            if rgen != gen:  # pragma: no cover - protocol invariant
+                raise RuntimeError(
+                    f"collective protocol error: expected generation {gen}, "
+                    f"got {rgen}"
+                )
+            if error is not None:
+                raise error
+            return payload, members
+
+    def _contribution(self, array: Optional[np.ndarray]) -> _Contribution:
+        st = self._st
+        if array is None:
+            return _Contribution(None, None, None)
+        arr = np.asarray(array)
+        if not st.checksums:
+            return _Contribution(arr, None, None)
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes())
+        wire = st.injector.corrupt_message(self._rank, st.generation, arr)
+        return _Contribution(wire, crc, arr)
+
+    # -- Communicator API ---------------------------------------------------
+
+    def allreduce(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        payload, _ = self._collective(("allreduce", op), np.asarray(array))
+        return np.array(payload, copy=True)
+
+    def bcast(self, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        self._check_root(root)
+        if self._rank == root and array is None:
+            raise ValueError("root rank must supply an array to bcast")
+        payload, _ = self._collective(
+            ("bcast", root), np.asarray(array) if self._rank == root else None
+        )
+        return np.array(payload, copy=True)
+
+    def barrier(self) -> None:
+        self._collective(("barrier",), None)
+
+    def gather(self, array: np.ndarray, root: int = 0) -> Optional[List[np.ndarray]]:
+        self._check_root(root)
+        payload, members = self._collective(("gather", root), np.asarray(array))
+        if self._rank != root:
+            return None
+        return [payload[r] for r in sorted(payload)]
+
+
+class ElasticThreadedGroup:
+    """Run an SPMD function across ``size`` rank threads, elastically.
+
+    Unlike :class:`~repro.comm.threaded.ThreadedGroup`, a rank-body
+    exception does not abort the group: the rank is marked failed, the
+    collectives shrink to the survivors, and ``run()`` returns the
+    survivors' results alongside a failure report.  Only quorum loss
+    (or every rank failing) raises.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        timeout_s: float = 30.0,
+        quorum: int = 1,
+        injector=None,
+        join_timeout_s: float = 120.0,
+    ):
+        if size < 1:
+            raise ValueError(f"group size must be >= 1, got {size}")
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if not 1 <= quorum <= size:
+            raise ValueError(f"quorum must be in [1, {size}], got {quorum}")
+        self.size = size
+        self.timeout_s = timeout_s
+        self.quorum = quorum
+        self.join_timeout_s = join_timeout_s
+        self._st = _ElasticState(size, timeout_s, quorum, injector=injector)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def active_ranks(self) -> List[int]:
+        with self._st.cond:
+            return sorted(self._st.active)
+
+    @property
+    def failures(self) -> Dict[int, BaseException]:
+        with self._st.cond:
+            return dict(self._st.failures)
+
+    @property
+    def evictions(self) -> List[Tuple[int, int]]:
+        with self._st.cond:
+            return list(self._st.evictions)
+
+    @property
+    def reductions(self) -> int:
+        return self._st.reductions
+
+    @property
+    def bytes_reduced(self) -> int:
+        return self._st.bytes_reduced
+
+    @property
+    def retransmits(self) -> int:
+        return self._st.retransmits
+
+    def stats(self) -> Dict[str, Any]:
+        with self._st.cond:
+            return {
+                "reductions": self._st.reductions,
+                "bytes_reduced": self._st.bytes_reduced,
+                "retransmits": self._st.retransmits,
+                "failed_ranks": sorted(self._st.failures),
+                "evicted_ranks": sorted(r for _, r in self._st.evictions),
+                "survivors": sorted(self._st.active),
+            }
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args_per_rank: Optional[Sequence[tuple]] = None,
+    ) -> List[Any]:
+        """Execute ``fn(comm, *args)`` per rank; return per-rank results.
+
+        Failed/evicted ranks yield ``None`` entries (their exceptions
+        are in :attr:`failures`).  Raises :class:`QuorumLostError` when
+        survivors fall below the quorum, or the first failure when *no*
+        rank survives.
+        """
+        if args_per_rank is not None and len(args_per_rank) != self.size:
+            raise ValueError(
+                f"args_per_rank must have {self.size} entries, got {len(args_per_rank)}"
+            )
+        st = self._st
+        results: List[Any] = [None] * self.size
+        quorum_errors: List[QuorumLostError] = []
+
+        def worker(rank: int) -> None:
+            comm = ElasticComm(rank, st)
+            args = args_per_rank[rank] if args_per_rank is not None else ()
+            try:
+                results[rank] = fn(comm, *args)
+            except RankEvictedError:
+                # The group already moved on without this rank; its
+                # eviction is recorded in ``evictions``.
+                pass
+            except QuorumLostError as exc:
+                quorum_errors.append(exc)
+            except BaseException as exc:  # noqa: BLE001 - handled elastically
+                st.mark_failed(rank, exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"elastic-rank-{r}", daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        hung = []
+        for r, t in enumerate(threads):
+            t.join(self.join_timeout_s)
+            if t.is_alive():
+                hung.append(r)
+        if hung:
+            raise RankFailedError(
+                f"rank(s) {hung} still running after {self.join_timeout_s}s join",
+                failed_ranks=hung,
+            )
+        with st.cond:
+            survivors = sorted(st.active)
+            failures = dict(st.failures)
+            quorum_lost = st.quorum_lost
+        if quorum_lost or quorum_errors:
+            first = next(iter(failures.values()), None)
+            raise QuorumLostError(
+                f"training group below quorum {self.quorum} "
+                f"({len(survivors)} survivors)",
+                survivors=survivors,
+            ) from first
+        if not survivors:
+            raise next(iter(failures.values()))
+        return results

@@ -21,6 +21,7 @@ from typing import Any, Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.comm.communicator import Communicator, ReduceOp, reduce_arrays
+from repro.comm.errors import CommTimeoutError, RankFailedError
 
 __all__ = ["ThreadedGroup"]
 
@@ -28,14 +29,22 @@ __all__ = ["ThreadedGroup"]
 class _SharedState:
     """Shared buffers and barrier for one thread group."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, timeout_s: Optional[float] = None):
         self.size = size
+        self.timeout_s = timeout_s
         self.barrier = threading.Barrier(size)
         self.slots: List[Optional[np.ndarray]] = [None] * size
         self.result: Optional[Any] = None
         self.lock = threading.Lock()
+        self.peer_errors: List[Optional[BaseException]] = [None] * size
         self.reductions = 0
         self.bytes_reduced = 0
+
+    def first_peer_error(self) -> Optional[BaseException]:
+        for exc in self.peer_errors:
+            if exc is not None:
+                return exc
+        return None
 
 
 class _ThreadRankComm(Communicator):
@@ -53,6 +62,33 @@ class _ThreadRankComm(Communicator):
     def size(self) -> int:
         return self._shared.size
 
+    def _wait(self) -> None:
+        """Barrier wait that cannot hang silently.
+
+        A peer that died aborts the barrier: the survivors re-raise the
+        peer's exception (as ``__cause__`` of a typed
+        :class:`RankFailedError`) instead of an anonymous
+        ``BrokenBarrierError``.  A peer that *hangs* trips the timeout:
+        the barrier is broken so every waiting rank unblocks with a
+        :class:`CommTimeoutError`.
+        """
+        s = self._shared
+        try:
+            s.barrier.wait(s.timeout_s)
+        except threading.BrokenBarrierError:
+            peer = s.first_peer_error()
+            if peer is not None:
+                failed = [r for r, e in enumerate(s.peer_errors) if e is not None]
+                raise RankFailedError(
+                    f"rank(s) {failed} failed during a collective: {peer!r}",
+                    failed_ranks=failed,
+                ) from peer
+            raise CommTimeoutError(
+                f"collective timed out after {s.timeout_s}s on rank {self._rank} "
+                "(a peer is hung or never entered the collective)",
+                timeout_s=s.timeout_s,
+            ) from None
+
     # Collective protocol: barrier #1 publishes contributions, rank 0
     # computes, barrier #2 publishes the result; every rank then reads
     # before its *next* collective's barrier #1 can let rank 0 overwrite.
@@ -60,12 +96,12 @@ class _ThreadRankComm(Communicator):
     def allreduce(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
         s = self._shared
         s.slots[self._rank] = np.asarray(array)
-        s.barrier.wait()
+        self._wait()
         if self._rank == 0:
             s.result = reduce_arrays(s.slots, op)  # type: ignore[arg-type]
             s.reductions += 1
             s.bytes_reduced += s.result.nbytes * s.size
-        s.barrier.wait()
+        self._wait()
         out = np.array(s.result, copy=True)
         return out
 
@@ -76,34 +112,43 @@ class _ThreadRankComm(Communicator):
             if array is None:
                 raise ValueError("root rank must supply an array to bcast")
             s.result = np.asarray(array)
-        s.barrier.wait()
+        self._wait()
         out = np.array(s.result, copy=True)
-        s.barrier.wait()
+        self._wait()
         return out
 
     def barrier(self) -> None:
-        self._shared.barrier.wait()
+        self._wait()
 
     def gather(self, array: np.ndarray, root: int = 0) -> Optional[List[np.ndarray]]:
         self._check_root(root)
         s = self._shared
         s.slots[self._rank] = np.asarray(array)
-        s.barrier.wait()
+        self._wait()
         out = None
         if self._rank == root:
             out = [np.array(a, copy=True) for a in s.slots]  # type: ignore[arg-type]
-        s.barrier.wait()
+        self._wait()
         return out
 
 
 class ThreadedGroup:
-    """Run an SPMD function across ``size`` rank threads."""
+    """Run an SPMD function across ``size`` rank threads.
 
-    def __init__(self, size: int):
+    ``timeout_s`` bounds every collective wait (and the final thread
+    join): a peer that dies or hangs surfaces as a typed
+    :class:`RankFailedError` / :class:`CommTimeoutError` on the
+    surviving ranks instead of a silent, indefinite block.
+    """
+
+    def __init__(self, size: int, timeout_s: Optional[float] = 60.0):
         if size < 1:
             raise ValueError(f"group size must be >= 1, got {size}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None to disable)")
         self.size = size
-        self._shared = _SharedState(size)
+        self.timeout_s = timeout_s
+        self._shared = _SharedState(size, timeout_s)
 
     @property
     def reductions(self) -> int:
@@ -137,6 +182,10 @@ class ThreadedGroup:
                 results[rank] = fn(comm, *args)
             except BaseException as exc:  # noqa: BLE001 - reraised below
                 errors[rank] = exc
+                # Publish before aborting so survivors unblocked by the
+                # broken barrier can re-raise *this* exception.
+                if not isinstance(exc, (threading.BrokenBarrierError, RankFailedError, CommTimeoutError)):
+                    self._shared.peer_errors[rank] = exc
                 self._shared.barrier.abort()
 
         threads = [
@@ -145,16 +194,30 @@ class ThreadedGroup:
         ]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join()
+        # Bounded join: a rank hung outside any collective (where the
+        # barrier timeout cannot see it) must not hang the caller.
+        hung: List[int] = []
+        for r, t in enumerate(threads):
+            t.join(self.timeout_s)
+            if t.is_alive():
+                hung.append(r)
+        if hung:
+            self._shared.barrier.abort()
         # After an abort the cyclic barrier stays broken; replace it so
         # the group is reusable before re-raising any rank's error.
         if self._shared.barrier.broken:
             self._shared.barrier = threading.Barrier(self.size)
-        # Prefer the original error over secondary BrokenBarrierErrors
-        # raised by ranks stuck in a collective when the barrier aborted.
+            self._shared.peer_errors = [None] * self.size
+        if hung:
+            raise CommTimeoutError(
+                f"rank(s) {hung} still running after {self.timeout_s}s join timeout",
+                timeout_s=self.timeout_s,
+            )
+        # Prefer the original error over the secondary errors raised by
+        # ranks that were merely unblocked when the barrier aborted.
+        secondary = (threading.BrokenBarrierError, RankFailedError, CommTimeoutError)
         for exc in errors:
-            if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+            if exc is not None and not isinstance(exc, secondary):
                 raise exc
         for exc in errors:
             if exc is not None:

@@ -49,8 +49,15 @@ from repro.core.optimizer import (
 )
 from repro.core.trainer import Trainer, TrainerConfig, InMemoryData
 from repro.core.distributed import DistributedTrainer, DistributedConfig
+from repro.core.elastic import ElasticConfig, ElasticTrainer, run_elastic
 from repro.core.metrics import relative_errors, RelativeErrorSummary
-from repro.core.checkpoint import save_checkpoint, load_checkpoint
+from repro.core.checkpoint import (
+    save_checkpoint,
+    load_checkpoint,
+    latest_checkpoint,
+    CheckpointError,
+    CheckpointCorruptError,
+)
 from repro.core.hyperparams import HyperparameterSearch, TrialResult
 
 __all__ = [
@@ -81,10 +88,16 @@ __all__ = [
     "InMemoryData",
     "DistributedTrainer",
     "DistributedConfig",
+    "ElasticConfig",
+    "ElasticTrainer",
+    "run_elastic",
     "relative_errors",
     "RelativeErrorSummary",
     "save_checkpoint",
     "load_checkpoint",
+    "latest_checkpoint",
+    "CheckpointError",
+    "CheckpointCorruptError",
     "HyperparameterSearch",
     "TrialResult",
 ]

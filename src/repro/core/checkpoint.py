@@ -2,24 +2,70 @@
 
 The paper's 8192-node runs train in minutes, but its 2048-node
 convergence runs span enough epochs that restartability matters — and
-any downstream user of this library needs to persist trained models.
-Checkpoints are a single ``.npz``: flat parameters, Adam moments, step
-counter, and the architecture preset name for shape validation on load.
+the elastic fault-tolerant driver *depends* on checkpoints being there
+when the training group loses quorum.  Checkpoints are a single
+``.npz``: flat parameters, Adam moments, step counter, and the
+architecture preset name for shape validation on load.
+
+Two resilience guarantees:
+
+* **Crash-safe writes.**  State is serialized to a ``*.tmp`` sibling,
+  fsync'd, and moved into place with :func:`os.replace` (atomic on
+  POSIX).  A rank that dies mid-save leaves the previous checkpoint
+  intact — never a half-written file under the final name.
+* **Integrity-verified loads.**  The payload carries a CRC32 over the
+  parameter and optimizer tensors; a checkpoint that was truncated or
+  bit-rotted on disk raises :class:`CheckpointCorruptError` instead of
+  silently resuming from garbage.
 """
 
 from __future__ import annotations
 
+import os
+import zlib
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.model import CosmoFlowModel
 from repro.core.optimizer import CosmoFlowOptimizer
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+]
 
 _FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint could not be saved or loaded.
+
+    Subclasses :class:`ValueError` so callers that predate the typed
+    hierarchy keep working.
+    """
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint failed integrity verification on load."""
+
+    def __init__(self, message: str, path=None):
+        super().__init__(message)
+        self.path = Path(path) if path is not None else None
+
+
+def _payload_crc(payload: dict) -> int:
+    """CRC32 over the tensor content (keys in sorted order)."""
+    crc = 0
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, np.ndarray) and value.ndim > 0:
+            crc = zlib.crc32(np.ascontiguousarray(value).tobytes(), crc)
+    return crc
 
 
 def save_checkpoint(
@@ -27,7 +73,7 @@ def save_checkpoint(
     model: CosmoFlowModel,
     optimizer: Optional[CosmoFlowOptimizer] = None,
 ) -> Path:
-    """Write model (and optionally optimizer) state to ``path``.
+    """Atomically write model (and optionally optimizer) state to ``path``.
 
     Returns the written path (``.npz`` appended if missing).
     """
@@ -47,7 +93,19 @@ def save_checkpoint(
         payload["step_count"] = np.int64(optimizer.step_count)
         payload["adam_m"] = np.concatenate([m.ravel() for m in optimizer.adam.m])
         payload["adam_v"] = np.concatenate([v.ravel() for v in optimizer.adam.v])
-    np.savez(path, **payload)
+    payload["payload_crc32"] = np.int64(_payload_crc(payload))
+    # Write-to-temp + fsync + rename: a crash mid-save never clobbers
+    # the previous checkpoint under the final name.
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return path
 
 
@@ -59,31 +117,80 @@ def load_checkpoint(
     """Restore state saved by :func:`save_checkpoint`, in place.
 
     The target model must have the same architecture (validated by
-    preset name and parameter count).
+    preset name and parameter count).  Raises
+    :class:`CheckpointCorruptError` when the file is unreadable,
+    truncated, or fails its CRC.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
-        name = str(data["config_name"])
-        if name != model.config.name:
-            raise ValueError(
-                f"checkpoint is for config {name!r}, model is {model.config.name!r}"
-            )
-        n = int(data["n_parameters"])
-        if n != model.num_parameters:
-            raise ValueError(
-                f"checkpoint has {n} parameters, model has {model.num_parameters}"
-            )
-        model.set_flat_parameters(data["flat_parameters"])
-        if optimizer is not None:
-            if "adam_m" not in data:
-                raise ValueError("checkpoint carries no optimizer state")
-            optimizer.adam.t = int(data["adam_t"])
-            optimizer.step_count = int(data["step_count"])
-            offset = 0
-            for m, v in zip(optimizer.adam.m, optimizer.adam.v):
-                m[...] = data["adam_m"][offset : offset + m.size].reshape(m.shape)
-                v[...] = data["adam_v"][offset : offset + v.size].reshape(v.shape)
-                offset += m.size
+    try:
+        data = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is unreadable ({exc})", path=path
+        ) from exc
+    with data:
+        try:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise CheckpointError(f"unsupported checkpoint version {version}")
+            if "payload_crc32" in data.files:
+                stored = int(data["payload_crc32"])
+                arrays = {
+                    k: data[k]
+                    for k in data.files
+                    if k != "payload_crc32" and data[k].ndim > 0
+                }
+                if _payload_crc(arrays) != stored:
+                    raise CheckpointCorruptError(
+                        f"checkpoint {path} failed CRC verification "
+                        "(truncated or bit-rotted on disk)",
+                        path=path,
+                    )
+            name = str(data["config_name"])
+            if name != model.config.name:
+                raise CheckpointError(
+                    f"checkpoint is for config {name!r}, model is {model.config.name!r}"
+                )
+            n = int(data["n_parameters"])
+            if n != model.num_parameters:
+                raise CheckpointError(
+                    f"checkpoint has {n} parameters, model has {model.num_parameters}"
+                )
+            model.set_flat_parameters(data["flat_parameters"])
+            if optimizer is not None:
+                if "adam_m" not in data.files:
+                    raise CheckpointError("checkpoint carries no optimizer state")
+                optimizer.adam.t = int(data["adam_t"])
+                optimizer.step_count = int(data["step_count"])
+                offset = 0
+                for m, v in zip(optimizer.adam.m, optimizer.adam.v):
+                    m[...] = data["adam_m"][offset : offset + m.size].reshape(m.shape)
+                    v[...] = data["adam_v"][offset : offset + v.size].reshape(v.shape)
+                    offset += m.size
+        except (CheckpointError, FileNotFoundError):
+            raise
+        except Exception as exc:
+            # A key missing from the archive, a zip-member CRC failure,
+            # or an undecodable entry is corruption, not a caller error.
+            raise CheckpointCorruptError(
+                f"checkpoint {path} is missing or has malformed entries ({exc})",
+                path=path,
+            ) from exc
+
+
+def latest_checkpoint(directory, pattern: str = "*.npz") -> Optional[Path]:
+    """Newest checkpoint in ``directory`` by name order, or ``None``.
+
+    Checkpoint files written by the elastic driver embed a
+    zero-padded step number, so lexicographic order is step order.
+    ``*.tmp`` leftovers from interrupted saves are ignored.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates: List[Path] = sorted(
+        p for p in directory.glob(pattern) if not p.name.endswith(".tmp")
+    )
+    return candidates[-1] if candidates else None

@@ -25,6 +25,11 @@ Two execution modes, numerically identical (both reduce through
   parameter broadcast at start, and a cross-rank parameter-divergence
   check at the end.  This is the paper's actual execution structure at
   small scale.
+
+A third mode, ``elastic`` (see :mod:`repro.core.elastic`), runs the
+threaded loop over a fault-tolerant group that survives rank crashes,
+stragglers, and message corruption — bitwise identical to ``threaded``
+when no faults fire.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ class DistributedConfig:
 
     n_ranks: int
     epochs: int = 10
-    mode: str = "stepped"  # "stepped" | "threaded"
+    mode: str = "stepped"  # "stepped" | "threaded" | "elastic"
     seed: int = 0
     validate: bool = True
     plugin: PluginConfig = PluginConfig()
@@ -61,7 +66,7 @@ class DistributedConfig:
     def __post_init__(self):
         if self.n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
-        if self.mode not in ("stepped", "threaded"):
+        if self.mode not in ("stepped", "threaded", "elastic"):
             raise ValueError(f"unknown mode {self.mode!r}")
 
     @property
@@ -104,6 +109,10 @@ class DistributedTrainer:
     def run(self) -> History:
         if self.config.mode == "stepped":
             return self._run_stepped()
+        if self.config.mode == "elastic":
+            from repro.core.elastic import run_elastic
+
+            return run_elastic(self)
         return self._run_threaded()
 
     # -- stepped mode ---------------------------------------------------------------

@@ -1,0 +1,257 @@
+"""Elastic fault-tolerant SSGD (Algorithm 2 under failure).
+
+The paper's fully synchronous design has a brittle failure mode: one
+dead node out of 8192 stalls every allreduce.  This driver runs the
+same SSGD loop as ``DistributedTrainer``'s threaded mode over an
+:class:`~repro.comm.elastic.ElasticThreadedGroup`, adding three layers
+of degradation instead of a hang:
+
+1. **Shrink and continue.**  A crashed or hung rank is evicted from the
+   group (arriving at a collective is the heartbeat); the gradient
+   average renormalizes over the survivors (``MEAN`` divides by the
+   active count), so training proceeds at a slightly smaller effective
+   batch — the elastic analogue of the paper's batch-size study.
+2. **Checkpoint and restart.**  When survivors fall below the quorum,
+   the group raises :class:`~repro.comm.errors.QuorumLostError`; the
+   driver reloads the last crash-safe checkpoint and relaunches with
+   the full rank count (replacement-node semantics).
+3. **Determinism.**  With no faults injected, every step is bitwise
+   identical to the pre-existing threaded trainer: same per-rank RNG
+   streams, same rank-order reduction, same collective sequence.  On
+   restart, completed epochs' batch orders are replayed ("burned in")
+   so the resumed RNG stream matches an uninterrupted run.
+
+Fault injection is cooperative: ranks call
+:meth:`FaultInjector.maybe_crash` / :meth:`~FaultInjector.hang_delay`
+at the top of each step, which is where a real failure detector would
+observe missed heartbeats.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.communicator import ReduceOp
+from repro.comm.elastic import ElasticThreadedGroup
+from repro.comm.errors import QuorumLostError
+from repro.comm.plugin import MLPlugin
+from repro.core.checkpoint import latest_checkpoint, load_checkpoint, save_checkpoint
+from repro.core.distributed import DistributedConfig, DistributedTrainer
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import CosmoFlowOptimizer
+from repro.core.trainer import History
+from repro.faults import FaultInjector
+from repro.utils.logging import get_logger
+
+__all__ = ["ElasticConfig", "ElasticTrainer", "run_elastic"]
+
+_log = get_logger("core.elastic")
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Fault-tolerance policy for elastic SSGD."""
+
+    timeout_s: float = 30.0
+    quorum: Optional[int] = None  # absolute; overrides quorum_fraction
+    quorum_fraction: float = 0.5  # survivors needed, as a fraction of n_ranks
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every_epochs: int = 1
+    max_restarts: int = 2
+
+    def __post_init__(self):
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if not 0.0 < self.quorum_fraction <= 1.0:
+            raise ValueError("quorum_fraction must be in (0, 1]")
+        if self.quorum is not None and self.quorum < 1:
+            raise ValueError("quorum must be >= 1")
+        if self.checkpoint_every_epochs < 1:
+            raise ValueError("checkpoint_every_epochs must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+
+    def resolve_quorum(self, n_ranks: int) -> int:
+        q = self.quorum if self.quorum is not None else math.ceil(
+            n_ranks * self.quorum_fraction
+        )
+        return max(1, min(n_ranks, q))
+
+
+def run_elastic(
+    trainer: DistributedTrainer,
+    elastic: Optional[ElasticConfig] = None,
+    injector: Optional[FaultInjector] = None,
+) -> History:
+    """Run ``trainer``'s SSGD loop elastically; see the module docstring.
+
+    Populates ``trainer.history``, ``trainer.group_stats`` and
+    ``trainer._final_model`` exactly like the built-in modes.
+    """
+    elastic = elastic or ElasticConfig()
+    injector = injector or FaultInjector()
+    cfg = trainer.config
+    k = cfg.n_ranks
+    quorum = elastic.resolve_quorum(k)
+    ckpt_dir = (
+        Path(elastic.checkpoint_dir) if elastic.checkpoint_dir is not None else None
+    )
+    if ckpt_dir is not None:
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+    epochs = cfg.epochs
+    steps = trainer.steps_per_epoch
+    train = trainer.train_data
+    val = trainer.val_data
+    opt_cfg = trainer.optimizer_config
+    model_cfg = trainer.model_config
+    validate = cfg.validate
+
+    def rank_body(comm):
+        model = CosmoFlowModel(model_cfg, seed=cfg.seed)
+        optimizer = CosmoFlowOptimizer(model.parameter_arrays(), opt_cfg)
+        start_epoch = 0
+        if ckpt_dir is not None:
+            ckpt = latest_checkpoint(ckpt_dir)
+            if ckpt is not None:
+                load_checkpoint(ckpt, model, optimizer)
+                start_epoch = optimizer.step_count // steps
+        plugin = MLPlugin(comm, cfg.plugin).init()
+        # Algorithm 2 preamble: rank 0's parameters to all ranks (after
+        # a restart this re-synchronizes any replica drift too).
+        plugin.broadcast_parameters(model.parameter_arrays())
+        shard = train.shard(comm.rank, k)
+        rng = np.random.default_rng([cfg.seed, comm.rank])
+        # Burn-in: replay completed epochs' batch draws so the resumed
+        # RNG stream is exactly where an uninterrupted run would be.
+        for _ in range(start_epoch):
+            it = shard.batches(1, rng=rng, shuffle=True)
+            for _ in range(steps):
+                next(it)
+        hist = History()
+        for epoch in range(start_epoch, epochs):
+            t0 = time.perf_counter()
+            hist.lr.append(optimizer.current_lr())
+            it = shard.batches(1, rng=rng, shuffle=True)
+            losses = []
+            for step in range(steps):
+                global_step = epoch * steps + step
+                injector.maybe_crash(comm.rank, global_step)
+                stall = injector.hang_delay(comm.rank, global_step)
+                if stall > 0:
+                    time.sleep(stall)
+                x, y = next(it)
+                loss, grads = model.loss_and_gradients(x, y)
+                global_grads = plugin.gradients(grads)
+                optimizer.step(global_grads)
+                losses.append(plugin.average_scalar(loss))
+            train_loss = float(np.mean(losses))
+            if validate and val is not None:
+                vshard = val.shard(comm.rank, k) if len(val) >= k else val
+                vlosses = [
+                    model.validation_loss(x, y)
+                    for x, y in vshard.batches(1, shuffle=False)
+                ]
+                val_loss = plugin.average_scalar(float(np.mean(vlosses)))
+            else:
+                val_loss = float("nan")
+            hist.train_loss.append(train_loss)
+            hist.val_loss.append(val_loss)
+            hist.epoch_time.append(time.perf_counter() - t0)
+            if (
+                ckpt_dir is not None
+                and (epoch + 1 - start_epoch) % elastic.checkpoint_every_epochs == 0
+                and comm.rank == min(comm.active_ranks)
+            ):
+                save_checkpoint(
+                    ckpt_dir / f"ckpt-{(epoch + 1) * steps:08d}", model, optimizer
+                )
+        # Synchronous training invariant among the survivors.
+        flat = model.get_flat_parameters()
+        spread = comm.allreduce(flat, ReduceOp.MAX) - comm.allreduce(flat, ReduceOp.MIN)
+        divergence = float(np.max(np.abs(spread)))
+        keeper = comm.rank == min(comm.active_ranks)
+        return hist, divergence, model if keeper else None
+
+    restarts = 0
+    while True:
+        group = ElasticThreadedGroup(
+            k, timeout_s=elastic.timeout_s, quorum=quorum, injector=injector
+        )
+        try:
+            results = group.run(rank_body)
+            break
+        except QuorumLostError as exc:
+            restarts += 1
+            can_restart = ckpt_dir is not None and restarts <= elastic.max_restarts
+            _log.warning(
+                "quorum lost (%d survivors); %s",
+                len(exc.survivors),
+                f"restart {restarts}/{elastic.max_restarts} from checkpoint"
+                if can_restart
+                else "giving up",
+            )
+            if not can_restart:
+                raise
+            # Relaunch with the full rank count (replacement nodes).
+            # Already-consumed fault events do not re-fire.
+
+    alive = [r for r, res in enumerate(results) if res is not None]
+    hist0, divergence, model0 = results[alive[0]]
+    if divergence > 1e-5:
+        raise RuntimeError(
+            f"rank parameter divergence {divergence:.3e} — synchronous "
+            "training invariant violated"
+        )
+    trainer.history = hist0
+    trainer.group_stats = {
+        "reductions": group.reductions,
+        "bytes_reduced": group.bytes_reduced,
+        "max_param_divergence": divergence,
+        "survivors": group.active_ranks,
+        "failed_ranks": sorted(group.failures),
+        "evicted_ranks": sorted(r for _, r in group.evictions),
+        "retransmits": group.retransmits,
+        "restarts": restarts,
+        "faults_injected": injector.summary(),
+    }
+    trainer._final_model = model0
+    return trainer.history
+
+
+class ElasticTrainer(DistributedTrainer):
+    """:class:`DistributedTrainer` that always runs the elastic driver.
+
+    ``DistributedConfig(mode="elastic")`` on a plain
+    ``DistributedTrainer`` gives the same loop with default policy; this
+    subclass is the way to attach a custom :class:`ElasticConfig` and a
+    :class:`~repro.faults.FaultInjector`.
+    """
+
+    def __init__(
+        self,
+        model_config,
+        train_data,
+        val_data=None,
+        config: Optional[DistributedConfig] = None,
+        optimizer_config=None,
+        elastic: Optional[ElasticConfig] = None,
+        injector: Optional[FaultInjector] = None,
+    ):
+        super().__init__(
+            model_config,
+            train_data,
+            val_data=val_data,
+            config=config or DistributedConfig(n_ranks=2, mode="elastic"),
+            optimizer_config=optimizer_config,
+        )
+        self.elastic = elastic or ElasticConfig()
+        self.injector = injector or FaultInjector()
+
+    def run(self) -> History:
+        return run_elastic(self, self.elastic, self.injector)

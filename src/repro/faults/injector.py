@@ -1,0 +1,214 @@
+"""Runtime fault injection.
+
+A :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan`
+to a running system.  Training, communication, and I/O code call its
+hooks at well-defined injection points; the injector matches pending
+events, fires each **once**, and keeps per-kind counters so benchmarks
+can report exactly what was injected versus what was recovered.
+
+The hooks are all cheap no-ops for an empty plan, so production code
+paths can consult an injector unconditionally.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedReadError",
+    "FaultInjector",
+]
+
+
+class InjectedFault(Exception):
+    """Base class for exceptions raised by the fault injector."""
+
+
+class InjectedCrash(InjectedFault, RuntimeError):
+    """A scheduled rank crash (stands in for a dead node/process)."""
+
+
+class InjectedReadError(InjectedFault, IOError):
+    """A scheduled filesystem read failure (transient unless repeated)."""
+
+
+class FaultInjector:
+    """Thread-safe runtime for one :class:`FaultPlan`.
+
+    Events are consumed at most once across the injector's lifetime,
+    which may span elastic restarts of the training group.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan or FaultPlan()
+        self._lock = threading.Lock()
+        self._remaining: List[_Pending] = [_Pending(e) for e in self.plan.events]
+        self._reads = 0
+        self._local = threading.local()  # per-thread current read index
+        self.fired: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
+
+    @property
+    def empty(self) -> bool:
+        return self.plan.empty
+
+    def fired_total(self) -> int:
+        return sum(self.fired.values())
+
+    # -- matching ------------------------------------------------------------
+
+    def _take(self, kind: FaultKind, rank: Optional[int], step: int) -> Optional[FaultEvent]:
+        """Consume one matching pending event, if any."""
+        with self._lock:
+            for p in self._remaining:
+                e = p.event
+                if e.kind is not kind or p.left <= 0:
+                    continue
+                if e.rank is not None and e.rank != rank:
+                    continue
+                if e.step != step:
+                    continue
+                p.left -= 1
+                if p.left == 0:
+                    self._remaining.remove(p)
+                self.fired[kind] += 1
+                return e
+        return None
+
+    # -- rank-fault hooks (called by the elastic trainer) ---------------------
+
+    def maybe_crash(self, rank: int, step: int) -> None:
+        """Raise :class:`InjectedCrash` if a crash is scheduled here."""
+        if self.empty:
+            return
+        if self._take(FaultKind.RANK_CRASH, rank, step) is not None:
+            raise InjectedCrash(f"injected crash of rank {rank} at step {step}")
+
+    def hang_delay(self, rank: int, step: int) -> float:
+        """Seconds this rank should stall at this step (0 = no fault)."""
+        if self.empty:
+            return 0.0
+        e = self._take(FaultKind.RANK_HANG, rank, step)
+        return e.delay_s if e is not None else 0.0
+
+    # -- communication hooks (called by the elastic communicator) -------------
+
+    @property
+    def corrupts_messages(self) -> bool:
+        """Whether the comm layer needs to checksum contributions."""
+        return any(e.kind is FaultKind.MESSAGE_CORRUPT for e in self.plan.events)
+
+    def corrupt_message(self, rank: int, collective: int, array: np.ndarray) -> np.ndarray:
+        """Return the "wire copy" of a contribution — bit-flipped when a
+        corruption event matches ``(rank, collective sequence number)``."""
+        if self.empty:
+            return array
+        if self._take(FaultKind.MESSAGE_CORRUPT, rank, collective) is None:
+            return array
+        wire = np.array(array, copy=True)
+        flat = wire.reshape(-1).view(np.uint8)
+        flat[len(flat) // 2] ^= 0xFF
+        return wire
+
+    # -- I/O hooks (called by the dataset read path) ---------------------------
+
+    def on_read(self, path, attempt: int = 0) -> None:
+        """Injection point for one file-read attempt.
+
+        First attempts (``attempt == 0``) advance the global read
+        counter that ``READ_ERROR``/``READ_DELAY`` events key on;
+        retries re-test the same read index so an event with
+        ``repeats > 1`` keeps failing until the retries outlast it.
+        """
+        if self.empty:
+            return
+        if attempt == 0:
+            with self._lock:
+                read_index = self._reads
+                self._reads += 1
+            self._local.read_index = read_index
+        else:
+            # Retries re-test the read they belong to, even when other
+            # threads have advanced the global counter in the meantime.
+            read_index = getattr(self._local, "read_index", self._reads - 1)
+        e = self._take(FaultKind.READ_DELAY, None, read_index)
+        if e is not None and e.delay_s > 0:
+            import time
+
+            time.sleep(e.delay_s)
+        if self._take(FaultKind.READ_ERROR, None, read_index) is not None:
+            raise InjectedReadError(
+                f"injected read error on {path} (read #{read_index}, attempt {attempt})"
+            )
+
+    def read_hook(self, base_hook=None):
+        """Wrap (or create) a ``RecordDataset.read_hook`` that injects
+        this plan's I/O faults before delegating to ``base_hook``."""
+
+        def hook(path, nbytes: int, attempt: int = 0) -> None:
+            self.on_read(path, attempt=attempt)
+            if base_hook is not None:
+                base_hook(path, nbytes)
+
+        return hook
+
+    # -- on-disk corruption (test/benchmark utility) ---------------------------
+
+    def corrupt_record_file(self, path) -> int:
+        """Flip one payload byte of each scheduled ``RECORD_CORRUPT``
+        record in ``path`` (events match on record index).  Returns the
+        number of records corrupted.
+
+        This mutates the file in place — the injection happens on disk,
+        so the reader's CRC check detects it exactly as it would detect
+        real bit rot.
+        """
+        from repro.io.records import _CRC, _LENGTH  # framing layout
+
+        targets = set()
+        with self._lock:
+            for p in list(self._remaining):
+                if p.event.kind is FaultKind.RECORD_CORRUPT:
+                    targets.add(p.event.step)
+                    self._remaining.remove(p)
+                    self.fired[FaultKind.RECORD_CORRUPT] += 1
+        if not targets:
+            return 0
+        path = Path(path)
+        data = bytearray(path.read_bytes())
+        corrupted = 0
+        offset = 0
+        index = 0
+        while offset + _LENGTH.size + _CRC.size <= len(data):
+            (length,) = _LENGTH.unpack_from(data, offset)
+            payload_at = offset + _LENGTH.size + _CRC.size
+            if index in targets and payload_at + length <= len(data):
+                data[payload_at + length // 2] ^= 0xFF
+                corrupted += 1
+            offset = payload_at + length + _CRC.size
+            index += 1
+        path.write_bytes(bytes(data))
+        return corrupted
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Fired-event counts by kind (only nonzero entries)."""
+        return {k.value: v for k, v in self.fired.items() if v}
+
+
+class _Pending:
+    """A plan event plus its remaining fire count."""
+
+    __slots__ = ("event", "left")
+
+    def __init__(self, event: FaultEvent):
+        self.event = event
+        self.left = event.repeats

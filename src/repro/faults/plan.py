@@ -1,0 +1,188 @@
+"""Deterministic fault schedules.
+
+At 8192 nodes the paper's fully synchronous training has no tolerance
+for failure: one dead rank kills the allreduce, one slow OST stalls an
+epoch (Sections III-D, VI-A/B).  To *test* the resilience layer this
+repo adds, faults must be reproducible — the same seed must kill the
+same rank at the same step on every run, so convergence-under-failure
+experiments are comparable across commits.
+
+A :class:`FaultPlan` is an explicit, ordered list of
+:class:`FaultEvent` entries.  Plans are built either directly (pin a
+crash to a rank/step for a regression test) or sampled from per-kind
+rates with :meth:`FaultPlan.sample` (sweep failure rates in the A7
+benchmark).  Every event fires **at most once** — the runtime
+:class:`~repro.faults.injector.FaultInjector` tracks consumption, so a
+crash that already happened does not re-fire after an elastic restart
+replaces the dead rank.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injection framework can produce."""
+
+    #: A rank dies at the top of a training step (process crash).
+    RANK_CRASH = "rank_crash"
+    #: A rank sleeps ``delay_s`` at the top of a step (hang / straggler).
+    RANK_HANG = "rank_hang"
+    #: One rank's contribution to one collective is bit-flipped in
+    #: transit (detected by the communicator's checksum, retransmitted).
+    MESSAGE_CORRUPT = "message_corrupt"
+    #: A record payload on disk is bit-flipped (detected by the TFRecord
+    #: CRC, skipped by the non-strict reader).
+    RECORD_CORRUPT = "record_corrupt"
+    #: A file read raises an IOError (retried with backoff).
+    READ_ERROR = "read_error"
+    #: A file read blocks an extra ``delay_s`` (latency spike).
+    READ_DELAY = "read_delay"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    The key fields depend on the kind:
+
+    * rank faults (``RANK_CRASH``/``RANK_HANG``) match on
+      ``(rank, step)`` where ``step`` is the global training step;
+    * ``MESSAGE_CORRUPT`` matches on ``(rank, step)`` where ``step`` is
+      the collective sequence number;
+    * I/O faults (``READ_ERROR``/``READ_DELAY``) match on ``step`` = the
+      injector's global read counter;
+    * ``RECORD_CORRUPT`` matches on ``step`` = record index within the
+      file handed to :meth:`FaultInjector.corrupt_record_file`.
+
+    ``repeats`` lets a read error persist for several attempts so the
+    retry path is genuinely exercised (default: transient, one attempt).
+    """
+
+    kind: FaultKind
+    rank: Optional[int] = None
+    step: int = 0
+    delay_s: float = 0.0
+    repeats: int = 1
+
+    def __post_init__(self):
+        if self.step < 0:
+            raise ValueError("step must be >= 0")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        needs_rank = self.kind in (
+            FaultKind.RANK_CRASH,
+            FaultKind.RANK_HANG,
+            FaultKind.MESSAGE_CORRUPT,
+        )
+        if needs_rank and self.rank is None:
+            raise ValueError(f"{self.kind.value} events need a rank")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of faults.
+
+    ``FaultPlan(seed=7)`` with no events is the empty (fault-free)
+    plan; the seed still names the plan in reports.  Use
+    :meth:`sample` to draw a random plan from failure rates.
+    """
+
+    seed: int = 0
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: FaultKind) -> List[FaultEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def describe(self) -> str:
+        """One line per event, for logs and benchmark reports."""
+        if self.empty:
+            return f"FaultPlan(seed={self.seed}): no faults"
+        lines = [f"FaultPlan(seed={self.seed}): {len(self.events)} events"]
+        for e in self.events:
+            where = f"rank={e.rank} " if e.rank is not None else ""
+            extra = f" delay={e.delay_s:.3g}s" if e.delay_s else ""
+            extra += f" repeats={e.repeats}" if e.repeats > 1 else ""
+            lines.append(f"  {e.kind.value}: {where}step={e.step}{extra}")
+        return "\n".join(lines)
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        n_ranks: int,
+        n_steps: int,
+        crash_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        hang_delay_s: float = 0.05,
+        corrupt_rate: float = 0.0,
+        read_error_rate: float = 0.0,
+        n_reads: int = 0,
+        read_delay_rate: float = 0.0,
+        read_delay_s: float = 0.01,
+    ) -> "FaultPlan":
+        """Draw a plan from per-(rank, step) Bernoulli rates.
+
+        ``crash_rate`` etc. are probabilities per rank per step (per
+        read for the I/O kinds, over ``n_reads`` read operations).  The
+        draw is fully determined by ``seed``.
+        """
+        if n_ranks < 1 or n_steps < 0:
+            raise ValueError("need n_ranks >= 1 and n_steps >= 0")
+        for name, rate in (
+            ("crash_rate", crash_rate),
+            ("hang_rate", hang_rate),
+            ("corrupt_rate", corrupt_rate),
+            ("read_error_rate", read_error_rate),
+            ("read_delay_rate", read_delay_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        crashed: set = set()
+        for step in range(n_steps):
+            for rank in range(n_ranks):
+                if rank in crashed:
+                    continue
+                if crash_rate and rng.random() < crash_rate:
+                    events.append(FaultEvent(FaultKind.RANK_CRASH, rank=rank, step=step))
+                    crashed.add(rank)
+                    continue
+                if hang_rate and rng.random() < hang_rate:
+                    events.append(
+                        FaultEvent(
+                            FaultKind.RANK_HANG, rank=rank, step=step, delay_s=hang_delay_s
+                        )
+                    )
+                if corrupt_rate and rng.random() < corrupt_rate:
+                    events.append(
+                        FaultEvent(FaultKind.MESSAGE_CORRUPT, rank=rank, step=step)
+                    )
+        for read in range(n_reads):
+            if read_error_rate and rng.random() < read_error_rate:
+                events.append(FaultEvent(FaultKind.READ_ERROR, step=read))
+            if read_delay_rate and rng.random() < read_delay_rate:
+                events.append(
+                    FaultEvent(FaultKind.READ_DELAY, step=read, delay_s=read_delay_s)
+                )
+        return cls(seed=seed, events=tuple(events))

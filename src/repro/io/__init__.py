@@ -30,6 +30,7 @@ from repro.io.records import (
     write_record_file,
     read_record_file,
     RecordCorruptionError,
+    RecordCorruptError,
 )
 from repro.io.dataset import RecordDataset, write_dataset
 from repro.io.pipeline import PrefetchPipeline, PipelineStats
@@ -51,6 +52,7 @@ __all__ = [
     "write_record_file",
     "read_record_file",
     "RecordCorruptionError",
+    "RecordCorruptError",
     "RecordDataset",
     "write_dataset",
     "PrefetchPipeline",

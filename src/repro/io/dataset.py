@@ -10,15 +10,21 @@ sharding data-parallel training needs.
 
 from __future__ import annotations
 
+import inspect
+import threading
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.io.records import RecordReader, write_record_file
+from repro.io.records import RecordCorruptionError, RecordReader, write_record_file
+from repro.utils.logging import get_logger
+from repro.utils.retry import RetryPolicy, call_with_retry
 from repro.utils.rng import new_rng
 
 __all__ = ["write_dataset", "RecordDataset"]
+
+_log = get_logger("io.dataset")
 
 #: The paper's samples-per-record-file.
 SAMPLES_PER_FILE = 64
@@ -69,7 +75,13 @@ class RecordDataset:
     (and what the paper's QueueRunner pipeline effectively does).
     """
 
-    def __init__(self, paths: Sequence, read_hook=None):
+    def __init__(
+        self,
+        paths: Sequence,
+        read_hook=None,
+        retry: Optional[RetryPolicy] = None,
+        strict: bool = True,
+    ):
         self.paths = [Path(p) for p in paths]
         if not self.paths:
             raise ValueError("RecordDataset needs at least one file")
@@ -77,10 +89,27 @@ class RecordDataset:
         if missing:
             raise FileNotFoundError(f"missing record files: {missing}")
         #: Optional callable(path, nbytes) invoked per file read — the
-        #: hook the filesystem model uses to inject read latency.
+        #: hook the filesystem model uses to inject read latency (and
+        #: the fault injector uses to inject read errors).  Hooks may
+        #: optionally take an ``attempt`` keyword to see retries.
         self.read_hook = read_hook
-        self._counts = [sum(1 for _ in RecordReader(p)) for p in self.paths]
+        self._hook_takes_attempt = read_hook is not None and (
+            "attempt" in inspect.signature(read_hook).parameters
+        )
+        #: Optional bounded-retry policy for transient read errors.
+        #: ``None`` keeps the historical fail-fast behaviour.
+        self.retry = retry
+        #: With ``strict=False``, corrupt records are skipped and
+        #: counted instead of raising (see :class:`RecordReader`).
+        self.strict = strict
+        self._counts = [
+            sum(1 for _ in RecordReader(p, strict=strict)) for p in self.paths
+        ]
+        self._lock = threading.Lock()
         self.bytes_read = 0
+        #: Fault counters, reported through the pipeline's stats.
+        self.read_retries = 0
+        self.records_skipped = 0
 
     def __len__(self) -> int:
         return sum(self._counts)
@@ -89,12 +118,46 @@ class RecordDataset:
     def n_files(self) -> int:
         return len(self.paths)
 
-    def _load_file(self, path: Path) -> List[Tuple[np.ndarray, np.ndarray]]:
-        nbytes = path.stat().st_size
-        if self.read_hook is not None:
+    def _call_hook(self, path: Path, nbytes: int, attempt: int) -> None:
+        if self._hook_takes_attempt:
+            self.read_hook(path, nbytes, attempt=attempt)
+        else:
             self.read_hook(path, nbytes)
-        self.bytes_read += nbytes
-        return list(RecordReader(path).samples())
+
+    def _load_file(self, path: Path) -> List[Tuple[np.ndarray, np.ndarray]]:
+        def attempt_read(attempt: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+            nbytes = path.stat().st_size
+            if self.read_hook is not None:
+                self._call_hook(path, nbytes, attempt)
+            reader = RecordReader(path, strict=self.strict)
+            samples = list(reader.samples())
+            with self._lock:
+                self.bytes_read += nbytes
+                self.records_skipped += reader.records_skipped
+            if reader.records_skipped:
+                _log.warning(
+                    "skipped %d corrupt record(s) in %s", reader.records_skipped, path
+                )
+            return samples
+
+        if self.retry is None:
+            return attempt_read(0)
+
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            with self._lock:
+                self.read_retries += 1
+            _log.warning(
+                "read of %s failed (attempt %d): %s — retrying", path, attempt + 1, exc
+            )
+
+        # Corruption subclasses IOError but is not transient: no retry.
+        return call_with_retry(
+            attempt_read,
+            self.retry,
+            retryable=(OSError,),
+            non_retryable=(RecordCorruptionError,),
+            on_retry=on_retry,
+        )
 
     def batches(
         self, batch_size: int = 1, rng=None, shuffle: bool = True
@@ -138,7 +201,9 @@ class RecordDataset:
             raise ValueError(
                 f"dataset has {len(self.paths)} files, too few for {n_ranks} ranks"
             )
-        return RecordDataset(picked, read_hook=self.read_hook)
+        return RecordDataset(
+            picked, read_hook=self.read_hook, retry=self.retry, strict=self.strict
+        )
 
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Materialize the whole dataset (small datasets / tests)."""

@@ -24,11 +24,23 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
 
 __all__ = ["PipelineStats", "PrefetchPipeline"]
 
 _SENTINEL = object()
+
+_log = get_logger("io.pipeline")
+
+
+class _ProducerError:
+    """Queue marker that wakes the consumer when an I/O thread dies."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
 
 
 @dataclass
@@ -40,6 +52,10 @@ class PipelineStats:
     producer_time_s: float = 0.0
     max_queue_depth: int = 0
     waits: List[float] = field(default_factory=list)
+    #: Resilience counters (deltas observed through the source dataset).
+    read_retries: int = 0
+    records_skipped: int = 0
+    producer_errors: int = 0
 
     @property
     def mean_wait_s(self) -> float:
@@ -105,6 +121,10 @@ class PrefetchPipeline:
         # producers must not block forever on a full queue (the paper's
         # "coordinator" role — TF's Coordinator exists for exactly this).
         stop = threading.Event()
+        # Snapshot the dataset's resilience counters so the epoch's
+        # retries/skips can be attributed to this pipeline's stats.
+        retries0 = getattr(self.dataset, "read_retries", 0)
+        skipped0 = getattr(self.dataset, "records_skipped", 0)
 
         def put(item) -> bool:
             """Bounded put that gives up once the consumer is gone."""
@@ -131,7 +151,11 @@ class PrefetchPipeline:
                     if not put(batch):
                         return
             except BaseException as exc:  # noqa: BLE001 - surfaced to consumer
+                # Record first (the consumer's pre-get check sees it on
+                # its very next call), then wake a blocked consumer.
                 errors.append(exc)
+                self.stats.producer_errors += 1
+                put(_ProducerError(exc))
             finally:
                 self.stats.producer_time_s += time.perf_counter() - t0
                 put(_SENTINEL)
@@ -148,9 +172,16 @@ class PrefetchPipeline:
         finished = 0
         try:
             while finished < self.n_io_threads:
+                # A dead producer must surface in the consuming thread
+                # within one next() call — check before blocking, and
+                # the _ProducerError marker wakes a blocked get().
+                if errors:
+                    raise errors[0]
                 t0 = time.perf_counter()
                 item = q.get()
                 wait = time.perf_counter() - t0
+                if isinstance(item, _ProducerError):
+                    raise item.exc
                 if item is _SENTINEL:
                     finished += 1
                     continue
@@ -163,5 +194,15 @@ class PrefetchPipeline:
             stop.set()
             for t in threads:
                 t.join(timeout=5.0)
+            self.stats.read_retries += getattr(self.dataset, "read_retries", 0) - retries0
+            self.stats.records_skipped += (
+                getattr(self.dataset, "records_skipped", 0) - skipped0
+            )
+            if self.stats.read_retries or self.stats.records_skipped:
+                _log.info(
+                    "pipeline epoch: %d read retries, %d corrupt records skipped",
+                    self.stats.read_retries,
+                    self.stats.records_skipped,
+                )
         if errors:
             raise errors[0]

@@ -29,6 +29,7 @@ import numpy as np
 
 __all__ = [
     "RecordCorruptionError",
+    "RecordCorruptError",
     "masked_crc32",
     "encode_sample",
     "decode_sample",
@@ -46,6 +47,28 @@ _MAGIC = b"CFR1"
 
 class RecordCorruptionError(IOError):
     """A record failed its CRC or structural check."""
+
+
+class RecordCorruptError(RecordCorruptionError):
+    """A corrupt record, with enough context to find it on disk.
+
+    Carries ``path`` (file), ``offset`` (byte offset of the record's
+    framing header), ``record_index`` (0-based within the file), and
+    ``reason`` — so an operator can locate and excise the bad record
+    rather than discarding the whole 512 MB file.
+    """
+
+    def __init__(self, reason: str, path=None, offset: int = -1, record_index: int = -1):
+        self.reason = reason
+        self.path = Path(path) if path is not None else None
+        self.offset = offset
+        self.record_index = record_index
+        where = f"{self.path}" if self.path is not None else "<stream>"
+        if record_index >= 0:
+            where += f" record {record_index}"
+        if offset >= 0:
+            where += f" @ byte {offset}"
+        super().__init__(f"{where}: {reason}")
 
 
 def masked_crc32(data: bytes) -> int:
@@ -123,39 +146,77 @@ class RecordWriter:
 
 
 class RecordReader:
-    """Iterate framed records from a file, verifying CRCs."""
+    """Iterate framed records from a file, verifying CRCs.
 
-    def __init__(self, path, verify: bool = True):
+    With ``strict=True`` (default) any corruption raises
+    :class:`RecordCorruptError` with file/offset/record-index context.
+    With ``strict=False`` the reader *skips* corrupt records — counting
+    them in ``records_skipped`` — so one flipped bit costs one sample,
+    not the whole file.  A corrupt length header (or truncated tail)
+    ends iteration early in non-strict mode, since the framing can no
+    longer be trusted to resynchronize.
+    """
+
+    def __init__(self, path, verify: bool = True, strict: bool = True):
         self.path = Path(path)
         self.verify = verify
+        self.strict = strict
+        #: Corrupt records skipped (non-strict mode), cumulative.
+        self.records_skipped = 0
+
+    def _corrupt(self, reason: str, offset: int, index: int) -> RecordCorruptError:
+        return RecordCorruptError(reason, path=self.path, offset=offset, record_index=index)
 
     def __iter__(self) -> Iterator[bytes]:
         with open(self.path, "rb") as fh:
+            index = 0
             while True:
+                offset = fh.tell()
                 header = fh.read(_LENGTH.size)
                 if not header:
                     return
+                err = None
+                payload = None
                 if len(header) != _LENGTH.size:
-                    raise RecordCorruptionError(f"{self.path}: truncated length header")
-                (length,) = _LENGTH.unpack(header)
-                (len_crc,) = _CRC.unpack(self._read_exact(fh, _CRC.size))
-                if self.verify and len_crc != masked_crc32(header):
-                    raise RecordCorruptionError(f"{self.path}: length CRC mismatch")
-                payload = self._read_exact(fh, length)
-                (crc,) = _CRC.unpack(self._read_exact(fh, _CRC.size))
-                if self.verify and crc != masked_crc32(payload):
-                    raise RecordCorruptionError(f"{self.path}: payload CRC mismatch")
+                    err = self._corrupt("truncated length header", offset, index)
+                else:
+                    (length,) = _LENGTH.unpack(header)
+                    len_crc_bytes = fh.read(_CRC.size)
+                    if len(len_crc_bytes) != _CRC.size:
+                        err = self._corrupt("truncated record", offset, index)
+                    elif self.verify and _CRC.unpack(len_crc_bytes)[0] != masked_crc32(header):
+                        err = self._corrupt("length CRC mismatch", offset, index)
+                    else:
+                        payload = fh.read(length)
+                        crc_bytes = fh.read(_CRC.size)
+                        if len(payload) != length or len(crc_bytes) != _CRC.size:
+                            err = self._corrupt("truncated record", offset, index)
+                        elif self.verify and _CRC.unpack(crc_bytes)[0] != masked_crc32(payload):
+                            err = self._corrupt("payload CRC mismatch", offset, index)
+                if err is not None:
+                    if self.strict:
+                        raise err
+                    self.records_skipped += 1
+                    # A bad payload CRC leaves the framing intact — skip
+                    # just this record; anything else poisons the frame
+                    # boundaries, so stop at the last good record.
+                    if "payload CRC" in err.reason:
+                        index += 1
+                        continue
+                    return
                 yield payload
+                index += 1
 
     def samples(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        index = 0
         for payload in self:
-            yield decode_sample(payload)
-
-    def _read_exact(self, fh, n: int) -> bytes:
-        data = fh.read(n)
-        if len(data) != n:
-            raise RecordCorruptionError(f"{self.path}: truncated record")
-        return data
+            try:
+                yield decode_sample(payload)
+            except RecordCorruptionError as exc:
+                if self.strict:
+                    raise self._corrupt(str(exc), -1, index) from exc
+                self.records_skipped += 1
+            index += 1
 
 
 def write_record_file(

@@ -79,6 +79,11 @@ class ClusterModel:
     #: here is an *ablation knob* — "what if the plugin hid less?" —
     #: not part of the baseline model.
     straggler_exposure: float = 0.0
+    #: Mean time between failures of ONE node, in hours.  0 disables
+    #: failure modeling.  At full scale the system MTBF shrinks as
+    #: 1/n — the reason the elastic trainer exists: with a typical
+    #: ~5-year node MTBF, 8192 nodes fail every ~5 hours in aggregate.
+    node_mtbf_hours: float = 0.0
 
     def __post_init__(self):
         if self.flops_per_sample <= 0 or self.model_bytes < 0 or self.sample_bytes < 0:
@@ -87,6 +92,8 @@ class ClusterModel:
             raise ValueError("batch_per_node must be >= 1")
         if not 0.0 <= self.straggler_exposure <= 1.0:
             raise ValueError("straggler_exposure must be in [0, 1]")
+        if self.node_mtbf_hours < 0:
+            raise ValueError("node_mtbf_hours must be >= 0")
 
     # -- step decomposition -----------------------------------------------------
 
@@ -163,6 +170,27 @@ class ClusterModel:
     def efficiency(self, n_nodes: int) -> float:
         return self.speedup(n_nodes) / n_nodes
 
+    # -- reliability -----------------------------------------------------------
+
+    def system_mtbf_hours(self, n_nodes: int) -> float:
+        """Aggregate MTBF of ``n`` independent nodes (node MTBF / n);
+        ``inf`` when failure modeling is disabled."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.node_mtbf_hours == 0:
+            return float("inf")
+        return self.node_mtbf_hours / n_nodes
+
+    def expected_failures(self, n_nodes: int, duration_s: float) -> float:
+        """Expected node-failure count during a ``duration_s`` run
+        (Poisson mean: duration / system MTBF)."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        mtbf = self.system_mtbf_hours(n_nodes)
+        if mtbf == float("inf"):
+            return 0.0
+        return duration_s / (mtbf * 3600.0)
+
     def sweep(self, node_counts: Sequence[int], n_samples: Optional[int] = None) -> List[ScalingPoint]:
         """Scaling sweep; ``n_samples`` defaults to the paper's training
         set size scaled so every count divides evenly."""
@@ -225,6 +253,18 @@ class FullScaleRun:
     @property
     def parallel_efficiency(self) -> float:
         return self.model.efficiency(self.n_nodes)
+
+    @property
+    def expected_restarts(self) -> float:
+        """Expected failure-driven restarts over the whole run (0 when
+        the model's ``node_mtbf_hours`` is unset).
+
+        At the paper's scale even a ~9-minute run has non-negligible
+        failure probability: 8192 nodes x 5-year node MTBF gives a
+        ~5.3-hour system MTBF, so every production-length run needs the
+        elastic/checkpoint machinery of :mod:`repro.core.elastic`.
+        """
+        return self.model.expected_failures(self.n_nodes, self.training_time_s)
 
 
 def _machine(defaults: dict, overrides: dict) -> ClusterModel:

@@ -8,6 +8,7 @@ subpackage may import them, and they import nothing from the rest of
 from repro.utils.rng import new_rng, spawn_rngs, derive_seed
 from repro.utils.timer import StageTimer, Timer, format_duration
 from repro.utils.logging import get_logger
+from repro.utils.retry import RetryPolicy, call_with_retry
 
 __all__ = [
     "new_rng",
@@ -17,4 +18,6 @@ __all__ = [
     "Timer",
     "format_duration",
     "get_logger",
+    "RetryPolicy",
+    "call_with_retry",
 ]

@@ -1,0 +1,76 @@
+"""Bounded retry with exponential backoff.
+
+The I/O path uses this to survive transient filesystem errors (a Lustre
+OST dropping out, an injected :class:`~repro.faults.InjectedReadError`)
+without crashing the trainer: a fixed number of attempts, exponentially
+spaced, then the last error propagates.  Deterministic by design — no
+jitter — so fault-injection tests see identical schedules every run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Tuple, Type
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to back off.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is
+    ``base_delay_s * multiplier**attempt``, capped at ``max_delay_s``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1``."""
+        return min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+
+
+def call_with_retry(
+    fn: Callable,
+    policy: RetryPolicy,
+    retryable: Tuple[Type[BaseException], ...] = (IOError,),
+    non_retryable: Tuple[Type[BaseException], ...] = (),
+    on_retry: Callable[[int, BaseException], None] = None,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Call ``fn(attempt)`` up to ``policy.max_attempts`` times.
+
+    ``fn`` receives the attempt index so callers can thread it through
+    to injection points.  ``on_retry(attempt, exc)`` fires before each
+    backoff (for counters/logging).  ``non_retryable`` wins over
+    ``retryable`` — corruption errors subclass :class:`IOError` but
+    retrying cannot fix them, so they propagate immediately.
+    """
+    last: BaseException = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(attempt)
+        except retryable as exc:
+            if non_retryable and isinstance(exc, non_retryable):
+                raise
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            backoff = policy.delay(attempt)
+            if backoff > 0:
+                sleep(backoff)
+    raise last

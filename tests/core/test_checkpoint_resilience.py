@@ -1,0 +1,121 @@
+"""Crash-safety and integrity guarantees of the checkpoint layer."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import CosmoFlowOptimizer
+from repro.core.topology import ConvSpec, CosmoFlowConfig
+
+MICRO = CosmoFlowConfig(
+    name="micro4ckpt",
+    input_size=4,
+    conv_layers=(ConvSpec(16, 2),),
+    fc_sizes=(8,),
+    n_outputs=3,
+)
+
+
+def make_model():
+    model = CosmoFlowModel(MICRO, seed=0)
+    opt = CosmoFlowOptimizer(model.parameter_arrays())
+    return model, opt
+
+
+class TestAtomicSave:
+    def test_no_tmp_leftover(self, tmp_path):
+        model, opt = make_model()
+        path = save_checkpoint(tmp_path / "ckpt", model, opt)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_overwrite_is_atomic_content_swap(self, tmp_path):
+        model, opt = make_model()
+        path = save_checkpoint(tmp_path / "ckpt", model, opt)
+        flat_before = model.get_flat_parameters().copy()
+        # Mutate and re-save over the same name.
+        model.set_flat_parameters(flat_before + 1.0)
+        save_checkpoint(tmp_path / "ckpt", model, opt)
+        fresh, fopt = make_model()
+        load_checkpoint(path, fresh, fopt)
+        np.testing.assert_array_equal(fresh.get_flat_parameters(), flat_before + 1.0)
+
+    def test_roundtrip_with_crc(self, tmp_path):
+        model, opt = make_model()
+        path = save_checkpoint(tmp_path / "ckpt", model, opt)
+        with np.load(path) as data:
+            assert "payload_crc32" in data.files
+        fresh, fopt = make_model()
+        fresh.set_flat_parameters(np.zeros_like(fresh.get_flat_parameters()))
+        load_checkpoint(path, fresh, fopt)
+        np.testing.assert_array_equal(
+            fresh.get_flat_parameters(), model.get_flat_parameters()
+        )
+
+
+class TestCorruptionDetection:
+    def test_bitflip_detected(self, tmp_path):
+        model, opt = make_model()
+        path = save_checkpoint(tmp_path / "ckpt", model, opt)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # bit-rot in the middle of the archive
+        path.write_bytes(bytes(data))
+        fresh, fopt = make_model()
+        with pytest.raises(CheckpointCorruptError) as ei:
+            load_checkpoint(path, fresh, fopt)
+        assert ei.value.path == path
+
+    def test_truncation_detected(self, tmp_path):
+        model, opt = make_model()
+        path = save_checkpoint(tmp_path / "ckpt", model, opt)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        fresh, fopt = make_model()
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, fresh, fopt)
+
+    def test_garbage_file_detected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a checkpoint at all")
+        model, opt = make_model()
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, model, opt)
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        model, _ = make_model()
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "absent.npz", model)
+
+    def test_corrupt_error_is_checkpoint_error(self):
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+        assert issubclass(CheckpointError, ValueError)
+
+
+class TestLatestCheckpoint:
+    def test_orders_by_name(self, tmp_path):
+        model, opt = make_model()
+        for step in (3, 12, 7):
+            save_checkpoint(tmp_path / f"ckpt-{step:06d}", model, opt)
+        latest = latest_checkpoint(tmp_path)
+        assert latest is not None
+        assert latest.name == "ckpt-000012.npz"
+
+    def test_ignores_tmp_files(self, tmp_path):
+        model, opt = make_model()
+        save_checkpoint(tmp_path / "ckpt-000001", model, opt)
+        (tmp_path / "ckpt-000009.npz.tmp").write_bytes(b"partial")
+        latest = latest_checkpoint(tmp_path, pattern="*")
+        assert latest.name == "ckpt-000001.npz"
+
+    def test_empty_or_missing_directory(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "nope") is None

@@ -1,0 +1,289 @@
+"""Tests for elastic fault-tolerant SSGD (the resilience tentpole).
+
+The contract under test:
+
+* faults disabled → bitwise identical to the pre-existing threaded
+  trainer (same history, same final parameters);
+* a rank crash at a fixed step → training completes over the survivors
+  with the gradient average renormalized, final loss close to the
+  fault-free run;
+* quorum loss → restart from the last crash-safe checkpoint with the
+  full rank count, consumed fault events not re-firing;
+* injected I/O and comm faults never crash the trainer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.errors import QuorumLostError
+from repro.core.distributed import DistributedConfig, DistributedTrainer
+from repro.core.elastic import ElasticConfig, ElasticTrainer
+from repro.core.optimizer import OptimizerConfig
+from repro.core.topology import tiny_16
+from repro.core.trainer import InMemoryData
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+
+
+def make_dataset(n=8, seed=0, size=16):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, size, size, size)).astype(np.float32)
+    y = rng.uniform(0.2, 0.8, size=(n, 3)).astype(np.float32)
+    return InMemoryData(x, y)
+
+
+OPT = OptimizerConfig(eta0=5e-3, decay_steps=50)
+FAST = ElasticConfig(timeout_s=10.0)
+
+
+def run_threaded_reference(n_ranks=3, epochs=3, n=9):
+    trainer = DistributedTrainer(
+        tiny_16(),
+        make_dataset(n),
+        config=DistributedConfig(
+            n_ranks=n_ranks, epochs=epochs, mode="threaded", validate=False
+        ),
+        optimizer_config=OPT,
+    )
+    hist = trainer.run()
+    return hist, trainer.final_model.get_flat_parameters()
+
+
+def eval_loss(model, n=12, seed=1):
+    """Loss of ``model`` on a fixed held-out set (same for every run)."""
+    data = make_dataset(n, seed=seed)
+    return float(
+        np.mean([model.validation_loss(x, y) for x, y in data.batches(1, shuffle=False)])
+    )
+
+
+class TestConfig:
+    def test_quorum_resolution(self):
+        assert ElasticConfig(quorum_fraction=0.5).resolve_quorum(8) == 4
+        assert ElasticConfig(quorum=6).resolve_quorum(8) == 6
+        assert ElasticConfig(quorum=99).resolve_quorum(8) == 8  # clamped
+        assert ElasticConfig(quorum_fraction=0.01).resolve_quorum(2) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticConfig(timeout_s=0)
+        with pytest.raises(ValueError):
+            ElasticConfig(quorum_fraction=0.0)
+        with pytest.raises(ValueError):
+            ElasticConfig(max_restarts=-1)
+
+
+class TestBitwiseIdentity:
+    def test_fault_free_matches_threaded_exactly(self):
+        ref_hist, ref_params = run_threaded_reference()
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(9),
+            config=DistributedConfig(
+                n_ranks=3, epochs=3, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=FAST,
+        )
+        hist = trainer.run()
+        assert hist.train_loss == ref_hist.train_loss  # bitwise, not approx
+        assert hist.lr == ref_hist.lr
+        np.testing.assert_array_equal(
+            trainer.final_model.get_flat_parameters(), ref_params
+        )
+        assert trainer.group_stats["restarts"] == 0
+        assert trainer.group_stats["failed_ranks"] == []
+
+    def test_mode_elastic_on_plain_trainer(self):
+        """DistributedConfig(mode="elastic") works without the subclass."""
+        ref_hist, ref_params = run_threaded_reference()
+        trainer = DistributedTrainer(
+            tiny_16(),
+            make_dataset(9),
+            config=DistributedConfig(
+                n_ranks=3, epochs=3, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+        )
+        hist = trainer.run()
+        assert hist.train_loss == ref_hist.train_loss
+        np.testing.assert_array_equal(
+            trainer.final_model.get_flat_parameters(), ref_params
+        )
+
+
+class TestCrashSurvival:
+    def test_rank_crash_completes_over_survivors(self):
+        epochs, n_ranks, n = 6, 4, 16
+        ref_trainer = DistributedTrainer(
+            tiny_16(),
+            make_dataset(n),
+            config=DistributedConfig(
+                n_ranks=n_ranks, epochs=epochs, mode="threaded", validate=False
+            ),
+            optimizer_config=OPT,
+        )
+        ref_trainer.run()
+        ref_loss = eval_loss(ref_trainer.final_model)
+        # Crash rank 3 at a fixed late step (epoch 4 of 6): survivors
+        # finish the remaining ~5 epochs-worth of steps without it.
+        plan = FaultPlan(
+            seed=42,
+            events=[FaultEvent(FaultKind.RANK_CRASH, rank=3, step=19)],
+        )
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(n),
+            config=DistributedConfig(
+                n_ranks=n_ranks, epochs=epochs, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=FAST,
+            injector=FaultInjector(plan),
+        )
+        hist = trainer.run()
+        assert len(hist.train_loss) == epochs  # all epochs completed
+        stats = trainer.group_stats
+        assert stats["failed_ranks"] == [3]
+        assert stats["survivors"] == [0, 1, 2]
+        assert stats["faults_injected"] == {"rank_crash": 1}
+        # Acceptance criterion: held-out loss within 10% of fault-free.
+        assert eval_loss(trainer.final_model) == pytest.approx(ref_loss, rel=0.10)
+
+    def test_rank0_crash_still_returns_model(self):
+        plan = FaultPlan(events=[FaultEvent(FaultKind.RANK_CRASH, rank=0, step=2)])
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(9),
+            config=DistributedConfig(
+                n_ranks=3, epochs=2, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=FAST,
+            injector=FaultInjector(plan),
+        )
+        hist = trainer.run()
+        assert len(hist.train_loss) == 2
+        assert trainer.final_model is not None
+        assert trainer.group_stats["survivors"] == [1, 2]
+
+    def test_straggler_rank_is_evicted(self):
+        plan = FaultPlan(
+            events=[FaultEvent(FaultKind.RANK_HANG, rank=1, step=3, delay_s=2.0)]
+        )
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(9),
+            config=DistributedConfig(
+                n_ranks=3, epochs=2, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=ElasticConfig(timeout_s=0.3),
+            injector=FaultInjector(plan),
+        )
+        hist = trainer.run()
+        assert len(hist.train_loss) == 2
+        assert trainer.group_stats["evicted_ranks"] == [1]
+        assert trainer.group_stats["survivors"] == [0, 2]
+
+    def test_message_corruption_recovered_bitwise(self):
+        ref_hist, ref_params = run_threaded_reference()
+        plan = FaultPlan(
+            events=[FaultEvent(FaultKind.MESSAGE_CORRUPT, rank=1, step=20)]
+        )
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(9),
+            config=DistributedConfig(
+                n_ranks=3, epochs=3, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=FAST,
+            injector=FaultInjector(plan),
+        )
+        hist = trainer.run()
+        # Retransmission makes corruption invisible to the numerics.
+        assert hist.train_loss == ref_hist.train_loss
+        np.testing.assert_array_equal(
+            trainer.final_model.get_flat_parameters(), ref_params
+        )
+        assert trainer.group_stats["retransmits"] == 1
+
+
+class TestQuorumRestart:
+    def test_restart_from_checkpoint_on_quorum_loss(self, tmp_path):
+        # quorum == n_ranks: any crash forces a checkpoint restart.
+        plan = FaultPlan(
+            events=[FaultEvent(FaultKind.RANK_CRASH, rank=1, step=4)]
+        )
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(9),
+            config=DistributedConfig(
+                n_ranks=3, epochs=3, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=ElasticConfig(
+                timeout_s=10.0,
+                quorum=3,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every_epochs=1,
+                max_restarts=2,
+            ),
+            injector=FaultInjector(plan),
+        )
+        hist = trainer.run()
+        stats = trainer.group_stats
+        assert stats["restarts"] == 1
+        # The crash fired in epoch 1 (step 4 of 3-step epochs); the
+        # restart resumed from the epoch-1 checkpoint and re-ran the
+        # remaining epochs with the full rank count.
+        assert stats["survivors"] == [0, 1, 2]
+        assert len(hist.train_loss) == 2  # epochs 1..2 after resume
+        assert hist.train_loss[-1] < hist.train_loss[0] * 1.5  # still training
+
+    def test_quorum_loss_without_checkpoints_raises(self):
+        plan = FaultPlan(
+            events=[FaultEvent(FaultKind.RANK_CRASH, rank=0, step=1)]
+        )
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(9),
+            config=DistributedConfig(
+                n_ranks=3, epochs=2, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=ElasticConfig(timeout_s=10.0, quorum=3),  # no checkpoint_dir
+            injector=FaultInjector(plan),
+        )
+        with pytest.raises(QuorumLostError):
+            trainer.run()
+
+    def test_restart_resume_matches_uninterrupted_determinism(self, tmp_path):
+        """Burned-in RNG streams: a resumed run and a straight run end
+        at the same parameters when the same ranks survive throughout."""
+        ref_hist, ref_params = run_threaded_reference(n_ranks=2, epochs=4, n=8)
+        # All-rank quorum, crash in epoch 2 → restart resumes epoch 2
+        # with both ranks alive again; no shrink ever happens, so the
+        # final state must match the uninterrupted threaded run.
+        plan = FaultPlan(
+            events=[FaultEvent(FaultKind.RANK_CRASH, rank=1, step=9)]
+        )
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(8),
+            config=DistributedConfig(
+                n_ranks=2, epochs=4, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=ElasticConfig(
+                timeout_s=10.0, quorum=2, checkpoint_dir=str(tmp_path)
+            ),
+            injector=FaultInjector(plan),
+        )
+        hist = trainer.run()
+        assert trainer.group_stats["restarts"] == 1
+        np.testing.assert_array_equal(
+            trainer.final_model.get_flat_parameters(), ref_params
+        )
+        # Resumed epochs reproduce the reference history bitwise.
+        assert hist.train_loss == ref_hist.train_loss[-len(hist.train_loss):]

@@ -1,0 +1,134 @@
+"""Tests for the deterministic fault-injection framework."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    InjectedCrash,
+    InjectedReadError,
+)
+from repro.io.records import RecordCorruptError, RecordReader, write_record_file
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan(seed=3)
+        assert plan.empty and len(plan) == 0
+        assert "no faults" in plan.describe()
+
+    def test_events_need_rank(self):
+        with pytest.raises(ValueError, match="need a rank"):
+            FaultEvent(FaultKind.RANK_CRASH, step=2)
+
+    def test_bad_fields(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.READ_ERROR, step=-1)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.READ_ERROR, repeats=0)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.RANK_HANG, rank=0, delay_s=-1.0)
+
+    def test_sample_deterministic(self):
+        kwargs = dict(
+            n_ranks=8, n_steps=40, crash_rate=0.01, hang_rate=0.02,
+            read_error_rate=0.05, n_reads=50,
+        )
+        a = FaultPlan.sample(seed=11, **kwargs)
+        b = FaultPlan.sample(seed=11, **kwargs)
+        c = FaultPlan.sample(seed=12, **kwargs)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_sample_crash_at_most_once_per_rank(self):
+        plan = FaultPlan.sample(seed=0, n_ranks=4, n_steps=500, crash_rate=0.05)
+        crashes = plan.of_kind(FaultKind.RANK_CRASH)
+        ranks = [e.rank for e in crashes]
+        assert len(ranks) == len(set(ranks))
+
+    def test_sample_rate_validation(self):
+        with pytest.raises(ValueError, match="crash_rate"):
+            FaultPlan.sample(seed=0, n_ranks=2, n_steps=2, crash_rate=1.5)
+
+    def test_describe_lists_events(self):
+        plan = FaultPlan(
+            seed=1,
+            events=[FaultEvent(FaultKind.RANK_CRASH, rank=2, step=5)],
+        )
+        assert "rank_crash" in plan.describe()
+        assert "rank=2" in plan.describe()
+
+
+class TestInjector:
+    def test_crash_fires_once(self):
+        inj = FaultInjector(
+            FaultPlan(events=[FaultEvent(FaultKind.RANK_CRASH, rank=1, step=3)])
+        )
+        inj.maybe_crash(0, 3)  # wrong rank: no fire
+        inj.maybe_crash(1, 2)  # wrong step: no fire
+        with pytest.raises(InjectedCrash):
+            inj.maybe_crash(1, 3)
+        inj.maybe_crash(1, 3)  # consumed: elastic restart must not re-crash
+        assert inj.fired[FaultKind.RANK_CRASH] == 1
+
+    def test_hang_delay(self):
+        inj = FaultInjector(
+            FaultPlan(events=[FaultEvent(FaultKind.RANK_HANG, rank=0, step=1, delay_s=0.25)])
+        )
+        assert inj.hang_delay(0, 0) == 0.0
+        assert inj.hang_delay(0, 1) == 0.25
+        assert inj.hang_delay(0, 1) == 0.0  # one-shot
+
+    def test_read_error_with_repeats(self):
+        inj = FaultInjector(
+            FaultPlan(events=[FaultEvent(FaultKind.READ_ERROR, step=1, repeats=2)])
+        )
+        inj.on_read("f0")  # read 0: clean
+        with pytest.raises(InjectedReadError):
+            inj.on_read("f1")  # read 1, attempt 0
+        with pytest.raises(InjectedReadError):
+            inj.on_read("f1", attempt=1)  # retry still fails (repeats=2)
+        inj.on_read("f1", attempt=2)  # retry succeeds
+        assert inj.fired[FaultKind.READ_ERROR] == 2
+
+    def test_message_corruption_flips_bytes(self):
+        inj = FaultInjector(
+            FaultPlan(events=[FaultEvent(FaultKind.MESSAGE_CORRUPT, rank=0, step=0)])
+        )
+        assert inj.corrupts_messages
+        arr = np.ones(16, dtype=np.float32)
+        wire = inj.corrupt_message(0, 0, arr)
+        assert not np.array_equal(wire, arr)
+        np.testing.assert_array_equal(arr, np.ones(16, dtype=np.float32))  # source intact
+        # consumed: next collective is clean
+        assert inj.corrupt_message(0, 0, arr) is arr
+
+    def test_empty_injector_is_noop(self):
+        inj = FaultInjector()
+        inj.maybe_crash(0, 0)
+        assert inj.hang_delay(0, 0) == 0.0
+        inj.on_read("x")
+        arr = np.zeros(4)
+        assert inj.corrupt_message(0, 0, arr) is arr
+        assert inj.fired_total() == 0
+        assert inj.summary() == {}
+
+    def test_corrupt_record_file(self, tmp_path):
+        rng = np.random.default_rng(0)
+        vols = [rng.standard_normal((4, 4, 4)).astype(np.float32) for _ in range(3)]
+        tgts = [rng.random(3).astype(np.float32) for _ in range(3)]
+        path = tmp_path / "data.rec"
+        write_record_file(path, vols, tgts)
+        inj = FaultInjector(
+            FaultPlan(events=[FaultEvent(FaultKind.RECORD_CORRUPT, step=1)])
+        )
+        assert inj.corrupt_record_file(path) == 1
+        with pytest.raises(RecordCorruptError):
+            list(RecordReader(path))
+        # records 0 and 2 still readable in non-strict mode
+        reader = RecordReader(path, strict=False)
+        assert len(list(reader)) == 2
+        assert reader.records_skipped == 1

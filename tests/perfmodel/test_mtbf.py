@@ -1,0 +1,49 @@
+"""Tests for the reliability (MTBF) term of the performance model."""
+
+import pytest
+
+from repro.perfmodel.cluster import FullScaleRun, cori_datawarp_machine
+
+
+class TestSystemMtbf:
+    def test_scales_inversely_with_nodes(self):
+        m = cori_datawarp_machine(node_mtbf_hours=43_800.0)
+        assert m.system_mtbf_hours(1) == 43_800.0
+        assert m.system_mtbf_hours(8192) == pytest.approx(43_800.0 / 8192)
+
+    def test_disabled_by_default(self):
+        m = cori_datawarp_machine()
+        assert m.system_mtbf_hours(8192) == float("inf")
+        assert m.expected_failures(8192, 3600.0) == 0.0
+
+    def test_expected_failures_linear_in_duration(self):
+        m = cori_datawarp_machine(node_mtbf_hours=43_800.0)
+        one_hour = m.expected_failures(8192, 3600.0)
+        assert one_hour == pytest.approx(8192 / 43_800.0)
+        assert m.expected_failures(8192, 7200.0) == pytest.approx(2 * one_hour)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cori_datawarp_machine(node_mtbf_hours=-1.0)
+        m = cori_datawarp_machine(node_mtbf_hours=1.0)
+        with pytest.raises(ValueError):
+            m.system_mtbf_hours(0)
+        with pytest.raises(ValueError):
+            m.expected_failures(4, -1.0)
+
+
+class TestFullScaleRestarts:
+    def test_paper_run_is_short_enough_to_usually_survive(self):
+        """The flagship ~9-minute run: < 5% expected failures — but a
+        day of such runs sees several, which is the elastic trainer's
+        reason to exist."""
+        run = FullScaleRun(
+            cori_datawarp_machine(node_mtbf_hours=43_800.0), seed=1
+        ).run()
+        assert 0.0 < run.expected_restarts < 0.05
+        per_day = run.expected_restarts * 86400.0 / run.training_time_s
+        assert per_day > 1.0
+
+    def test_zero_without_mtbf(self):
+        run = FullScaleRun(cori_datawarp_machine(), seed=1).run()
+        assert run.expected_restarts == 0.0
