@@ -318,7 +318,7 @@ class ElasticThreadedGroup:
         timeout_s: float = 30.0,
         quorum: int = 1,
         injector=None,
-        join_timeout_s: float = 120.0,
+        join_timeout_s: Optional[float] = None,
     ):
         if size < 1:
             raise ValueError(f"group size must be >= 1, got {size}")
@@ -326,6 +326,8 @@ class ElasticThreadedGroup:
             raise ValueError("timeout_s must be positive")
         if not 1 <= quorum <= size:
             raise ValueError(f"quorum must be in [1, {size}], got {quorum}")
+        if join_timeout_s is not None and join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive (or None to disable)")
         self.size = size
         self.timeout_s = timeout_s
         self.quorum = quorum
@@ -414,16 +416,7 @@ class ElasticThreadedGroup:
         ]
         for t in threads:
             t.start()
-        hung = []
-        for r, t in enumerate(threads):
-            t.join(self.join_timeout_s)
-            if t.is_alive():
-                hung.append(r)
-        if hung:
-            raise RankFailedError(
-                f"rank(s) {hung} still running after {self.join_timeout_s}s join",
-                failed_ranks=hung,
-            )
+        self._join(threads)
         with st.cond:
             survivors = sorted(st.active)
             failures = dict(st.failures)
@@ -438,3 +431,53 @@ class ElasticThreadedGroup:
         if not survivors:
             raise next(iter(failures.values()))
         return results
+
+    def _join(self, threads: Sequence[threading.Thread]) -> None:
+        """Join rank threads without capping healthy training time.
+
+        A thread whose rank is still *active* is joined indefinitely —
+        arriving at a collective is the heartbeat, so a live rank either
+        makes progress or is evicted by its peers within ``timeout_s``.
+        A thread whose rank has left the group (failed or evicted) or
+        whose group lost quorum gets ``timeout_s`` to unwind; after
+        that it is abandoned as a daemon thread — its rank is already
+        out of the membership, so no result depends on it.
+        ``join_timeout_s``, when set, caps the whole join and raises
+        :class:`RankFailedError` on expiry.
+        """
+        st = self._st
+        poll_s = 0.05
+        hard = (
+            time.monotonic() + self.join_timeout_s
+            if self.join_timeout_s is not None
+            else None
+        )
+        grace: Dict[int, float] = {}  # rank -> abandon deadline
+        pending = list(enumerate(threads))
+        abandoned: List[int] = []
+        while pending:
+            rank, t = pending[0]
+            if hard is not None and time.monotonic() >= hard:
+                alive = [r for r, th in pending if th.is_alive()]
+                raise RankFailedError(
+                    f"rank(s) {alive} still running after "
+                    f"{self.join_timeout_s}s join timeout",
+                    failed_ranks=alive,
+                )
+            with st.cond:
+                inactive = rank not in st.active or st.quorum_lost
+            if inactive and rank not in grace:
+                grace[rank] = time.monotonic() + self.timeout_s
+            if rank in grace and time.monotonic() >= grace[rank]:
+                if t.is_alive():
+                    abandoned.append(rank)
+                pending.pop(0)
+                continue
+            t.join(poll_s)
+            if not t.is_alive():
+                pending.pop(0)
+        if abandoned:
+            _log.warning(
+                "abandoned still-running thread(s) of non-member rank(s) %s "
+                "after %.1fs grace", abandoned, self.timeout_s,
+            )

@@ -16,6 +16,7 @@ backend.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
@@ -135,19 +136,32 @@ class _ThreadRankComm(Communicator):
 class ThreadedGroup:
     """Run an SPMD function across ``size`` rank threads.
 
-    ``timeout_s`` bounds every collective wait (and the final thread
-    join): a peer that dies or hangs surfaces as a typed
+    ``timeout_s`` bounds every *collective wait* — never the run as a
+    whole, so a healthy multi-epoch rank body can take arbitrarily
+    long.  A peer that dies or hangs surfaces as a typed
     :class:`RankFailedError` / :class:`CommTimeoutError` on the
-    surviving ranks instead of a silent, indefinite block.
+    surviving ranks instead of a silent, indefinite block: once any
+    rank has failed, or the first rank has finished, stragglers get
+    ``timeout_s`` to unwind before being declared hung.
+    ``join_timeout_s`` optionally adds an absolute cap on the whole
+    run (off by default).
     """
 
-    def __init__(self, size: int, timeout_s: Optional[float] = 60.0):
+    def __init__(
+        self,
+        size: int,
+        timeout_s: Optional[float] = 60.0,
+        join_timeout_s: Optional[float] = None,
+    ):
         if size < 1:
             raise ValueError(f"group size must be >= 1, got {size}")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive (or None to disable)")
+        if join_timeout_s is not None and join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive (or None to disable)")
         self.size = size
         self.timeout_s = timeout_s
+        self.join_timeout_s = join_timeout_s
         self._shared = _SharedState(size, timeout_s)
 
     @property
@@ -194,13 +208,7 @@ class ThreadedGroup:
         ]
         for t in threads:
             t.start()
-        # Bounded join: a rank hung outside any collective (where the
-        # barrier timeout cannot see it) must not hang the caller.
-        hung: List[int] = []
-        for r, t in enumerate(threads):
-            t.join(self.timeout_s)
-            if t.is_alive():
-                hung.append(r)
+        hung = self._join(threads, errors)
         if hung:
             self._shared.barrier.abort()
         # After an abort the cyclic barrier stays broken; replace it so
@@ -210,7 +218,8 @@ class ThreadedGroup:
             self._shared.peer_errors = [None] * self.size
         if hung:
             raise CommTimeoutError(
-                f"rank(s) {hung} still running after {self.timeout_s}s join timeout",
+                f"rank(s) {hung} hung: still running {self.timeout_s}s after "
+                "the rest of the group stopped making progress",
                 timeout_s=self.timeout_s,
             )
         # Prefer the original error over the secondary errors raised by
@@ -223,3 +232,50 @@ class ThreadedGroup:
             if exc is not None:
                 raise exc
         return results
+
+    def _join(
+        self,
+        threads: Sequence[threading.Thread],
+        errors: Sequence[Optional[BaseException]],
+    ) -> List[int]:
+        """Join rank threads; return the ranks that must be declared hung.
+
+        ``timeout_s`` is a per-collective bound, not a bound on the run,
+        so while every rank is alive and error-free the join waits
+        indefinitely.  A rank hung *outside* any collective (where the
+        barrier timeout cannot see it) is still caught: once any rank
+        errors, the barrier breaks, or the first rank finishes, the
+        stragglers get ``timeout_s`` to unwind.  ``join_timeout_s``,
+        when set, caps the whole join absolutely.
+        """
+        poll_s = 0.05
+        hard = (
+            time.monotonic() + self.join_timeout_s
+            if self.join_timeout_s is not None
+            else None
+        )
+        grace: Optional[float] = None
+        pending = list(enumerate(threads))
+        while pending:
+            _, t = pending[0]
+            if (
+                grace is None
+                and self.timeout_s is not None
+                and (
+                    self._shared.barrier.broken
+                    or any(e is not None for e in errors)
+                    or len(pending) < len(threads)
+                )
+            ):
+                grace = time.monotonic() + self.timeout_s
+            deadlines = [d for d in (hard, grace) if d is not None]
+            if deadlines:
+                remaining = min(deadlines) - time.monotonic()
+                if remaining <= 0:
+                    return [r for r, th in pending if th.is_alive()]
+                t.join(min(poll_s, remaining))
+            else:
+                t.join(poll_s)
+            if not t.is_alive():
+                pending.pop(0)
+        return []

@@ -22,6 +22,7 @@ Two resilience guarantees:
 from __future__ import annotations
 
 import os
+import threading
 import zlib
 from pathlib import Path
 from typing import List, Optional
@@ -30,6 +31,7 @@ import numpy as np
 
 from repro.core.model import CosmoFlowModel
 from repro.core.optimizer import CosmoFlowOptimizer
+from repro.core.trainer import History
 
 __all__ = [
     "CheckpointError",
@@ -72,10 +74,14 @@ def save_checkpoint(
     path,
     model: CosmoFlowModel,
     optimizer: Optional[CosmoFlowOptimizer] = None,
+    history: Optional[History] = None,
 ) -> Path:
     """Atomically write model (and optionally optimizer) state to ``path``.
 
-    Returns the written path (``.npz`` appended if missing).
+    ``history``, when given, stores the per-epoch training curves so a
+    restarted run can report its full span, not just the epochs after
+    the resume point.  Returns the written path (``.npz`` appended if
+    missing).
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -93,10 +99,15 @@ def save_checkpoint(
         payload["step_count"] = np.int64(optimizer.step_count)
         payload["adam_m"] = np.concatenate([m.ravel() for m in optimizer.adam.m])
         payload["adam_v"] = np.concatenate([v.ravel() for v in optimizer.adam.v])
+    if history is not None:
+        for key, values in history.as_dict().items():
+            payload[f"hist_{key}"] = np.asarray(values, dtype=np.float64)
     payload["payload_crc32"] = np.int64(_payload_crc(payload))
     # Write-to-temp + fsync + rename: a crash mid-save never clobbers
-    # the previous checkpoint under the final name.
-    tmp = path.with_name(path.name + ".tmp")
+    # the previous checkpoint under the final name.  The temp name is
+    # writer-unique so concurrent savers (e.g. a straggler thread from
+    # a pre-restart group) cannot interleave into one temp file.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
     try:
         with open(tmp, "wb") as fh:
             np.savez(fh, **payload)
@@ -113,11 +124,14 @@ def load_checkpoint(
     path,
     model: CosmoFlowModel,
     optimizer: Optional[CosmoFlowOptimizer] = None,
+    history: Optional[History] = None,
 ) -> None:
     """Restore state saved by :func:`save_checkpoint`, in place.
 
     The target model must have the same architecture (validated by
-    preset name and parameter count).  Raises
+    preset name and parameter count).  ``history``, when given, is
+    overwritten with the stored per-epoch curves (left untouched if
+    the checkpoint predates history support).  Raises
     :class:`CheckpointCorruptError` when the file is unreadable,
     truncated, or fails its CRC.
     """
@@ -169,6 +183,9 @@ def load_checkpoint(
                     m[...] = data["adam_m"][offset : offset + m.size].reshape(m.shape)
                     v[...] = data["adam_v"][offset : offset + v.size].reshape(v.shape)
                     offset += m.size
+            if history is not None and "hist_train_loss" in data.files:
+                for key, values in history.as_dict().items():
+                    values[:] = [float(v) for v in data[f"hist_{key}"]]
         except (CheckpointError, FileNotFoundError):
             raise
         except Exception as exc:

@@ -56,7 +56,15 @@ _log = get_logger("core.elastic")
 
 @dataclass(frozen=True)
 class ElasticConfig:
-    """Fault-tolerance policy for elastic SSGD."""
+    """Fault-tolerance policy for elastic SSGD.
+
+    ``timeout_s`` bounds each collective wait (the heartbeat), never
+    the run: healthy training may take arbitrarily long.
+    ``join_timeout_s`` optionally adds an absolute wall-time cap on one
+    launch of the training group — leave it ``None`` (the default)
+    unless a scheduler needs a hard bound, since hung ranks are already
+    evicted by the collective heartbeat.
+    """
 
     timeout_s: float = 30.0
     quorum: Optional[int] = None  # absolute; overrides quorum_fraction
@@ -64,10 +72,13 @@ class ElasticConfig:
     checkpoint_dir: Optional[str] = None
     checkpoint_every_epochs: int = 1
     max_restarts: int = 2
+    join_timeout_s: Optional[float] = None
 
     def __post_init__(self):
         if self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if self.join_timeout_s is not None and self.join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive (or None to disable)")
         if not 0.0 < self.quorum_fraction <= 1.0:
             raise ValueError("quorum_fraction must be in (0, 1]")
         if self.quorum is not None and self.quorum < 1:
@@ -115,25 +126,50 @@ def run_elastic(
     def rank_body(comm):
         model = CosmoFlowModel(model_cfg, seed=cfg.seed)
         optimizer = CosmoFlowOptimizer(model.parameter_arrays(), opt_cfg)
+        hist = History()
         start_epoch = 0
         if ckpt_dir is not None:
             ckpt = latest_checkpoint(ckpt_dir)
             if ckpt is not None:
-                load_checkpoint(ckpt, model, optimizer)
+                # Restores the completed epochs' curves too, so a
+                # restarted run's History spans every epoch, not just
+                # the ones after the resume point.
+                load_checkpoint(ckpt, model, optimizer, history=hist)
                 start_epoch = optimizer.step_count // steps
+        # Pre-training phase: step-keyed faults must not fire on the
+        # initial parameter broadcast.
+        injector.begin_step(comm.rank, -1)
         plugin = MLPlugin(comm, cfg.plugin).init()
         # Algorithm 2 preamble: rank 0's parameters to all ranks (after
         # a restart this re-synchronizes any replica drift too).
         plugin.broadcast_parameters(model.parameter_arrays())
         shard = train.shard(comm.rank, k)
         rng = np.random.default_rng([cfg.seed, comm.rank])
+        it = iter(())
+
+        def next_batch():
+            # A strict=False dataset skips records that went corrupt
+            # after construction, so an epoch stream can come up short
+            # of steps_per_epoch — recycle it instead of letting the
+            # bad record kill the rank with StopIteration.
+            nonlocal it
+            try:
+                return next(it)
+            except StopIteration:
+                it = shard.batches(1, rng=rng, shuffle=True)
+                try:
+                    return next(it)
+                except StopIteration:
+                    raise RuntimeError(
+                        f"rank {comm.rank}: data shard yielded no batches"
+                    ) from None
+
         # Burn-in: replay completed epochs' batch draws so the resumed
         # RNG stream is exactly where an uninterrupted run would be.
         for _ in range(start_epoch):
             it = shard.batches(1, rng=rng, shuffle=True)
             for _ in range(steps):
-                next(it)
-        hist = History()
+                next_batch()
         for epoch in range(start_epoch, epochs):
             t0 = time.perf_counter()
             hist.lr.append(optimizer.current_lr())
@@ -141,11 +177,12 @@ def run_elastic(
             losses = []
             for step in range(steps):
                 global_step = epoch * steps + step
+                injector.begin_step(comm.rank, global_step)
                 injector.maybe_crash(comm.rank, global_step)
                 stall = injector.hang_delay(comm.rank, global_step)
                 if stall > 0:
                     time.sleep(stall)
-                x, y = next(it)
+                x, y = next_batch()
                 loss, grads = model.loss_and_gradients(x, y)
                 global_grads = plugin.gradients(grads)
                 optimizer.step(global_grads)
@@ -169,7 +206,10 @@ def run_elastic(
                 and comm.rank == min(comm.active_ranks)
             ):
                 save_checkpoint(
-                    ckpt_dir / f"ckpt-{(epoch + 1) * steps:08d}", model, optimizer
+                    ckpt_dir / f"ckpt-{(epoch + 1) * steps:08d}",
+                    model,
+                    optimizer,
+                    history=hist,
                 )
         # Synchronous training invariant among the survivors.
         flat = model.get_flat_parameters()
@@ -181,7 +221,11 @@ def run_elastic(
     restarts = 0
     while True:
         group = ElasticThreadedGroup(
-            k, timeout_s=elastic.timeout_s, quorum=quorum, injector=injector
+            k,
+            timeout_s=elastic.timeout_s,
+            quorum=quorum,
+            injector=injector,
+            join_timeout_s=elastic.join_timeout_s,
         )
         try:
             results = group.run(rank_body)

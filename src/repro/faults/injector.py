@@ -53,6 +53,7 @@ class FaultInjector:
         self._remaining: List[_Pending] = [_Pending(e) for e in self.plan.events]
         self._reads = 0
         self._local = threading.local()  # per-thread current read index
+        self._rank_step: Dict[int, int] = {}  # rank -> current training step
         self.fired: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
 
     @property
@@ -84,6 +85,19 @@ class FaultInjector:
 
     # -- rank-fault hooks (called by the elastic trainer) ---------------------
 
+    def begin_step(self, rank: int, step: int) -> None:
+        """Tell the injector ``rank`` is entering global training step
+        ``step`` (``-1`` marks a pre-training phase such as the initial
+        parameter broadcast, where no step-keyed fault may fire).
+
+        While a rank has a recorded step, :meth:`corrupt_message` keys
+        ``MESSAGE_CORRUPT`` events on it — the per-rank-per-step domain
+        that :meth:`FaultPlan.sample` draws from — instead of the raw
+        collective sequence number.
+        """
+        with self._lock:
+            self._rank_step[rank] = step
+
     def maybe_crash(self, rank: int, step: int) -> None:
         """Raise :class:`InjectedCrash` if a crash is scheduled here."""
         if self.empty:
@@ -107,10 +121,19 @@ class FaultInjector:
 
     def corrupt_message(self, rank: int, collective: int, array: np.ndarray) -> np.ndarray:
         """Return the "wire copy" of a contribution — bit-flipped when a
-        corruption event matches ``(rank, collective sequence number)``."""
+        corruption event matches.
+
+        For ranks that report step boundaries via :meth:`begin_step`
+        (the elastic trainer), events match on ``(rank, training
+        step)`` and the rank's *first* checksummed contribution of that
+        step takes the flip.  In standalone communicator use the key is
+        ``collective``, the collective sequence number.
+        """
         if self.empty:
             return array
-        if self._take(FaultKind.MESSAGE_CORRUPT, rank, collective) is None:
+        with self._lock:
+            key = self._rank_step.get(rank, collective)
+        if key < 0 or self._take(FaultKind.MESSAGE_CORRUPT, rank, key) is None:
             return array
         wire = np.array(array, copy=True)
         flat = wire.reshape(-1).view(np.uint8)

@@ -55,8 +55,12 @@ class FaultEvent:
 
     * rank faults (``RANK_CRASH``/``RANK_HANG``) match on
       ``(rank, step)`` where ``step`` is the global training step;
-    * ``MESSAGE_CORRUPT`` matches on ``(rank, step)`` where ``step`` is
-      the collective sequence number;
+    * ``MESSAGE_CORRUPT`` also matches on ``(rank, step)`` with
+      ``step`` the global training step when the training loop reports
+      step boundaries via :meth:`FaultInjector.begin_step` (the rank's
+      first checksummed contribution of that step is corrupted); in
+      standalone communicator use, ``step`` is the collective sequence
+      number;
     * I/O faults (``READ_ERROR``/``READ_DELAY``) match on ``step`` = the
       injector's global read counter;
     * ``RECORD_CORRUPT`` matches on ``step`` = record index within the

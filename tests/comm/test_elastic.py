@@ -74,6 +74,24 @@ class TestFaultFree:
             ElasticThreadedGroup(2, timeout_s=0.0)
         with pytest.raises(ValueError):
             ElasticThreadedGroup(2, quorum=3)
+        with pytest.raises(ValueError):
+            ElasticThreadedGroup(2, join_timeout_s=0.0)
+
+    def test_healthy_run_longer_than_timeout_succeeds(self):
+        """No join bound by default: timeout_s is the per-collective
+        heartbeat, and a healthy run may take arbitrarily long."""
+        g = ElasticThreadedGroup(2, timeout_s=0.2)
+        assert g.join_timeout_s is None
+
+        def body(comm):
+            total = 0.0
+            for _ in range(8):  # ~0.4 s total, each gap well under 0.2 s
+                time.sleep(0.05)
+                total += comm.allreduce(np.array([1.0]))[0]
+            return total
+
+        assert g.run(body) == [16.0, 16.0]
+        assert g.active_ranks == [0, 1]
 
 
 class TestShrinkAndContinue:

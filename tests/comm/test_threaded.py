@@ -1,9 +1,12 @@
 """Tests for the threaded SPMD backend."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.comm.communicator import ReduceOp, reduce_arrays
+from repro.comm.errors import CommTimeoutError
 from repro.comm.serial import SteppedGroup
 from repro.comm.threaded import ThreadedGroup
 
@@ -138,3 +141,37 @@ class TestThreadedGroup:
     def test_bad_size(self):
         with pytest.raises(ValueError):
             ThreadedGroup(0)
+
+    def test_healthy_run_longer_than_timeout_succeeds(self):
+        """timeout_s bounds each collective wait, never the whole run:
+        a healthy multi-step body outliving timeout_s must complete."""
+        g = ThreadedGroup(2, timeout_s=0.2)
+
+        def body(comm):
+            total = 0.0
+            for _ in range(8):  # ~0.4 s total, each gap well under 0.2 s
+                time.sleep(0.05)
+                total += comm.allreduce(np.array([1.0]))[0]
+            return total
+
+        assert g.run(body) == [16.0, 16.0]
+
+    def test_rank_hung_outside_collectives_detected(self):
+        """A rank stalled where no barrier can see it must not hang the
+        caller: once its peers finish, it gets timeout_s to unwind."""
+        g = ThreadedGroup(2, timeout_s=0.3)
+
+        def body(comm):
+            comm.barrier()
+            if comm.rank == 1:
+                time.sleep(5.0)  # far past any timeout, no collective in sight
+            return comm.rank
+
+        t0 = time.monotonic()
+        with pytest.raises(CommTimeoutError, match=r"rank\(s\) \[1\]"):
+            g.run(body)
+        assert time.monotonic() - t0 < 3.0  # did not wait out the sleep
+
+    def test_join_timeout_validation(self):
+        with pytest.raises(ValueError):
+            ThreadedGroup(2, join_timeout_s=0.0)

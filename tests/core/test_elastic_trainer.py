@@ -70,6 +70,13 @@ class TestConfig:
             ElasticConfig(quorum_fraction=0.0)
         with pytest.raises(ValueError):
             ElasticConfig(max_restarts=-1)
+        with pytest.raises(ValueError):
+            ElasticConfig(join_timeout_s=0.0)
+
+    def test_join_unbounded_by_default(self):
+        # A healthy run must never be wall-clock capped by the join
+        # (the collective timeout is a heartbeat, not a run bound).
+        assert ElasticConfig().join_timeout_s is None
 
 
 class TestBitwiseIdentity:
@@ -187,8 +194,10 @@ class TestCrashSurvival:
 
     def test_message_corruption_recovered_bitwise(self):
         ref_hist, ref_params = run_threaded_reference()
+        # step is a global *training* step (epoch 1, step 2 of 3 here):
+        # the rank's first gradient contribution of that step is flipped.
         plan = FaultPlan(
-            events=[FaultEvent(FaultKind.MESSAGE_CORRUPT, rank=1, step=20)]
+            events=[FaultEvent(FaultKind.MESSAGE_CORRUPT, rank=1, step=5)]
         )
         trainer = ElasticTrainer(
             tiny_16(),
@@ -236,9 +245,11 @@ class TestQuorumRestart:
         assert stats["restarts"] == 1
         # The crash fired in epoch 1 (step 4 of 3-step epochs); the
         # restart resumed from the epoch-1 checkpoint and re-ran the
-        # remaining epochs with the full rank count.
+        # remaining epochs with the full rank count.  The checkpoint
+        # also carries the completed epoch's curves, so History spans
+        # the whole run, not just the epochs after resume.
         assert stats["survivors"] == [0, 1, 2]
-        assert len(hist.train_loss) == 2  # epochs 1..2 after resume
+        assert len(hist.train_loss) == 3
         assert hist.train_loss[-1] < hist.train_loss[0] * 1.5  # still training
 
     def test_quorum_loss_without_checkpoints_raises(self):
@@ -285,5 +296,41 @@ class TestQuorumRestart:
         np.testing.assert_array_equal(
             trainer.final_model.get_flat_parameters(), ref_params
         )
-        # Resumed epochs reproduce the reference history bitwise.
-        assert hist.train_loss == ref_hist.train_loss[-len(hist.train_loss):]
+        # Full-span history: the checkpointed pre-crash epochs plus the
+        # resumed epochs reproduce the uninterrupted reference bitwise.
+        assert hist.train_loss == ref_hist.train_loss
+
+
+class ShortEpochData(InMemoryData):
+    """Emulates a ``strict=False`` record dataset whose file went corrupt
+    after construction: ``len()`` still counts every record, but each
+    epoch stream silently comes up one batch short (the skipped record).
+    """
+
+    def batches(self, batch_size=1, rng=None, shuffle=True):
+        out = list(super().batches(batch_size, rng=rng, shuffle=shuffle))
+        yield from out[:-1]
+
+    def shard(self, rank, n_ranks):
+        base = super().shard(rank, n_ranks)
+        return ShortEpochData(base.x, base.y)
+
+
+class TestShortEpochStream:
+    def test_skipped_record_does_not_crash_training(self):
+        """A shard shortened by skip-and-count must not kill the rank
+        with StopIteration — the epoch stream is recycled instead."""
+        epochs, n_ranks = 2, 2
+        trainer = ElasticTrainer(
+            tiny_16(),
+            ShortEpochData(make_dataset(8).x, make_dataset(8).y),
+            config=DistributedConfig(
+                n_ranks=n_ranks, epochs=epochs, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=FAST,
+        )
+        hist = trainer.run()
+        assert len(hist.train_loss) == epochs
+        assert trainer.group_stats["failed_ranks"] == []
+        assert trainer.group_stats["survivors"] == list(range(n_ranks))
