@@ -12,6 +12,7 @@ Commands
 ``topology``   print a preset's architecture and cost audit
 ``scaling``    print the Figure-4 scaling table for a machine model
 ``faultsim``   run elastic SSGD under an injected fault plan
+``stage``      stage a dataset through the burst-buffer tier and verify
 """
 
 from __future__ import annotations
@@ -82,6 +83,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quorum-fraction", type=float, default=0.5)
     p.add_argument("--checkpoint-dir", default=None,
                    help="enables checkpoint/restart on quorum loss")
+
+    p = sub.add_parser(
+        "stage",
+        help="stage a dataset into a burst-buffer tier under injected "
+        "storage faults, then verify every record is served or counted",
+    )
+    p.add_argument("--data", required=True,
+                   help="dataset directory (manifest or loose .rec files)")
+    p.add_argument("--split", default="train",
+                   help="which split to stage when --data has a manifest")
+    p.add_argument("--bb-dir", required=True, help="burst-buffer directory")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--capacity-mb", type=float, default=None,
+                   help="burst-buffer capacity (LRU eviction beyond it)")
+    p.add_argument("--hedge-budget-ms", type=float, default=None,
+                   help="hedge hot-tier reads slower than this budget")
+    p.add_argument("--n-targets", type=int, default=4,
+                   help="burst-buffer server nodes (breaker granularity)")
+    p.add_argument("--breaker-threshold", type=int, default=3)
+    p.add_argument("--breaker-reset-s", type=float, default=1.0)
+    p.add_argument("--stage-fail-rate", type=float, default=0.0,
+                   help="per-stage-in failure probability")
+    p.add_argument("--target-slow-rate", type=float, default=0.0,
+                   help="per-read slow-target probability")
+    p.add_argument("--target-slow-ms", type=float, default=50.0)
+    p.add_argument("--bb-evict-rate", type=float, default=0.0,
+                   help="per-read burst-buffer eviction probability")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on corrupt records instead of skip-and-count")
     return parser
 
 
@@ -240,8 +270,15 @@ def cmd_faultsim(args) -> int:
     try:
         hist = trainer.run()
     except QuorumLostError as exc:
-        print(f"FAILED: quorum lost with survivors {list(exc.survivors)} "
-              "(pass --checkpoint-dir to enable restart)")
+        # Unrecovered quorum loss is the one outcome CI must be able to
+        # assert on: always a nonzero exit, never a traceback.
+        hint = (
+            "restart budget exhausted"
+            if args.checkpoint_dir
+            else "pass --checkpoint-dir to enable restart"
+        )
+        print(f"FAILED: unrecovered quorum loss with survivors "
+              f"{list(exc.survivors)} ({hint})")
         return 1
     stats = trainer.group_stats
     for e, tl in enumerate(hist.train_loss, 1):
@@ -250,6 +287,83 @@ def cmd_faultsim(args) -> int:
           f"evicted: {stats['evicted_ranks']}")
     print(f"restarts: {stats['restarts']}  retransmits: {stats['retransmits']}  "
           f"faults fired: {stats['faults_injected'] or 'none'}")
+    return 0
+
+
+def cmd_stage(args) -> int:
+    from pathlib import Path
+
+    from repro.io.dataset import RecordDataset
+    from repro.io.manifest import MANIFEST_NAME, load_simulation_dataset
+    from repro.io.records import RecordCorruptionError
+    from repro.io.staging import StagingConfig, StagingManager
+    from repro.faults import FaultInjector, FaultPlan
+
+    data = Path(args.data)
+    if (data / MANIFEST_NAME).exists():
+        _, datasets = load_simulation_dataset(data)
+        if args.split not in datasets:
+            raise SystemExit(
+                f"split {args.split!r} not in dataset; have {sorted(datasets)}"
+            )
+        paths = datasets[args.split].paths
+    else:
+        paths = sorted(data.glob("**/*.rec"))
+    if not paths:
+        raise SystemExit(f"no record files under {data}")
+
+    # Generous event domains: every file staged (with headroom for
+    # re-stages) and two verification passes' worth of reads.
+    plan = FaultPlan.sample(
+        args.seed,
+        1,
+        0,
+        stage_fail_rate=args.stage_fail_rate,
+        n_stage_ops=4 * len(paths),
+        target_slow_rate=args.target_slow_rate,
+        target_slow_s=args.target_slow_ms / 1e3,
+        bb_evict_rate=args.bb_evict_rate,
+        n_staged_reads=4 * len(paths),
+    )
+    print(plan.describe())
+    injector = FaultInjector(plan)
+    manager = StagingManager(
+        args.bb_dir,
+        config=StagingConfig(
+            capacity_bytes=(
+                int(args.capacity_mb * 1e6) if args.capacity_mb is not None else None
+            ),
+            hedge_budget_s=(
+                args.hedge_budget_ms / 1e3 if args.hedge_budget_ms is not None else None
+            ),
+            n_targets=args.n_targets,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_s=args.breaker_reset_s,
+        ),
+        seed=args.seed,
+        injector=injector,
+    )
+    staged = manager.stage_all(paths)
+    print(f"staged {staged}/{len(paths)} shards "
+          f"({manager.staged_bytes / 1e6:.1f} MB in burst buffer)")
+
+    try:
+        dataset = RecordDataset(paths, strict=args.strict, staging=manager)
+        delivered = sum(
+            len(x) for x, _ in dataset.batches(1, rng=np.random.default_rng(args.seed))
+        )
+    except (RecordCorruptionError, OSError) as exc:
+        print(manager.stats.describe())
+        print(f"FAILED: verification read pass died: {exc}")
+        return 1
+    skipped = dataset.records_skipped
+    print(f"verification pass: {delivered} records delivered, {skipped} skipped")
+    print(manager.stats.describe())
+    print(f"breakers: {manager.breaker_states()}")
+    print(f"faults fired: {injector.summary() or 'none'}")
+    if delivered == 0:
+        print("FAILED: no records survived the staging tier")
+        return 1
     return 0
 
 
@@ -263,6 +377,7 @@ def main(argv=None) -> int:
         "topology": cmd_topology,
         "scaling": cmd_scaling,
         "faultsim": cmd_faultsim,
+        "stage": cmd_stage,
     }[args.command](args)
 
 

@@ -264,6 +264,13 @@ def run_elastic(
         "restarts": restarts,
         "faults_injected": injector.summary(),
     }
+    # A record-backed dataset routed through the burst-buffer tier
+    # reports its staging decisions alongside the comm-layer stats; the
+    # manager is shared by every rank's shard, so this is the run total.
+    staging = getattr(train, "staging", None)
+    if staging is not None:
+        trainer.group_stats["staging"] = staging.stats.as_dict()
+        trainer.group_stats["staging_breakers"] = staging.breaker_states()
     trainer._final_model = model0
     return trainer.history
 

@@ -9,7 +9,8 @@ repo's fault-tolerance story:
 * :mod:`repro.faults.plan` — :class:`FaultPlan`, a deterministic,
   seeded schedule of :class:`FaultEvent` entries (rank crash, rank
   hang, allreduce message corruption, on-disk record corruption,
-  filesystem read errors and latency spikes);
+  filesystem read errors and latency spikes, burst-buffer stage-in
+  failures, slow storage targets, and burst-buffer evictions);
 * :mod:`repro.faults.injector` — :class:`FaultInjector`, the
   thread-safe runtime that fires each event exactly once at the
   matching injection point and counts what it injected.
@@ -17,7 +18,9 @@ repo's fault-tolerance story:
 The *recovery side* lives with the code it protects:
 :mod:`repro.comm.elastic` (shrink-and-continue collectives),
 :mod:`repro.core.elastic` (elastic SSGD with checkpoint restart),
-:mod:`repro.io` (retry/skip on injected I/O faults), and
+:mod:`repro.io` (retry/skip on injected I/O faults),
+:mod:`repro.io.staging` (burst-buffer staging with hedged reads,
+circuit breakers, and degraded-mode fallback), and
 :mod:`repro.core.checkpoint` (crash-safe snapshots).  See
 ``docs/resilience.md`` for the full failure model.
 """
@@ -28,6 +31,7 @@ from repro.faults.injector import (
     InjectedCrash,
     InjectedFault,
     InjectedReadError,
+    InjectedStageError,
 )
 
 __all__ = [
@@ -38,4 +42,5 @@ __all__ = [
     "InjectedCrash",
     "InjectedFault",
     "InjectedReadError",
+    "InjectedStageError",
 ]

@@ -24,6 +24,7 @@ __all__ = [
     "InjectedFault",
     "InjectedCrash",
     "InjectedReadError",
+    "InjectedStageError",
     "FaultInjector",
 ]
 
@@ -40,6 +41,11 @@ class InjectedReadError(InjectedFault, IOError):
     """A scheduled filesystem read failure (transient unless repeated)."""
 
 
+class InjectedStageError(InjectedFault, IOError):
+    """A scheduled burst-buffer stage-in failure (transient unless
+    repeated; absorbed by the staging tier's retry + fallback ladder)."""
+
+
 class FaultInjector:
     """Thread-safe runtime for one :class:`FaultPlan`.
 
@@ -52,6 +58,8 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._remaining: List[_Pending] = [_Pending(e) for e in self.plan.events]
         self._reads = 0
+        self._stages = 0  # stage-in operations (STAGE_FAIL domain)
+        self._staged_reads = 0  # staged reads (TARGET_SLOW/BB_EVICT domain)
         self._local = threading.local()  # per-thread current read index
         self._rank_step: Dict[int, int] = {}  # rank -> current training step
         self.fired: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
@@ -170,6 +178,50 @@ class FaultInjector:
             raise InjectedReadError(
                 f"injected read error on {path} (read #{read_index}, attempt {attempt})"
             )
+
+    # -- staging hooks (called by repro.io.staging.StagingManager) -------------
+
+    def on_stage(self, path, attempt: int = 0) -> None:
+        """Injection point for one burst-buffer stage-in attempt.
+
+        First attempts advance the stage-op counter ``STAGE_FAIL``
+        events key on; retries re-test the same index, so an event with
+        ``repeats > 1`` keeps a stage-in failing until the retry budget
+        outlasts it (or terminally, degrading that file to backing-store
+        reads).
+        """
+        if self.empty:
+            return
+        if attempt == 0:
+            with self._lock:
+                stage_index = self._stages
+                self._stages += 1
+            self._local.stage_index = stage_index
+        else:
+            stage_index = getattr(self._local, "stage_index", self._stages - 1)
+        if self._take(FaultKind.STAGE_FAIL, None, stage_index) is not None:
+            raise InjectedStageError(
+                f"injected stage-in failure on {path} "
+                f"(stage op #{stage_index}, attempt {attempt})"
+            )
+
+    def on_staged_read(self, path, target: int):
+        """Injection point for one read through the staging tier.
+
+        Returns ``(extra_latency_s, evict)``: a ``TARGET_SLOW`` stall
+        to add to the hot tier's modeled latency (0 when none fires,
+        or when the event pins a different target via its ``rank``
+        slot), and whether a ``BB_EVICT`` event revokes the whole
+        burst-buffer allocation before this read.
+        """
+        if self.empty:
+            return 0.0, False
+        with self._lock:
+            read_index = self._staged_reads
+            self._staged_reads += 1
+        evict = self._take(FaultKind.BB_EVICT, None, read_index) is not None
+        e = self._take(FaultKind.TARGET_SLOW, target, read_index)
+        return (e.delay_s if e is not None else 0.0), evict
 
     def read_hook(self, base_hook=None):
         """Wrap (or create) a ``RecordDataset.read_hook`` that injects

@@ -45,6 +45,17 @@ class FaultKind(enum.Enum):
     READ_ERROR = "read_error"
     #: A file read blocks an extra ``delay_s`` (latency spike).
     READ_DELAY = "read_delay"
+    #: A burst-buffer stage-in attempt fails (retried with backoff +
+    #: jitter; terminal failure degrades to backing-store reads).
+    STAGE_FAIL = "stage_fail"
+    #: One staged read's burst-buffer target stalls an extra
+    #: ``delay_s`` (slow OST / DataWarp server node; hedged past the
+    #: latency budget, and repeated stalls trip the target's breaker).
+    TARGET_SLOW = "target_slow"
+    #: The whole burst-buffer allocation is evicted (scheduler revokes
+    #: the DataWarp reservation); staged copies vanish and reads
+    #: degrade to the backing store until re-staged.
+    BB_EVICT = "bb_evict"
 
 
 @dataclass(frozen=True)
@@ -64,7 +75,13 @@ class FaultEvent:
     * I/O faults (``READ_ERROR``/``READ_DELAY``) match on ``step`` = the
       injector's global read counter;
     * ``RECORD_CORRUPT`` matches on ``step`` = record index within the
-      file handed to :meth:`FaultInjector.corrupt_record_file`.
+      file handed to :meth:`FaultInjector.corrupt_record_file`;
+    * ``STAGE_FAIL`` matches on ``step`` = the injector's stage-in
+      counter (first attempts only; ``repeats`` makes the same stage-in
+      keep failing across retries);
+    * ``TARGET_SLOW``/``BB_EVICT`` match on ``step`` = the injector's
+      staged-read counter; ``TARGET_SLOW`` may additionally pin a
+      burst-buffer target via the ``rank`` slot (``None`` = any).
 
     ``repeats`` lets a read error persist for several attempts so the
     retry path is genuinely exercised (default: transient, one attempt).
@@ -143,12 +160,21 @@ class FaultPlan:
         n_reads: int = 0,
         read_delay_rate: float = 0.0,
         read_delay_s: float = 0.01,
+        stage_fail_rate: float = 0.0,
+        n_stage_ops: int = 0,
+        stage_fail_repeats: int = 1,
+        target_slow_rate: float = 0.0,
+        target_slow_s: float = 0.05,
+        bb_evict_rate: float = 0.0,
+        n_staged_reads: int = 0,
     ) -> "FaultPlan":
         """Draw a plan from per-(rank, step) Bernoulli rates.
 
         ``crash_rate`` etc. are probabilities per rank per step (per
-        read for the I/O kinds, over ``n_reads`` read operations).  The
-        draw is fully determined by ``seed``.
+        read for the I/O kinds, over ``n_reads`` read operations; per
+        stage-in over ``n_stage_ops``; per staged read over
+        ``n_staged_reads`` for the burst-buffer kinds).  The draw is
+        fully determined by ``seed``.
         """
         if n_ranks < 1 or n_steps < 0:
             raise ValueError("need n_ranks >= 1 and n_steps >= 0")
@@ -158,9 +184,14 @@ class FaultPlan:
             ("corrupt_rate", corrupt_rate),
             ("read_error_rate", read_error_rate),
             ("read_delay_rate", read_delay_rate),
+            ("stage_fail_rate", stage_fail_rate),
+            ("target_slow_rate", target_slow_rate),
+            ("bb_evict_rate", bb_evict_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
+        if stage_fail_repeats < 1:
+            raise ValueError("stage_fail_repeats must be >= 1")
         rng = np.random.default_rng(seed)
         events: List[FaultEvent] = []
         crashed: set = set()
@@ -189,4 +220,16 @@ class FaultPlan:
                 events.append(
                     FaultEvent(FaultKind.READ_DELAY, step=read, delay_s=read_delay_s)
                 )
+        for op in range(n_stage_ops):
+            if stage_fail_rate and rng.random() < stage_fail_rate:
+                events.append(
+                    FaultEvent(FaultKind.STAGE_FAIL, step=op, repeats=stage_fail_repeats)
+                )
+        for read in range(n_staged_reads):
+            if target_slow_rate and rng.random() < target_slow_rate:
+                events.append(
+                    FaultEvent(FaultKind.TARGET_SLOW, step=read, delay_s=target_slow_s)
+                )
+            if bb_evict_rate and rng.random() < bb_evict_rate:
+                events.append(FaultEvent(FaultKind.BB_EVICT, step=read))
         return cls(seed=seed, events=tuple(events))

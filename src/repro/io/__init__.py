@@ -20,6 +20,11 @@ communication, limits scaling beyond ~512 nodes on Lustre.
   Cori DataWarp and Piz Daint Lustre (OST counts, striping, bandwidth,
   contention, per-target variability) used by the scaling experiments
   and by Equation 1's bandwidth analysis.
+* :mod:`repro.io.staging` — :class:`StagingManager`, the resilient
+  burst-buffer staging tier (DataWarp → Lustre hierarchy): CRC-verified
+  stage-in with jittered retries, hedged reads, per-target circuit
+  breakers, quarantine + re-stage of corrupt copies, and degraded-mode
+  fallback to direct backing-store reads.
 """
 
 from repro.io.records import (
@@ -34,6 +39,15 @@ from repro.io.records import (
 )
 from repro.io.dataset import RecordDataset, write_dataset
 from repro.io.pipeline import PrefetchPipeline, PipelineStats
+from repro.io.staging import (
+    BreakerState,
+    CircuitBreaker,
+    StageError,
+    StagedRead,
+    StagingConfig,
+    StagingManager,
+    StagingStats,
+)
 from repro.io.filesystem import (
     FilesystemSpec,
     cori_lustre,
@@ -57,6 +71,13 @@ __all__ = [
     "write_dataset",
     "PrefetchPipeline",
     "PipelineStats",
+    "BreakerState",
+    "CircuitBreaker",
+    "StageError",
+    "StagedRead",
+    "StagingConfig",
+    "StagingManager",
+    "StagingStats",
     "FilesystemSpec",
     "cori_lustre",
     "cori_datawarp",

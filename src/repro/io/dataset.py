@@ -81,6 +81,7 @@ class RecordDataset:
         read_hook=None,
         retry: Optional[RetryPolicy] = None,
         strict: bool = True,
+        staging=None,
     ):
         self.paths = [Path(p) for p in paths]
         if not self.paths:
@@ -102,6 +103,12 @@ class RecordDataset:
         #: With ``strict=False``, corrupt records are skipped and
         #: counted instead of raising (see :class:`RecordReader`).
         self.strict = strict
+        #: Optional :class:`~repro.io.staging.StagingManager`: reads
+        #: resolve through the burst-buffer tier (staged copy, hedged
+        #: read, or degraded backing-store fallback), and a staged copy
+        #: that decodes corrupt is quarantined and re-staged before the
+        #: source itself is blamed.
+        self.staging = staging
         self._counts = [
             sum(1 for _ in RecordReader(p, strict=strict)) for p in self.paths
         ]
@@ -118,19 +125,61 @@ class RecordDataset:
     def n_files(self) -> int:
         return len(self.paths)
 
+    # Staging-tier counters, exposed where PipelineStats snapshots them.
+    # Shards share one StagingManager, so these aggregate across shards.
+
+    def _staging_stat(self, name: str) -> int:
+        return getattr(self.staging.stats, name) if self.staging is not None else 0
+
+    @property
+    def hedged_reads(self) -> int:
+        return self._staging_stat("hedged_reads")
+
+    @property
+    def hedge_wins(self) -> int:
+        return self._staging_stat("hedge_wins")
+
+    @property
+    def fallback_reads(self) -> int:
+        return self._staging_stat("fallback_reads")
+
+    @property
+    def stage_retries(self) -> int:
+        return self._staging_stat("stage_retries")
+
     def _call_hook(self, path: Path, nbytes: int, attempt: int) -> None:
         if self._hook_takes_attempt:
             self.read_hook(path, nbytes, attempt=attempt)
         else:
             self.read_hook(path, nbytes)
 
+    def _read_records(self, physical: Path):
+        reader = RecordReader(physical, strict=self.strict)
+        return list(reader.samples()), reader
+
     def _load_file(self, path: Path) -> List[Tuple[np.ndarray, np.ndarray]]:
         def attempt_read(attempt: int) -> List[Tuple[np.ndarray, np.ndarray]]:
-            nbytes = path.stat().st_size
+            physical, tier = path, "direct"
+            if self.staging is not None:
+                resolved = self.staging.read(path)
+                physical, tier = resolved.path, resolved.tier
+            nbytes = physical.stat().st_size
             if self.read_hook is not None:
                 self._call_hook(path, nbytes, attempt)
-            reader = RecordReader(path, strict=self.strict)
-            samples = list(reader.samples())
+            try:
+                samples, reader = self._read_records(physical)
+            except RecordCorruptionError:
+                if tier != "bb":
+                    raise
+                # Corruption in the *staged copy* is the staging tier's
+                # to fix: quarantine it, re-stage, re-read once.  If the
+                # source is corrupt too, the re-read raises for real.
+                resolved = self.staging.handle_corrupt(path)
+                samples, reader = self._read_records(resolved.path)
+            else:
+                if reader.records_skipped and tier == "bb":
+                    resolved = self.staging.handle_corrupt(path)
+                    samples, reader = self._read_records(resolved.path)
             with self._lock:
                 self.bytes_read += nbytes
                 self.records_skipped += reader.records_skipped
@@ -202,7 +251,11 @@ class RecordDataset:
                 f"dataset has {len(self.paths)} files, too few for {n_ranks} ranks"
             )
         return RecordDataset(
-            picked, read_hook=self.read_hook, retry=self.retry, strict=self.strict
+            picked,
+            read_hook=self.read_hook,
+            retry=self.retry,
+            strict=self.strict,
+            staging=self.staging,
         )
 
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:

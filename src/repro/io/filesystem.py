@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.rng import new_rng
+from repro.utils.rng import derive_seed, new_rng
 
 __all__ = [
     "FilesystemSpec",
@@ -134,12 +134,27 @@ class FilesystemSpec:
 
     # -- read-time sampling -----------------------------------------------------------
 
+    def default_rng(self) -> np.random.Generator:
+        """The spec's deterministic variability stream (seeded by name).
+
+        Every fresh call starts the same stream, so a bare
+        ``read_time_s()`` draw is reproducible; callers that want
+        *evolving* variability across reads hold one generator and pass
+        it to every call (as :func:`make_read_hook` does).
+        """
+        return new_rng(derive_seed(0, "filesystem", self.name))
+
     def read_time_s(self, nbytes: float, n_nodes: int, rng=None) -> float:
         """Seconds for one node (of ``n_nodes`` concurrently reading) to
-        pull ``nbytes``; optionally sampled with straggler variability."""
+        pull ``nbytes``; optionally sampled with straggler variability.
+
+        ``rng`` may be a seeded :class:`numpy.random.Generator`, an
+        integer seed, or ``None`` — which uses :meth:`default_rng`, not
+        OS entropy, so the simulation stays reproducible end to end.
+        """
         bw = self.per_node_bandwidth_MBps(n_nodes) * 1e6
         if self.variability_sigma > 0:
-            rng = new_rng(rng)
+            rng = self.default_rng() if rng is None else new_rng(rng)
             # Lognormal with mean 1: slow tails model the paper's
             # low-bandwidth OSTs.
             factor = rng.lognormal(-0.5 * self.variability_sigma**2, self.variability_sigma)
@@ -231,6 +246,11 @@ def make_read_hook(
     by ``time_scale`` so experiments stay fast), reproducing the paper's
     Lustre stall behaviour end-to-end in running code rather than only
     in the analytical model.
+
+    ``rng`` (seeded generator or integer seed) drives the straggler
+    variability; ``None`` seeds the hook from the spec's name, so two
+    hooks built the same way replay the same latency sequence — never
+    fresh OS entropy.
     """
     import time as _time
 
@@ -238,7 +258,7 @@ def make_read_hook(
         raise ValueError("n_nodes must be >= 1")
     if time_scale < 0:
         raise ValueError("time_scale must be >= 0")
-    rng = new_rng(rng)
+    rng = spec.default_rng() if rng is None else new_rng(rng)
 
     def hook(path, nbytes: int) -> None:
         delay = spec.read_time_s(nbytes, n_nodes, rng=rng) * time_scale

@@ -59,15 +59,17 @@ def write_simulation_dataset(
         rng=seed,
     )
     counts: Dict[str, int] = {}
+    files: Dict[str, list] = {}
     for name, (x, y, _), shuffle in zip(
         ("train", "val", "test"), splits, (seed, None, None)
     ):
         # paper: training records are randomly assigned; val/test are not
-        write_dataset(
+        paths = write_dataset(
             directory / name, x, y, samples_per_file=samples_per_file,
             prefix=name, shuffle_rng=shuffle,
         )
         counts[name] = len(x)
+        files[name] = [p.name for p in paths]
 
     manifest = {
         "format_version": _FORMAT_VERSION,
@@ -76,6 +78,7 @@ def write_simulation_dataset(
         "simulation": dataclasses.asdict(config),
         "parameter_space": {k: list(v) for k, v in ParameterSpace().ranges.items()},
         "splits": counts,
+        "files": files,
         "samples_per_file": samples_per_file,
         "subvolume_size": config.subvolume_size,
     }
@@ -84,11 +87,23 @@ def write_simulation_dataset(
     return path
 
 
-def load_simulation_dataset(directory):
+def load_simulation_dataset(directory, staging=None):
     """Load a dataset directory written by :func:`write_simulation_dataset`.
 
     Returns ``(manifest_dict, {"train": RecordDataset, "val": ..., "test": ...})``;
     splits with zero samples are omitted.
+
+    When the manifest records its file lists (the ``files`` key), the
+    directory is verified against them: shards listed but absent raise
+    :class:`FileNotFoundError` naming them, and record files on disk
+    that the manifest never wrote raise :class:`ValueError` — either
+    way a damaged or tampered dataset fails loudly instead of silently
+    training on the wrong sample population.
+
+    ``staging`` optionally attaches one
+    :class:`~repro.io.staging.StagingManager` to every split's
+    :class:`RecordDataset`, routing all reads through the burst-buffer
+    tier.
     """
     directory = Path(directory)
     path = directory / MANIFEST_NAME
@@ -98,11 +113,25 @@ def load_simulation_dataset(directory):
     version = manifest.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported dataset format version {version}")
+    listed = manifest.get("files")
     datasets = {}
     for name in ("train", "val", "test"):
-        files = sorted((directory / name).glob(f"{name}_*.rec"))
-        if files:
-            datasets[name] = RecordDataset(files)
+        on_disk = sorted((directory / name).glob(f"{name}_*.rec"))
+        if listed is not None and name in listed:
+            expected = set(listed[name])
+            found = {p.name for p in on_disk}
+            missing = sorted(expected - found)
+            if missing:
+                raise FileNotFoundError(
+                    f"{name} split is missing manifest-listed shard(s): {missing}"
+                )
+            extra = sorted(found - expected)
+            if extra:
+                raise ValueError(
+                    f"{name} split has record file(s) not in the manifest: {extra}"
+                )
+        if on_disk:
+            datasets[name] = RecordDataset(on_disk, staging=staging)
     if not datasets:
         raise FileNotFoundError(f"no record files under {directory}")
     return manifest, datasets

@@ -27,7 +27,7 @@ import numpy as np
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
 
-__all__ = ["PipelineStats", "PrefetchPipeline"]
+__all__ = ["PipelineStats", "PrefetchPipeline", "RESILIENCE_COUNTERS"]
 
 _SENTINEL = object()
 
@@ -43,6 +43,20 @@ class _ProducerError:
         self.exc = exc
 
 
+#: Dataset counters PipelineStats mirrors per epoch (snapshot deltas):
+#: anything degraded — a skipped record, a retried read, a hedged or
+#: fallback read through the staging tier — surfaces as a number here
+#: instead of vanishing into a log line.
+RESILIENCE_COUNTERS = (
+    "read_retries",
+    "records_skipped",
+    "hedged_reads",
+    "hedge_wins",
+    "fallback_reads",
+    "stage_retries",
+)
+
+
 @dataclass
 class PipelineStats:
     """Observed pipeline behaviour over one epoch."""
@@ -56,10 +70,26 @@ class PipelineStats:
     read_retries: int = 0
     records_skipped: int = 0
     producer_errors: int = 0
+    #: Staging-tier counters (deltas; zero without a StagingManager).
+    hedged_reads: int = 0
+    hedge_wins: int = 0
+    fallback_reads: int = 0
+    stage_retries: int = 0
 
     @property
     def mean_wait_s(self) -> float:
         return self.consumer_wait_s / max(1, self.samples_delivered)
+
+    def degraded_total(self) -> int:
+        """Total degraded events this epoch — the single number a CI
+        assertion or benchmark table wants."""
+        return (
+            self.read_retries
+            + self.records_skipped
+            + self.hedged_reads
+            + self.fallback_reads
+            + self.stage_retries
+        )
 
 
 class PrefetchPipeline:
@@ -122,9 +152,10 @@ class PrefetchPipeline:
         # "coordinator" role — TF's Coordinator exists for exactly this).
         stop = threading.Event()
         # Snapshot the dataset's resilience counters so the epoch's
-        # retries/skips can be attributed to this pipeline's stats.
-        retries0 = getattr(self.dataset, "read_retries", 0)
-        skipped0 = getattr(self.dataset, "records_skipped", 0)
+        # retries/skips/hedges can be attributed to this pipeline's stats.
+        counters0 = {
+            name: getattr(self.dataset, name, 0) for name in RESILIENCE_COUNTERS
+        }
 
         def put(item) -> bool:
             """Bounded put that gives up once the consumer is gone."""
@@ -194,15 +225,19 @@ class PrefetchPipeline:
             stop.set()
             for t in threads:
                 t.join(timeout=5.0)
-            self.stats.read_retries += getattr(self.dataset, "read_retries", 0) - retries0
-            self.stats.records_skipped += (
-                getattr(self.dataset, "records_skipped", 0) - skipped0
-            )
-            if self.stats.read_retries or self.stats.records_skipped:
+            for name, before in counters0.items():
+                delta = getattr(self.dataset, name, 0) - before
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
+            if self.stats.degraded_total():
                 _log.info(
-                    "pipeline epoch: %d read retries, %d corrupt records skipped",
+                    "pipeline epoch: %d read retries, %d corrupt records skipped, "
+                    "%d hedged reads (%d won), %d fallback reads, %d stage retries",
                     self.stats.read_retries,
                     self.stats.records_skipped,
+                    self.stats.hedged_reads,
+                    self.stats.hedge_wins,
+                    self.stats.fallback_reads,
+                    self.stats.stage_retries,
                 )
         if errors:
             raise errors[0]

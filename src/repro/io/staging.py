@@ -1,0 +1,543 @@
+"""Resilient burst-buffer staging tier (the DataWarp → Lustre hierarchy).
+
+Section IV-C: "we used the Cray DataWarp ... to accelerate the reading
+of data.  The full dataset was staged on the DataWarp storage before
+the training runs" — and Section VI-A shows that this staging tier is
+what keeps 8192 nodes fed where Lustre collapses.  At that scale the
+tier itself fails routinely: stage-ins abort, individual burst-buffer
+server nodes go slow, whole allocations get evicted by the scheduler.
+This module models that hierarchy as real code paths with the failure
+handling a production staging tier needs:
+
+* **CRC-verified stage-in** — every shard copied from the backing
+  store (Lustre-modeled) into the bounded burst-buffer directory is
+  checksummed end to end; a mismatched copy is a failed stage-in.
+* **Retry with exponential backoff + jitter** — failed stage-ins are
+  retried on a :class:`~repro.utils.retry.RetryPolicy` schedule with
+  seeded jitter, so storms of synchronized retries (and flaky
+  `STAGE_FAIL` injections) are absorbed deterministically.
+* **Hedged reads** — when the hot tier's modeled latency for a read
+  blows past ``hedge_budget_s``, a duplicate read is issued against
+  the backing store and the faster of the two wins (the classic
+  tail-tolerance technique; here it also feeds the breaker).
+* **Per-target circuit breakers** — each file maps to one of
+  ``n_targets`` burst-buffer server nodes; ``breaker_threshold``
+  consecutive failures (failed stage-ins, over-budget reads) trip that
+  target's breaker OPEN, all of its traffic falls back to the backing
+  store, and after ``breaker_reset_s`` the breaker HALF-OPENs to probe
+  with a single read.
+* **Quarantine + re-stage** — a staged copy that yields corrupt
+  records is moved to ``<bb_dir>/quarantine/`` and re-staged from the
+  backing store; corruption that survives a re-stage is the source's
+  problem and is handed back to the reader's strict/non-strict policy.
+* **Degraded-mode fallback** — an evicted burst buffer (``BB_EVICT``),
+  an open breaker, or an exhausted stage-in retry budget all degrade
+  to direct backing-store reads instead of raising; every fallback is
+  counted in :class:`StagingStats`.
+
+Determinism: all decisions (hedge-or-not, breaker trips, half-open
+transitions, retry jitter) are made on a **virtual clock** advanced by
+*modeled* latencies — seeded per ``(file, visit)`` so the same seed and
+:class:`~repro.faults.FaultPlan` reproduce the same decision sequence.
+``time_scale`` optionally converts virtual time into real ``sleep``
+so pipeline-stall experiments feel the latency; the default (0) makes
+simulation instant without changing a single decision.
+"""
+
+from __future__ import annotations
+
+import enum
+import shutil
+import threading
+import time as _time
+import zlib
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.utils.logging import get_logger
+from repro.utils.retry import RetryPolicy
+from repro.utils.rng import derive_seed, new_rng
+
+__all__ = [
+    "StageError",
+    "BreakerState",
+    "CircuitBreaker",
+    "StagingConfig",
+    "StagingStats",
+    "StagedRead",
+    "StagingManager",
+]
+
+_log = get_logger("io.staging")
+
+
+class StageError(IOError):
+    """A stage-in failed terminally (retry budget exhausted)."""
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states (the standard three-state machine)."""
+
+    CLOSED = "closed"  # healthy: traffic flows to the hot tier
+    OPEN = "open"  # tripped: all traffic falls back to the backing store
+    HALF_OPEN = "half_open"  # cooling off: one probe read allowed through
+
+
+class CircuitBreaker:
+    """Per-target failure accounting with OPEN/HALF_OPEN/CLOSED states.
+
+    Driven entirely by an external clock value (the staging manager's
+    virtual clock), so transitions are deterministic under simulation.
+    """
+
+    def __init__(self, name: str, threshold: int = 3, reset_s: float = 30.0):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if reset_s < 0:
+            raise ValueError("reset_s must be >= 0")
+        self.name = name
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+        self.half_opens = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether the hot tier may serve a request at time ``now``.
+
+        An OPEN breaker past its cooldown transitions to HALF_OPEN and
+        admits the request as the probe.
+        """
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.reset_s:
+                self.state = BreakerState.HALF_OPEN
+                self.half_opens += 1
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = BreakerState.CLOSED
+
+    def record_failure(self, now: float) -> None:
+        """One failure; a HALF_OPEN probe failure re-trips immediately."""
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.threshold
+        ):
+            if self.state is not BreakerState.OPEN:
+                self.trips += 1
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+
+
+@dataclass(frozen=True)
+class StagingConfig:
+    """Policy knobs for the staging tier.
+
+    ``capacity_bytes`` bounds the burst-buffer allocation (LRU eviction
+    on overflow; ``None`` = unbounded).  ``hedge_budget_s`` is the
+    modeled hot-tier latency past which a read is hedged against the
+    backing store (``None`` disables hedging).  ``n_targets`` is the
+    number of burst-buffer server nodes files are distributed over —
+    the granularity at which breakers trip (DataWarp: 125 server nodes
+    for the paper's allocation).
+    """
+
+    capacity_bytes: Optional[int] = None
+    retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(base_delay_s=0.05))
+    retry_jitter: float = 0.25  # +/- fraction of each backoff, seeded
+    hedge_budget_s: Optional[float] = None
+    n_targets: int = 4
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
+    verify_stage_crc: bool = True
+    stage_on_miss: bool = True
+
+    def __post_init__(self):
+        if self.capacity_bytes is not None and self.capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1 (or None)")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
+        if self.hedge_budget_s is not None and self.hedge_budget_s < 0:
+            raise ValueError("hedge_budget_s must be >= 0 (or None)")
+        if self.n_targets < 1:
+            raise ValueError("n_targets must be >= 1")
+
+
+@dataclass
+class StagingStats:
+    """Everything the staging tier did, as numbers.
+
+    These are the counters the A8 benchmark and ``repro stage`` report,
+    and the ones :class:`~repro.io.pipeline.PipelineStats` snapshots so
+    degraded reads never disappear silently.
+    """
+
+    stage_ins: int = 0
+    stage_retries: int = 0
+    stage_failures: int = 0
+    restages: int = 0
+    quarantined: int = 0
+    bb_reads: int = 0
+    fallback_reads: int = 0
+    hedged_reads: int = 0
+    hedge_wins: int = 0
+    breaker_trips: int = 0
+    breaker_half_opens: int = 0
+    evictions: int = 0
+    capacity_evictions: int = 0
+    bytes_staged: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def describe(self) -> str:
+        """A compact multi-line report (nonzero counters only)."""
+        lines = ["staging tier:"]
+        for name, value in self.as_dict().items():
+            if value:
+                lines.append(f"  {name.replace('_', ' ')}: {value}")
+        if len(lines) == 1:
+            lines.append("  idle (no staging activity)")
+        return "\n".join(lines)
+
+
+class StagedRead(NamedTuple):
+    """Resolution of one read request against the tier hierarchy."""
+
+    path: Path  # the physical file to read
+    tier: str  # "bb" | "backing" | "hedge"
+    latency_s: float  # modeled latency charged for this read
+
+
+class _StagedFile:
+    __slots__ = ("path", "nbytes", "crc", "last_used")
+
+    def __init__(self, path: Path, nbytes: int, crc: int, last_used: float):
+        self.path = path
+        self.nbytes = nbytes
+        self.crc = crc
+        self.last_used = last_used
+
+
+class StagingManager:
+    """Fault-tolerant staging of record shards into a burst buffer.
+
+    Parameters
+    ----------
+    bb_dir
+        Directory standing in for the burst-buffer allocation; staged
+        copies (and the quarantine) live here.
+    config
+        :class:`StagingConfig` policy.
+    backing_spec, bb_spec
+        Optional :class:`~repro.io.filesystem.FilesystemSpec` models
+        whose ``read_time_s`` provides the *modeled* latency of each
+        tier (Lustre / DataWarp presets).  ``None`` models a zero-cost
+        tier — decisions then depend only on injected faults.
+    n_nodes
+        Concurrent readers the latency model should assume.
+    seed
+        Seeds retry jitter and per-read latency sampling; with the same
+        seed and fault plan every decision replays identically.
+    injector
+        Optional :class:`~repro.faults.FaultInjector` supplying
+        ``STAGE_FAIL`` / ``TARGET_SLOW`` / ``BB_EVICT`` events.
+    time_scale
+        Real seconds slept per virtual second (0 = never sleep).
+    """
+
+    def __init__(
+        self,
+        bb_dir,
+        config: Optional[StagingConfig] = None,
+        backing_spec=None,
+        bb_spec=None,
+        n_nodes: int = 1,
+        seed: int = 0,
+        injector=None,
+        time_scale: float = 0.0,
+    ):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.bb_dir = Path(bb_dir)
+        self.bb_dir.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir = self.bb_dir / "quarantine"
+        self.config = config or StagingConfig()
+        self.backing_spec = backing_spec
+        self.bb_spec = bb_spec
+        self.n_nodes = n_nodes
+        self.seed = seed
+        self.injector = injector
+        self.time_scale = time_scale
+        self.stats = StagingStats()
+        #: Human-readable decision log ("stage:x", "hedge:y", "trip:t2",
+        #: ...) — the determinism tests compare two runs' logs verbatim.
+        self.events: List[str] = []
+        #: Virtual clock (seconds of modeled latency accrued).
+        self.clock_s = 0.0
+        self._staged: Dict[Path, _StagedFile] = {}
+        self._visits: Dict[Path, int] = {}  # per-file read/stage ordinal
+        self._breakers = [
+            CircuitBreaker(
+                f"target-{t}",
+                threshold=self.config.breaker_threshold,
+                reset_s=self.config.breaker_reset_s,
+            )
+            for t in range(self.config.n_targets)
+        ]
+        self._lock = threading.RLock()
+
+    # -- geometry ------------------------------------------------------------
+
+    def target_of(self, path) -> int:
+        """The burst-buffer server node a file's stripes live on."""
+        return zlib.crc32(Path(path).name.encode("utf-8")) % self.config.n_targets
+
+    def breaker(self, target: int) -> CircuitBreaker:
+        return self._breakers[target]
+
+    def breaker_states(self) -> Dict[str, str]:
+        return {b.name: b.state.value for b in self._breakers}
+
+    def is_staged(self, path) -> bool:
+        with self._lock:
+            return Path(path) in self._staged
+
+    @property
+    def staged_bytes(self) -> int:
+        with self._lock:
+            return sum(e.nbytes for e in self._staged.values())
+
+    # -- virtual time / latency ----------------------------------------------
+
+    def _advance(self, dt: float) -> None:
+        if dt <= 0:
+            return
+        self.clock_s += dt
+        if self.time_scale > 0:
+            _time.sleep(dt * self.time_scale)
+
+    def _visit_rng(self, path: Path, purpose: str):
+        """Seeded generator keyed by (file, visit ordinal, purpose) —
+        latency draws don't depend on cross-file interleaving."""
+        visit = self._visits.get(path, 0)
+        self._visits[path] = visit + 1
+        return new_rng(derive_seed(self.seed, purpose, path.name, visit))
+
+    def _tier_latency(self, spec, nbytes: int, rng) -> float:
+        if spec is None:
+            return 0.0
+        return spec.read_time_s(nbytes, self.n_nodes, rng=rng)
+
+    # -- breaker bookkeeping -------------------------------------------------
+
+    def _record_failure(self, target: int) -> None:
+        b = self._breakers[target]
+        before = b.state
+        trips = b.trips
+        half = b.half_opens
+        b.record_failure(self.clock_s)
+        self.stats.breaker_trips += b.trips - trips
+        self.stats.breaker_half_opens += b.half_opens - half
+        if b.state is BreakerState.OPEN and before is not BreakerState.OPEN:
+            self.events.append(f"trip:{b.name}")
+            _log.warning("circuit breaker %s tripped OPEN", b.name)
+
+    def _allow(self, target: int) -> bool:
+        b = self._breakers[target]
+        half = b.half_opens
+        ok = b.allow(self.clock_s)
+        if b.half_opens != half:
+            self.stats.breaker_half_opens += b.half_opens - half
+            self.events.append(f"half-open:{b.name}")
+        return ok
+
+    # -- stage-in ------------------------------------------------------------
+
+    def stage(self, source) -> bool:
+        """Stage one file into the burst buffer; ``True`` on success.
+
+        Retries with jittered exponential backoff; a terminal failure
+        counts against the target's breaker and leaves the file to be
+        served from the backing store (degraded, not fatal).
+        """
+        source = Path(source)
+        with self._lock:
+            if source in self._staged:
+                return True
+            target = self.target_of(source)
+            rng = self._visit_rng(source, "stage")
+            policy = self.config.retry
+            for attempt in range(policy.max_attempts):
+                try:
+                    self._stage_once(source, attempt, rng)
+                except (OSError, StageError) as exc:
+                    if attempt + 1 >= policy.max_attempts:
+                        self.stats.stage_failures += 1
+                        self.events.append(f"stage-fail:{source.name}")
+                        self._record_failure(target)
+                        _log.warning("stage-in of %s failed terminally: %s", source, exc)
+                        return False
+                    self.stats.stage_retries += 1
+                    backoff = policy.delay(attempt)
+                    jitter = self.config.retry_jitter
+                    if jitter:
+                        backoff *= 1.0 + jitter * float(rng.uniform(-1.0, 1.0))
+                    self._advance(backoff)
+                else:
+                    self.events.append(f"stage:{source.name}")
+                    self.breaker(target).record_success()
+                    return True
+        return False  # pragma: no cover - loop always returns
+
+    def _stage_once(self, source: Path, attempt: int, rng) -> None:
+        if self.injector is not None:
+            self.injector.on_stage(source, attempt=attempt)
+        data = source.read_bytes()
+        self._advance(self._tier_latency(self.backing_spec, len(data), rng))
+        dest = self.bb_dir / source.name
+        dest.write_bytes(data)
+        crc = zlib.crc32(data) & 0xFFFFFFFF
+        if self.config.verify_stage_crc:
+            staged_crc = zlib.crc32(dest.read_bytes()) & 0xFFFFFFFF
+            if staged_crc != crc:
+                dest.unlink(missing_ok=True)
+                raise StageError(f"stage-in CRC mismatch for {source.name}")
+        self._staged[source] = _StagedFile(dest, len(data), crc, self.clock_s)
+        self.stats.stage_ins += 1
+        self.stats.bytes_staged += len(data)
+        self._enforce_capacity(keep=source)
+
+    def stage_all(self, sources: Sequence) -> int:
+        """Stage a manifest's shards; returns how many staged cleanly."""
+        return sum(1 for s in sources if self.stage(s))
+
+    def _enforce_capacity(self, keep: Optional[Path] = None) -> None:
+        cap = self.config.capacity_bytes
+        if cap is None:
+            return
+        while self.staged_bytes > cap and len(self._staged) > 1:
+            victim = min(
+                (p for p in self._staged if p != keep),
+                key=lambda p: self._staged[p].last_used,
+                default=None,
+            )
+            if victim is None:
+                return
+            self._drop(victim)
+            self.stats.capacity_evictions += 1
+            self.events.append(f"lru-evict:{victim.name}")
+
+    def _drop(self, source: Path) -> None:
+        entry = self._staged.pop(source, None)
+        if entry is not None:
+            entry.path.unlink(missing_ok=True)
+
+    # -- eviction / quarantine -----------------------------------------------
+
+    def evict_all(self) -> int:
+        """Lose the whole burst-buffer allocation (scheduler eviction)."""
+        with self._lock:
+            n = len(self._staged)
+            for source in list(self._staged):
+                self._drop(source)
+            if n:
+                self.stats.evictions += 1
+                self.events.append(f"bb-evict:{n}")
+                _log.warning("burst-buffer allocation evicted (%d staged files lost)", n)
+            return n
+
+    def handle_corrupt(self, source) -> StagedRead:
+        """A staged copy yielded corrupt records: quarantine it, re-stage
+        from the backing store, and return where to re-read from.
+
+        If the re-stage fails (or corruption came from the source
+        itself) the caller gets a backing-store read and the reader's
+        strict/non-strict policy decides what a corrupt *source* means.
+        """
+        source = Path(source)
+        with self._lock:
+            entry = self._staged.get(source)
+            if entry is not None:
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                qpath = self.quarantine_dir / f"{entry.path.name}.{self.stats.quarantined}"
+                try:
+                    shutil.move(str(entry.path), str(qpath))
+                except OSError:
+                    entry.path.unlink(missing_ok=True)
+                del self._staged[source]
+                self.stats.quarantined += 1
+                self.events.append(f"quarantine:{source.name}")
+                _log.warning("quarantined corrupt staged copy of %s", source.name)
+            if self.stage(source):
+                self.stats.restages += 1
+                self.events.append(f"restage:{source.name}")
+                return StagedRead(self._staged[source].path, "bb", 0.0)
+            self.stats.fallback_reads += 1
+            return StagedRead(source, "backing", 0.0)
+
+    # -- the read path -------------------------------------------------------
+
+    def read(self, source) -> StagedRead:
+        """Resolve one read through the tier hierarchy.
+
+        The fallback ladder, top to bottom: staged burst-buffer copy →
+        hedged read (hot tier raced against the backing store) → direct
+        backing-store read (miss, open breaker, eviction, or failed
+        stage-in).  Never raises for tier trouble — the worst outcome
+        is a slow, counted, backing-store read.
+        """
+        source = Path(source)
+        with self._lock:
+            target = self.target_of(source)
+            rng = self._visit_rng(source, "read")
+            slow_s = 0.0
+            if self.injector is not None:
+                slow_s, evict = self.injector.on_staged_read(source, target)
+                if evict:
+                    self.evict_all()
+            entry = self._staged.get(source)
+            allowed = self._allow(target)
+            if entry is None and allowed and self.config.stage_on_miss:
+                if self.stage(source):
+                    entry = self._staged.get(source)
+            if entry is None or not allowed:
+                nbytes = source.stat().st_size
+                latency = self._tier_latency(self.backing_spec, nbytes, rng)
+                self._advance(latency)
+                self.stats.fallback_reads += 1
+                self.events.append(f"fallback:{source.name}")
+                return StagedRead(source, "backing", latency)
+            # Hot-tier read, possibly hedged.
+            entry.last_used = self.clock_s
+            bb_latency = self._tier_latency(self.bb_spec, entry.nbytes, rng) + slow_s
+            budget = self.config.hedge_budget_s
+            if budget is not None and bb_latency > budget:
+                self.stats.hedged_reads += 1
+                self.events.append(f"hedge:{source.name}")
+                backing_latency = budget + self._tier_latency(
+                    self.backing_spec, entry.nbytes, rng
+                )
+                # Over-budget hot reads are target failures either way:
+                # this is the signal that trips a slow target's breaker.
+                self._record_failure(target)
+                if backing_latency < bb_latency:
+                    self.stats.hedge_wins += 1
+                    self._advance(backing_latency)
+                    return StagedRead(source, "hedge", backing_latency)
+                self._advance(bb_latency)
+                self.stats.bb_reads += 1
+                return StagedRead(entry.path, "bb", bb_latency)
+            self._advance(bb_latency)
+            self.stats.bb_reads += 1
+            self.breaker(target).record_success()
+            return StagedRead(entry.path, "bb", bb_latency)

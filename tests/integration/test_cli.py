@@ -13,13 +13,16 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for cmd in ("simulate", "train", "predict", "topology", "scaling"):
+        for cmd in ("simulate", "train", "predict", "topology", "scaling",
+                    "faultsim", "stage"):
             args = {
                 "simulate": ["simulate", "--out", "x"],
                 "train": ["train", "--data", "x"],
                 "predict": ["predict", "--data", "x", "--checkpoint", "y"],
                 "topology": ["topology"],
                 "scaling": ["scaling"],
+                "faultsim": ["faultsim"],
+                "stage": ["stage", "--data", "x", "--bb-dir", "y"],
             }[cmd]
             parsed = parser.parse_args(args)
             assert parsed.command == cmd
@@ -74,6 +77,99 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "relative errors" in out
 
+class TestStageCommand:
+    @pytest.fixture()
+    def record_dir(self, tmp_path):
+        from repro.io.dataset import write_dataset
+
+        rng = np.random.default_rng(0)
+        vols = rng.standard_normal((8, 1, 4, 4, 4)).astype(np.float32)
+        tgts = rng.random((8, 3)).astype(np.float32)
+        write_dataset(tmp_path / "data", vols, tgts, samples_per_file=4)
+        return tmp_path
+
+    def test_stage_clean(self, record_dir, capsys):
+        rc = main([
+            "stage", "--data", str(record_dir / "data"),
+            "--bb-dir", str(record_dir / "bb"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "staged 2/2 shards" in out
+        assert "8 records delivered, 0 skipped" in out
+
+    def test_stage_under_faults_still_succeeds(self, record_dir, capsys):
+        rc = main([
+            "stage", "--data", str(record_dir / "data"),
+            "--bb-dir", str(record_dir / "bb"),
+            "--stage-fail-rate", "0.4", "--target-slow-rate", "0.4",
+            "--bb-evict-rate", "0.2", "--hedge-budget-ms", "50",
+            "--breaker-reset-s", "0.5", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 records delivered" in out
+        assert "faults fired" in out
+
+    def test_stage_strict_corrupt_source_fails_cleanly(self, record_dir, capsys):
+        # Bit-rot a source record: strict mode must print FAILED and
+        # return 1 — never a traceback — so CI can assert on it.
+        shard = sorted((record_dir / "data").glob("*.rec"))[0]
+        data = bytearray(shard.read_bytes())
+        data[30] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        rc = main([
+            "stage", "--data", str(record_dir / "data"),
+            "--bb-dir", str(record_dir / "bb"), "--strict",
+        ])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_stage_empty_dir_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no record files"):
+            main(["stage", "--data", str(tmp_path), "--bb-dir", str(tmp_path / "bb")])
+
+    def test_stage_unknown_split_exits(self, tmp_path):
+        from repro.cosmo.dataset_builder import SimulationConfig
+        from repro.io.manifest import write_simulation_dataset
+
+        write_simulation_dataset(
+            tmp_path / "ds", n_sims=4,
+            config=SimulationConfig(
+                particle_grid=16, histogram_grid=16, box_size=32.0
+            ),
+            seed=0,
+        )
+        with pytest.raises(SystemExit, match="split"):
+            main([
+                "stage", "--data", str(tmp_path / "ds"), "--split", "bogus",
+                "--bb-dir", str(tmp_path / "bb"),
+            ])
+
+
+class TestFaultsimExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        rc = main([
+            "faultsim", "--ranks", "2", "--epochs", "1", "--samples", "4",
+            "--crash-rate", "0",
+        ])
+        assert rc == 0
+        assert "survivors" in capsys.readouterr().out
+
+    def test_unrecovered_quorum_loss_exits_nonzero(self, capsys):
+        # Every rank crashes at step 0 and there is no checkpoint dir:
+        # CI must see a nonzero exit and a FAILED line, not a traceback.
+        rc = main([
+            "faultsim", "--ranks", "2", "--epochs", "1", "--samples", "4",
+            "--crash-rate", "1.0", "--timeout", "2",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAILED: unrecovered quorum loss" in out
+        assert "--checkpoint-dir" in out
+
+
+class TestCommandsSlow:
     @pytest.mark.slow
     def test_train_preset_mismatch(self, tmp_path):
         ds = tmp_path / "small"

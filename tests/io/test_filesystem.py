@@ -132,6 +132,29 @@ class TestReadTime:
         assert np.median(times) == pytest.approx(nominal, rel=0.3)
         assert np.mean(times) >= np.median(times) * 0.9
 
+    def test_no_rng_falls_back_to_seeded_default(self):
+        """rng=None must mean the spec's own derived stream, not the
+        process-global NumPy RNG: two fresh calls draw the same value,
+        and specs with different names draw different ones."""
+        fs = cori_lustre()
+        assert fs.read_time_s(8e6, 128) == fs.read_time_s(8e6, 128)
+        other = cori_datawarp()
+        assert fs.read_time_s(8e6, 128) != other.read_time_s(8e6, 128)
+
+    def test_default_rng_isolated_from_global_state(self):
+        fs = cori_lustre()
+        np.random.seed(12345)
+        a = fs.read_time_s(8e6, 128)
+        np.random.seed(54321)
+        b = fs.read_time_s(8e6, 128)
+        assert a == b
+
+    def test_rng_accepts_seed_or_generator(self):
+        fs = cori_lustre()
+        a = fs.read_time_s(8e6, 128, rng=7)
+        b = fs.read_time_s(8e6, 128, rng=np.random.default_rng(7))
+        assert a == b
+
     def test_validation(self):
         with pytest.raises(ValueError):
             FilesystemSpec("x", 0, 1.0, 1, 1.0, 10.0)

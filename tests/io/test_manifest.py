@@ -62,6 +62,47 @@ class TestWriteLoad:
         with pytest.raises(ValueError, match="version"):
             load_simulation_dataset(tmp_path)
 
+    def test_manifest_records_file_names(self, tmp_path):
+        write_simulation_dataset(tmp_path, n_sims=4, config=SMALL, seed=0)
+        manifest, _ = load_simulation_dataset(tmp_path)
+        assert set(manifest["files"]) == {"train", "val", "test"}
+        for split, names in manifest["files"].items():
+            for name in names:
+                assert (tmp_path / split / name).exists()
+
+    def test_missing_listed_file_raises(self, tmp_path):
+        write_simulation_dataset(tmp_path, n_sims=4, config=SMALL, seed=0)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        victim = manifest["files"]["train"][0]
+        (tmp_path / "train" / victim).unlink()
+        with pytest.raises(FileNotFoundError, match=victim):
+            load_simulation_dataset(tmp_path)
+
+    def test_extra_record_file_raises(self, tmp_path):
+        write_simulation_dataset(tmp_path, n_sims=4, config=SMALL, seed=0)
+        (tmp_path / "train" / "train_99999.rec").write_bytes(b"")
+        with pytest.raises(ValueError, match="train_99999.rec"):
+            load_simulation_dataset(tmp_path)
+
+    def test_old_manifest_without_files_key_loads(self, tmp_path):
+        """Pre-staging manifests (no ``files`` key) must keep loading."""
+        write_simulation_dataset(tmp_path, n_sims=4, config=SMALL, seed=0)
+        manifest_path = tmp_path / MANIFEST_NAME
+        data = json.loads(manifest_path.read_text())
+        del data["files"]
+        manifest_path.write_text(json.dumps(data))
+        _, datasets = load_simulation_dataset(tmp_path)
+        assert set(datasets) == {"train", "val", "test"}
+
+    def test_load_with_staging_routes_reads(self, tmp_path):
+        from repro.io.staging import StagingManager
+
+        write_simulation_dataset(tmp_path / "ds", n_sims=4, config=SMALL, seed=0)
+        mgr = StagingManager(tmp_path / "bb", seed=1)
+        _, datasets = load_simulation_dataset(tmp_path / "ds", staging=mgr)
+        datasets["test"].to_arrays()
+        assert mgr.stats.bb_reads > 0
+
     def test_deterministic_given_seed(self, tmp_path):
         write_simulation_dataset(tmp_path / "a", n_sims=4, config=SMALL, seed=7)
         write_simulation_dataset(tmp_path / "b", n_sims=4, config=SMALL, seed=7)

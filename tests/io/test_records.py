@@ -163,3 +163,64 @@ class TestRecordFiles:
             w.write_sample(*sample())
         assert w._fh.closed
         assert w.records_written == 1
+
+
+class TestCorruptionEdges:
+    """Byte-level failure modes the staging tier must be able to detect:
+    every distinct way a record file can go bad on a storage tier maps
+    to :class:`RecordCorruptionError`, never to garbage data."""
+
+    def write_one(self, tmp_path):
+        path = tmp_path / "edge.rec"
+        write_record_file(path, [sample()[0]], [sample()[1]])
+        return path, path.read_bytes()
+
+    def test_truncated_mid_length_header(self, tmp_path):
+        path, raw = self.write_one(tmp_path)
+        path.write_bytes(raw[:4])  # half of the 8-byte length field
+        with pytest.raises(RecordCorruptionError, match="truncated"):
+            read_record_file(path)
+
+    def test_truncated_mid_length_crc(self, tmp_path):
+        path, raw = self.write_one(tmp_path)
+        path.write_bytes(raw[:10])  # length intact, CRC cut short
+        with pytest.raises(RecordCorruptionError, match="truncated"):
+            read_record_file(path)
+
+    def test_truncated_mid_payload(self, tmp_path):
+        path, raw = self.write_one(tmp_path)
+        (length,) = struct.unpack("<Q", raw[:8])
+        path.write_bytes(raw[: 12 + length // 2])
+        with pytest.raises(RecordCorruptionError, match="truncated"):
+            read_record_file(path)
+
+    def test_flipped_length_crc_byte(self, tmp_path):
+        path, raw = self.write_one(tmp_path)
+        data = bytearray(raw)
+        data[9] ^= 0x40  # inside the masked length-CRC field (bytes 8-11)
+        path.write_bytes(bytes(data))
+        with pytest.raises(RecordCorruptionError, match="CRC"):
+            read_record_file(path)
+
+    def test_flipped_payload_crc_byte(self, tmp_path):
+        path, raw = self.write_one(tmp_path)
+        data = bytearray(raw)
+        data[-2] ^= 0x40  # inside the trailing masked payload-CRC field
+        path.write_bytes(bytes(data))
+        with pytest.raises(RecordCorruptionError, match="CRC"):
+            read_record_file(path)
+
+    def test_second_record_corrupt_first_still_read(self, tmp_path):
+        path = tmp_path / "two.rec"
+        write_record_file(
+            path, [sample(0)[0], sample(1)[0]], [sample(0)[1], sample(1)[1]]
+        )
+        raw = bytearray(path.read_bytes())
+        (length,) = struct.unpack("<Q", raw[:8])
+        raw[16 + length + 20] ^= 0xFF  # a payload byte of record 2
+        path.write_bytes(bytes(raw))
+        reader = RecordReader(path)
+        first = next(iter(reader))
+        np.testing.assert_array_equal(decode_sample(first)[0], sample(0)[0])
+        with pytest.raises(RecordCorruptionError):
+            list(RecordReader(path))

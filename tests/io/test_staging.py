@@ -1,0 +1,338 @@
+"""Tests for the resilient burst-buffer staging tier."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.io.dataset import RecordDataset, write_dataset
+from repro.io.pipeline import PrefetchPipeline
+from repro.io.staging import (
+    BreakerState,
+    CircuitBreaker,
+    StagingConfig,
+    StagingManager,
+)
+
+
+@pytest.fixture()
+def record_files(tmp_path):
+    rng = np.random.default_rng(0)
+    vols = rng.standard_normal((12, 1, 4, 4, 4)).astype(np.float32)
+    tgts = rng.random((12, 3)).astype(np.float32)
+    return write_dataset(tmp_path / "src", vols, tgts, samples_per_file=4)
+
+
+def make_manager(tmp_path, name="bb", injector=None, **cfg):
+    return StagingManager(
+        tmp_path / name,
+        config=StagingConfig(**cfg),
+        seed=7,
+        injector=injector,
+    )
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        b = CircuitBreaker("t", threshold=3, reset_s=10.0)
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        assert b.state is BreakerState.CLOSED and b.allow(0.0)
+        b.record_failure(0.0)
+        assert b.state is BreakerState.OPEN and b.trips == 1
+        assert not b.allow(5.0)
+
+    def test_success_resets_consecutive_count(self):
+        b = CircuitBreaker("t", threshold=2, reset_s=10.0)
+        b.record_failure(0.0)
+        b.record_success()
+        b.record_failure(0.0)
+        assert b.state is BreakerState.CLOSED
+
+    def test_half_open_after_cooldown_then_close_on_success(self):
+        b = CircuitBreaker("t", threshold=1, reset_s=5.0)
+        b.record_failure(0.0)
+        assert b.state is BreakerState.OPEN
+        assert b.allow(6.0)  # past cooldown: admits one probe
+        assert b.state is BreakerState.HALF_OPEN and b.half_opens == 1
+        b.record_success()
+        assert b.state is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_retrips(self):
+        b = CircuitBreaker("t", threshold=3, reset_s=5.0)
+        for _ in range(3):
+            b.record_failure(0.0)
+        assert b.allow(6.0)
+        b.record_failure(6.0)  # probe failed: immediate re-trip
+        assert b.state is BreakerState.OPEN and b.trips == 2
+        assert not b.allow(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", reset_s=-1.0)
+
+
+class TestStageIn:
+    def test_stage_and_bitwise_read(self, tmp_path, record_files):
+        mgr = make_manager(tmp_path)
+        assert mgr.stage_all(record_files) == len(record_files)
+        assert all(mgr.is_staged(p) for p in record_files)
+        staged = RecordDataset(record_files, staging=mgr).to_arrays()
+        direct = RecordDataset(record_files).to_arrays()
+        np.testing.assert_array_equal(staged[0], direct[0])
+        np.testing.assert_array_equal(staged[1], direct[1])
+        assert mgr.stats.bb_reads == len(record_files)
+        assert mgr.stats.fallback_reads == 0
+
+    def test_transient_stage_fail_retried(self, tmp_path, record_files):
+        inj = FaultInjector(
+            FaultPlan(seed=0, events=(FaultEvent(FaultKind.STAGE_FAIL, step=0),))
+        )
+        mgr = make_manager(tmp_path, injector=inj)
+        assert mgr.stage(record_files[0])
+        assert mgr.stats.stage_retries == 1
+        assert mgr.stats.stage_failures == 0
+
+    def test_persistent_stage_fail_degrades_to_backing(self, tmp_path, record_files):
+        inj = FaultInjector(
+            FaultPlan(
+                seed=0,
+                events=(FaultEvent(FaultKind.STAGE_FAIL, step=0, repeats=10),),
+            )
+        )
+        mgr = make_manager(tmp_path, injector=inj, stage_on_miss=False)
+        assert not mgr.stage(record_files[0])
+        assert mgr.stats.stage_failures == 1
+        # The file is still readable — served degraded from backing.
+        res = mgr.read(record_files[0])
+        assert res.tier == "backing" and res.path == record_files[0]
+        assert mgr.stats.fallback_reads == 1
+
+    def test_capacity_lru_eviction(self, tmp_path, record_files):
+        nbytes = record_files[0].stat().st_size
+        mgr = make_manager(tmp_path, capacity_bytes=2 * nbytes + 1)
+        mgr.stage_all(record_files)  # 3 files, room for 2
+        assert mgr.staged_bytes <= 2 * nbytes + 1
+        assert not mgr.is_staged(record_files[0])  # oldest evicted
+        assert mgr.stats.capacity_evictions == 1
+
+
+class TestReadLadder:
+    def test_miss_stages_on_demand(self, tmp_path, record_files):
+        mgr = make_manager(tmp_path)
+        res = mgr.read(record_files[0])
+        assert res.tier == "bb" and mgr.is_staged(record_files[0])
+
+    def test_bb_evict_then_restage(self, tmp_path, record_files):
+        inj = FaultInjector(
+            FaultPlan(seed=0, events=(FaultEvent(FaultKind.BB_EVICT, step=1),))
+        )
+        mgr = make_manager(tmp_path, injector=inj)
+        mgr.stage_all(record_files)
+        mgr.read(record_files[0])  # read 0: fine
+        res = mgr.read(record_files[1])  # read 1: allocation evicted first
+        assert mgr.stats.evictions == 1
+        # stage_on_miss restaged the file being read.
+        assert res.tier == "bb"
+        assert mgr.stats.stage_ins == len(record_files) + 1
+
+    def test_target_slow_triggers_hedge(self, tmp_path, record_files):
+        inj = FaultInjector(
+            FaultPlan(
+                seed=0,
+                events=(FaultEvent(FaultKind.TARGET_SLOW, step=0, delay_s=0.5),),
+            )
+        )
+        mgr = make_manager(tmp_path, injector=inj, hedge_budget_s=0.05)
+        mgr.stage_all(record_files)
+        res = mgr.read(record_files[0])
+        assert mgr.stats.hedged_reads == 1
+        assert mgr.stats.hedge_wins == 1  # zero-latency backing model wins
+        assert res.tier == "hedge" and res.path == record_files[0]
+
+    def test_repeated_slow_target_trips_breaker_then_half_opens(
+        self, tmp_path, record_files
+    ):
+        path = record_files[0]
+        events = tuple(
+            FaultEvent(FaultKind.TARGET_SLOW, step=i, delay_s=0.5) for i in range(2)
+        )
+        inj = FaultInjector(FaultPlan(seed=0, events=events))
+        mgr = make_manager(
+            tmp_path,
+            injector=inj,
+            hedge_budget_s=0.05,
+            breaker_threshold=2,
+            breaker_reset_s=0.4,
+        )
+        mgr.stage(path)
+        target = mgr.target_of(path)
+        mgr.read(path)
+        assert mgr.breaker(target).state is BreakerState.CLOSED
+        mgr.read(path)  # second over-budget read trips the breaker
+        assert mgr.breaker(target).state is BreakerState.OPEN
+        assert mgr.stats.breaker_trips == 1
+        # While OPEN (within cooldown) reads fall back to backing.
+        res = mgr.read(path)
+        assert res.tier == "backing" and mgr.stats.fallback_reads == 1
+        # The hedged reads advanced the virtual clock 0.05s each; push
+        # past the cooldown and the breaker half-opens, probes, closes.
+        mgr._advance(0.5)
+        res = mgr.read(path)
+        assert res.tier == "bb"
+        assert mgr.stats.breaker_half_opens == 1
+        assert mgr.breaker(target).state is BreakerState.CLOSED
+
+    def test_read_never_raises_for_tier_trouble(self, tmp_path, record_files):
+        events = tuple(
+            FaultEvent(FaultKind.STAGE_FAIL, step=i, repeats=10) for i in range(20)
+        ) + tuple(FaultEvent(FaultKind.BB_EVICT, step=i) for i in range(10))
+        inj = FaultInjector(FaultPlan(seed=0, events=events))
+        mgr = make_manager(tmp_path, injector=inj)
+        for path in record_files * 2:
+            res = mgr.read(path)
+            assert res.path.exists()
+        assert mgr.stats.fallback_reads > 0
+
+
+class TestQuarantine:
+    def corrupt_bb_copy(self, mgr, source):
+        entry = mgr._staged[source]
+        data = bytearray(entry.path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        entry.path.write_bytes(bytes(data))
+
+    def test_corrupt_staged_copy_quarantined_and_restaged(
+        self, tmp_path, record_files
+    ):
+        mgr = make_manager(tmp_path)
+        mgr.stage_all(record_files)
+        self.corrupt_bb_copy(mgr, record_files[0])
+        ds = RecordDataset(record_files, staging=mgr)  # strict!
+        staged = ds.to_arrays()
+        direct = RecordDataset(record_files).to_arrays()
+        np.testing.assert_array_equal(staged[0], direct[0])
+        assert mgr.stats.quarantined == 1
+        assert mgr.stats.restages == 1
+        assert ds.records_skipped == 0
+        assert (mgr.quarantine_dir.exists()
+                and len(list(mgr.quarantine_dir.iterdir())) == 1)
+
+    def test_nonstrict_corrupt_bb_copy_also_healed(self, tmp_path, record_files):
+        mgr = make_manager(tmp_path)
+        mgr.stage_all(record_files)
+        self.corrupt_bb_copy(mgr, record_files[0])
+        ds = RecordDataset(record_files, strict=False, staging=mgr)
+        x, y = ds.to_arrays()
+        assert len(x) == 12  # nothing lost: the source was clean
+        assert ds.records_skipped == 0
+        assert mgr.stats.quarantined == 1
+
+
+class TestDeterminism:
+    def run_once(self, tmp_path, record_files, tag):
+        plan = FaultPlan.sample(
+            5, 1, 0,
+            stage_fail_rate=0.3, n_stage_ops=30,
+            target_slow_rate=0.3, target_slow_s=0.2,
+            bb_evict_rate=0.1, n_staged_reads=30,
+        )
+        mgr = StagingManager(
+            tmp_path / f"bb-{tag}",
+            config=StagingConfig(
+                hedge_budget_s=0.05, breaker_threshold=2, breaker_reset_s=0.5
+            ),
+            seed=9,
+            injector=FaultInjector(plan),
+        )
+        mgr.stage_all(record_files)
+        ds = RecordDataset(record_files, strict=False, staging=mgr)
+        pipe = PrefetchPipeline(ds, n_io_threads=1, buffer_size=4)
+        batches = [
+            (x.copy(), y.copy())
+            for x, y in pipe.batches(2, rng=np.random.default_rng(3))
+        ]
+        return mgr, batches
+
+    def test_same_seed_same_decisions_and_data(self, tmp_path, record_files):
+        mgr_a, batches_a = self.run_once(tmp_path, record_files, "a")
+        mgr_b, batches_b = self.run_once(tmp_path, record_files, "b")
+        assert mgr_a.events == mgr_b.events
+        assert mgr_a.stats.as_dict() == mgr_b.stats.as_dict()
+        assert len(batches_a) == len(batches_b)
+        for (xa, ya), (xb, yb) in zip(batches_a, batches_b):
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_virtual_clock_never_sleeps_by_default(self, tmp_path, record_files):
+        import time
+
+        mgr = make_manager(tmp_path)
+        t0 = time.perf_counter()
+        mgr._advance(100.0)
+        assert time.perf_counter() - t0 < 0.5
+        assert mgr.clock_s == 100.0
+
+
+class TestPipelineIntegration:
+    def test_staging_counters_reach_pipeline_stats(self, tmp_path, record_files):
+        events = (
+            FaultEvent(FaultKind.TARGET_SLOW, step=0, delay_s=0.5),
+            FaultEvent(FaultKind.STAGE_FAIL, step=1),
+        )
+        inj = FaultInjector(FaultPlan(seed=0, events=events))
+        mgr = make_manager(tmp_path, injector=inj, hedge_budget_s=0.05)
+        ds = RecordDataset(record_files, strict=False, staging=mgr)
+        pipe = PrefetchPipeline(ds, n_io_threads=1, buffer_size=4)
+        for _ in pipe.batches(2, rng=np.random.default_rng(1)):
+            pass
+        assert pipe.stats.hedged_reads == 1
+        assert pipe.stats.stage_retries == 1
+        assert pipe.stats.degraded_total() >= 2
+
+    def test_shard_shares_staging_manager(self, tmp_path, record_files):
+        mgr = make_manager(tmp_path)
+        ds = RecordDataset(record_files, staging=mgr)
+        shard = ds.shard(0, 2)
+        assert shard.staging is mgr
+        shard.to_arrays()
+        assert mgr.stats.bb_reads > 0
+
+
+class TestFaultPlanSampling:
+    def test_sample_draws_storage_kinds(self):
+        plan = FaultPlan.sample(
+            3, 1, 0,
+            stage_fail_rate=0.5, n_stage_ops=40, stage_fail_repeats=2,
+            target_slow_rate=0.5, bb_evict_rate=0.2, n_staged_reads=40,
+        )
+        kinds = {e.kind for e in plan.events}
+        assert FaultKind.STAGE_FAIL in kinds
+        assert FaultKind.TARGET_SLOW in kinds
+        assert FaultKind.BB_EVICT in kinds
+        assert all(
+            e.repeats == 2 for e in plan.of_kind(FaultKind.STAGE_FAIL)
+        )
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError, match="stage_fail_rate"):
+            FaultPlan.sample(0, 1, 0, stage_fail_rate=1.5)
+        with pytest.raises(ValueError, match="stage_fail_repeats"):
+            FaultPlan.sample(0, 1, 0, stage_fail_repeats=0)
+
+    def test_target_slow_can_pin_a_target(self):
+        inj = FaultInjector(
+            FaultPlan(
+                seed=0,
+                events=(
+                    FaultEvent(FaultKind.TARGET_SLOW, rank=2, step=0, delay_s=0.3),
+                ),
+            )
+        )
+        # Read 0 hits target 1: the pinned event does not fire.
+        delay, evict = inj.on_staged_read("x", target=1)
+        assert delay == 0.0 and not evict
+        # It stays pending for a later read on target 2.
+        delay, _ = inj.on_staged_read("x", target=2)
+        assert delay == 0.0  # step moved past 0 — event keyed to read 0
