@@ -49,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-augment", action="store_true")
     p.add_argument("--checkpoint", default=None, help="write model checkpoint here")
+    p.add_argument(
+        "--mode",
+        choices=("local", "stepped", "threaded", "elastic"),
+        default="local",
+        help="training-engine execution backend",
+    )
+    p.add_argument("--ranks", type=int, default=2,
+                   help="data-parallel ranks for non-local modes")
 
     p = sub.add_parser("predict", help="evaluate a checkpoint on a dataset's test split")
     p.add_argument("--data", required=True)
@@ -161,21 +169,50 @@ def cmd_train(args) -> int:
         xv, yv = datasets["val"].to_arrays()
         val = InMemoryData(xv, yv)
 
-    model = CosmoFlowModel(preset, seed=args.seed)
-    optimizer = CosmoFlowOptimizer(
-        model.parameter_arrays(),
-        OptimizerConfig(eta0=args.eta0, decay_steps=max(1, args.epochs * len(train))),
-    )
-    trainer = Trainer(
-        model, train, val_data=val, optimizer=optimizer,
-        config=TrainerConfig(epochs=args.epochs, seed=args.seed + 1),
-    )
+    if args.mode == "local":
+        model = CosmoFlowModel(preset, seed=args.seed)
+        optimizer = CosmoFlowOptimizer(
+            model.parameter_arrays(),
+            OptimizerConfig(eta0=args.eta0, decay_steps=max(1, args.epochs * len(train))),
+        )
+        trainer = Trainer(
+            model, train, val_data=val, optimizer=optimizer,
+            config=TrainerConfig(epochs=args.epochs, seed=args.seed + 1),
+        )
+    else:
+        from repro.core.distributed import DistributedConfig, DistributedTrainer
+        from repro.core.elastic import ElasticTrainer
+
+        if len(train) < args.ranks:
+            raise SystemExit(
+                f"dataset of {len(train)} samples cannot feed {args.ranks} ranks"
+            )
+        steps = len(train) // args.ranks
+        cls = ElasticTrainer if args.mode == "elastic" else DistributedTrainer
+        trainer = cls(
+            preset,
+            train,
+            val_data=val,
+            config=DistributedConfig(
+                n_ranks=args.ranks, epochs=args.epochs, mode=args.mode,
+                seed=args.seed + 1,
+            ),
+            optimizer_config=OptimizerConfig(
+                eta0=args.eta0, decay_steps=max(1, args.epochs * steps)
+            ),
+        )
     history = trainer.run()
     for e, (tl, vl) in enumerate(zip(history.train_loss, history.val_loss), 1):
         print(f"epoch {e}: train {tl:.4f}  val {vl:.4f}")
-    tp = trainer.throughput()
-    print(f"throughput: {tp['samples_per_sec']:.1f} samples/s "
-          f"({tp['flops_per_sec'] / 1e9:.2f} Gflop/s)")
+    if args.mode == "local":
+        tp = trainer.throughput()
+        print(f"throughput: {tp['samples_per_sec']:.1f} samples/s "
+              f"({tp['flops_per_sec'] / 1e9:.2f} Gflop/s)")
+        model, optimizer = trainer.model, trainer.optimizer
+    else:
+        print(f"mode: {args.mode}  ranks: {args.ranks}  "
+              f"reductions: {trainer.group_stats.get('reductions', 0)}")
+        model, optimizer = trainer.final_model, None
     if args.checkpoint:
         path = save_checkpoint(args.checkpoint, model, optimizer)
         print(f"checkpoint: {path}")

@@ -25,6 +25,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.comm.communicator import Communicator, ReduceOp
+from repro.utils.packing import flatten_arrays, unflatten_arrays
 
 __all__ = ["HorovodLike"]
 
@@ -59,21 +60,15 @@ class HorovodLike:
         """One fused allreduce over the concatenated gradients."""
         self._require_init()
         t0 = time.perf_counter()
-        shapes = [g.shape for g in grads]
-        flat = np.concatenate([np.asarray(g).ravel() for g in grads])
+        shapes = [np.shape(g) for g in grads]
+        flat = flatten_arrays(grads)
         reduced = self.comm.allreduce(flat, op=ReduceOp.MEAN)
         elapsed = time.perf_counter() - t0
         self.stats.calls += 1
         self.stats.bytes_reduced += int(flat.nbytes)
         self.stats.seconds += elapsed
         self.stats.per_call_seconds.append(elapsed)
-        out: List[np.ndarray] = []
-        offset = 0
-        for shape in shapes:
-            size = int(np.prod(shape))
-            out.append(reduced[offset : offset + size].reshape(shape))
-            offset += size
-        return out
+        return unflatten_arrays(reduced, shapes)
 
     def average_scalar(self, value: float) -> float:
         self._require_init()

@@ -36,6 +36,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.comm.communicator import Communicator, ReduceOp
+from repro.utils.packing import flatten_arrays, unflatten_arrays
 
 __all__ = ["PluginConfig", "MLPlugin"]
 
@@ -109,13 +110,8 @@ class MLPlugin:
         ``mc.gradients``); returns new arrays in the input layout."""
         self._require_init()
         t0 = time.perf_counter()
-        shapes = [g.shape for g in grads]
-        sizes = [int(np.prod(s)) for s in shapes]
-        flat = (
-            np.concatenate([np.asarray(g).ravel() for g in grads])
-            if len(grads) != 1
-            else np.asarray(grads[0]).ravel()
-        )
+        shapes = [np.shape(g) for g in grads]
+        flat = flatten_arrays(grads)
 
         reduced = np.empty_like(flat)
         bounds = np.linspace(0, flat.size, self.config.n_chunks + 1).astype(int)
@@ -130,12 +126,7 @@ class MLPlugin:
         self.stats.seconds += elapsed
         self.stats.per_call_seconds.append(elapsed)
 
-        out: List[np.ndarray] = []
-        offset = 0
-        for shape, size in zip(shapes, sizes):
-            out.append(reduced[offset : offset + size].reshape(shape))
-            offset += size
-        return out
+        return unflatten_arrays(reduced, shapes)
 
     def average_scalar(self, value: float) -> float:
         """Average a scalar metric across ranks (the validation loop's

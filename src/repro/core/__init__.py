@@ -12,10 +12,14 @@
   network with gradient plumbing for data-parallel training.
 * :mod:`repro.core.optimizer` — Adam + LARC + polynomial learning-rate
   decay exactly as specified in Section III-B.
-* :mod:`repro.core.trainer` — the single-process training loop with
-  Figure-3-style stage timing.
+* :mod:`repro.core.engine` — the canonical training loop
+  (:class:`TrainingEngine`) with pluggable execution backends and
+  callback hooks; Figure-3-style stage timing.
+* :mod:`repro.core.trainer` — the single-process trainer (compatibility
+  shim over the engine's :class:`LocalBackend`).
 * :mod:`repro.core.distributed` — fully synchronous data-parallel
-  training (Algorithm 2) over :mod:`repro.comm`.
+  training (Algorithm 2) over :mod:`repro.comm`, via the engine's
+  stepped/threaded/elastic backends.
 * :mod:`repro.core.metrics` — the paper's relative-error metric and
   result summaries.
 """
@@ -46,6 +50,23 @@ from repro.core.optimizer import (
     larc_scale,
     CosmoFlowOptimizer,
     OptimizerConfig,
+)
+from repro.core.engine import (
+    Callback,
+    CheckpointCallback,
+    DivergenceCheck,
+    ElasticBackend,
+    EngineConfig,
+    EngineResult,
+    ExecutionBackend,
+    GroupStatsCollector,
+    History,
+    LocalBackend,
+    LRRecorder,
+    RankContext,
+    SteppedBackend,
+    ThreadedBackend,
+    TrainingEngine,
 )
 from repro.core.trainer import Trainer, TrainerConfig, InMemoryData
 from repro.core.distributed import DistributedTrainer, DistributedConfig
@@ -83,6 +104,21 @@ __all__ = [
     "larc_scale",
     "CosmoFlowOptimizer",
     "OptimizerConfig",
+    "TrainingEngine",
+    "EngineConfig",
+    "EngineResult",
+    "ExecutionBackend",
+    "LocalBackend",
+    "SteppedBackend",
+    "ThreadedBackend",
+    "ElasticBackend",
+    "Callback",
+    "LRRecorder",
+    "DivergenceCheck",
+    "CheckpointCallback",
+    "GroupStatsCollector",
+    "RankContext",
+    "History",
     "Trainer",
     "TrainerConfig",
     "InMemoryData",

@@ -29,13 +29,14 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.engine import History
 from repro.core.model import CosmoFlowModel
 from repro.core.optimizer import CosmoFlowOptimizer
-from repro.core.trainer import History
 
 __all__ = [
     "CheckpointError",
     "CheckpointCorruptError",
+    "checkpoint_path",
     "save_checkpoint",
     "load_checkpoint",
     "latest_checkpoint",
@@ -58,6 +59,18 @@ class CheckpointCorruptError(CheckpointError):
     def __init__(self, message: str, path=None):
         super().__init__(message)
         self.path = Path(path) if path is not None else None
+
+
+def checkpoint_path(directory, step: int) -> Path:
+    """Canonical checkpoint file name for a global step.
+
+    The step number is zero-padded so lexicographic name order is step
+    order — the invariant :func:`latest_checkpoint` relies on.  Used by
+    :class:`repro.core.engine.CheckpointCallback`.
+    """
+    if step < 0:
+        raise ValueError("step must be >= 0")
+    return Path(directory) / f"ckpt-{step:08d}"
 
 
 def _payload_crc(payload: dict) -> int:

@@ -30,44 +30,67 @@ A third mode, ``elastic`` (see :mod:`repro.core.elastic`), runs the
 threaded loop over a fault-tolerant group that survives rank crashes,
 stragglers, and message corruption — bitwise identical to ``threaded``
 when no faults fire.
+
+All three now execute through :class:`repro.core.engine.TrainingEngine`
+(:class:`~repro.core.engine.SteppedBackend`,
+:class:`~repro.core.engine.ThreadedBackend`,
+:class:`~repro.core.engine.ElasticBackend`); this class is a
+compatibility shim that maps ``DistributedConfig`` onto the engine.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
-from repro.comm.communicator import ReduceOp, reduce_arrays
-from repro.comm.plugin import MLPlugin, PluginConfig
-from repro.comm.serial import SteppedGroup
-from repro.comm.threaded import ThreadedGroup
+from repro.comm.plugin import PluginConfig
+from repro.core.engine import (
+    EngineConfig,
+    ExecutionBackend,
+    History,
+    SteppedBackend,
+    ThreadedBackend,
+    TrainingEngine,
+)
 from repro.core.model import CosmoFlowModel
-from repro.core.optimizer import CosmoFlowOptimizer, OptimizerConfig
+from repro.core.optimizer import OptimizerConfig
 from repro.core.topology import CosmoFlowConfig
-from repro.core.trainer import History, InMemoryData
+from repro.core.trainer import InMemoryData
+from repro.utils.packing import unflatten_like
 
 __all__ = ["DistributedConfig", "DistributedTrainer"]
 
 
 @dataclass(frozen=True)
 class DistributedConfig:
-    """Data-parallel run configuration."""
+    """Data-parallel run configuration.
+
+    ``plugin`` defaults to ``None``, meaning a fresh
+    :class:`~repro.comm.plugin.PluginConfig` per config instance (never
+    a shared default object).  ``divergence_threshold`` bounds the
+    cross-rank parameter spread tolerated by the synchronous-training
+    invariant check.
+    """
 
     n_ranks: int
     epochs: int = 10
     mode: str = "stepped"  # "stepped" | "threaded" | "elastic"
     seed: int = 0
     validate: bool = True
-    plugin: PluginConfig = PluginConfig()
+    plugin: Optional[PluginConfig] = None
+    divergence_threshold: float = 1e-5
 
     def __post_init__(self):
         if self.n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
         if self.mode not in ("stepped", "threaded", "elastic"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.divergence_threshold < 0:
+            raise ValueError("divergence_threshold must be >= 0")
+        if self.plugin is None:
+            object.__setattr__(self, "plugin", PluginConfig())
 
     @property
     def global_batch_size(self) -> int:
@@ -83,9 +106,10 @@ class DistributedTrainer:
         model_config: CosmoFlowConfig,
         train_data: InMemoryData,
         val_data: Optional[InMemoryData] = None,
-        config: DistributedConfig = DistributedConfig(n_ranks=2),
+        config: Optional[DistributedConfig] = None,
         optimizer_config: Optional[OptimizerConfig] = None,
     ):
+        config = config or DistributedConfig(n_ranks=2)
         if len(train_data) < config.n_ranks:
             raise ValueError(
                 f"dataset of {len(train_data)} samples cannot feed "
@@ -104,133 +128,48 @@ class DistributedTrainer:
         self.history = History()
         self.group_stats: dict = {}
 
+    # -- engine plumbing ----------------------------------------------------------
+
+    def engine_config(self) -> EngineConfig:
+        """The :class:`~repro.core.engine.EngineConfig` this run maps to."""
+        cfg = self.config
+        return EngineConfig(
+            epochs=cfg.epochs,
+            batch_size=1,
+            seed=cfg.seed,
+            shuffle=True,
+            validate=cfg.validate,
+            divergence_threshold=cfg.divergence_threshold,
+        )
+
+    def _build_backend(self) -> ExecutionBackend:
+        cfg = self.config
+        cls = SteppedBackend if cfg.mode == "stepped" else ThreadedBackend
+        return cls(
+            self.model_config,
+            self.train_data,
+            val_data=self.val_data,
+            optimizer_config=self.optimizer_config,
+            n_ranks=cfg.n_ranks,
+            plugin_config=cfg.plugin,
+        )
+
+    def _finish(self, engine: TrainingEngine) -> History:
+        self.history = engine.history
+        self.group_stats = engine.group_stats
+        self._final_model = engine.final_model
+        return self.history
+
     # -- public API ---------------------------------------------------------------
 
     def run(self) -> History:
-        if self.config.mode == "stepped":
-            return self._run_stepped()
         if self.config.mode == "elastic":
             from repro.core.elastic import run_elastic
 
             return run_elastic(self)
-        return self._run_threaded()
-
-    # -- stepped mode ---------------------------------------------------------------
-
-    def _run_stepped(self) -> History:
-        cfg = self.config
-        k = cfg.n_ranks
-        model = CosmoFlowModel(self.model_config, seed=cfg.seed)
-        optimizer = CosmoFlowOptimizer(model.parameter_arrays(), self.optimizer_config)
-        group = SteppedGroup(k)
-        shards = [self.train_data.shard(r, k) for r in range(k)]
-        rngs = [np.random.default_rng([cfg.seed, r]) for r in range(k)]
-
-        for _ in range(cfg.epochs):
-            t0 = time.perf_counter()
-            self.history.lr.append(optimizer.current_lr())
-            shard_iters = [
-                shard.batches(1, rng=rngs[r], shuffle=True)
-                for r, shard in enumerate(shards)
-            ]
-            step_losses: List[float] = []
-            for _step in range(self.steps_per_epoch):
-                per_rank = [next(shard_iters[r]) for r in range(k)]
-                losses = []
-                grad_lists = []
-                for x, y in per_rank:
-                    loss, grads = model.loss_and_gradients(x, y)
-                    losses.append(loss)
-                    grad_lists.append(grads)
-                # Global averaging — flatten per-layer grads so the
-                # group sees one message per step, like the plugin.
-                flats = [
-                    np.concatenate([g.ravel() for g in grads]) for grads in grad_lists
-                ]
-                avg_flat = group.allreduce(flats, ReduceOp.MEAN)[0]
-                avg_grads = self._unflatten(avg_flat, grad_lists[0])
-                optimizer.step(avg_grads)
-                step_losses.append(float(np.mean(losses)))
-            train_loss = float(np.mean(step_losses))
-            val_loss = self._validate_single(model) if cfg.validate else float("nan")
-            self.history.train_loss.append(train_loss)
-            self.history.val_loss.append(val_loss)
-            self.history.epoch_time.append(time.perf_counter() - t0)
-        self.group_stats = {
-            "reductions": group.reductions,
-            "bytes_reduced": group.bytes_reduced,
-        }
-        self._final_model = model
-        return self.history
-
-    # -- threaded mode ----------------------------------------------------------------
-
-    def _run_threaded(self) -> History:
-        cfg = self.config
-        k = cfg.n_ranks
-        group = ThreadedGroup(k)
-        epochs = cfg.epochs
-        steps = self.steps_per_epoch
-        train = self.train_data
-        val = self.val_data
-        opt_cfg = self.optimizer_config
-        model_cfg = self.model_config
-        validate = cfg.validate
-
-        def rank_body(comm):
-            model = CosmoFlowModel(model_cfg, seed=cfg.seed)
-            optimizer = CosmoFlowOptimizer(model.parameter_arrays(), opt_cfg)
-            plugin = MLPlugin(comm, cfg.plugin).init()
-            # Algorithm 2 preamble: rank 0's parameters to all ranks.
-            plugin.broadcast_parameters(model.parameter_arrays())
-            shard = train.shard(comm.rank, k)
-            rng = np.random.default_rng([cfg.seed, comm.rank])
-            hist = History()
-            for _ in range(epochs):
-                t0 = time.perf_counter()
-                hist.lr.append(optimizer.current_lr())
-                it = shard.batches(1, rng=rng, shuffle=True)
-                losses = []
-                for _step in range(steps):
-                    x, y = next(it)
-                    loss, grads = model.loss_and_gradients(x, y)
-                    global_grads = plugin.gradients(grads)
-                    optimizer.step(global_grads)
-                    losses.append(plugin.average_scalar(loss))
-                train_loss = float(np.mean(losses))
-                if validate and val is not None:
-                    vshard = val.shard(comm.rank, k) if len(val) >= k else val
-                    vlosses = [
-                        model.validation_loss(x, y)
-                        for x, y in vshard.batches(1, shuffle=False)
-                    ]
-                    val_loss = plugin.average_scalar(float(np.mean(vlosses)))
-                else:
-                    val_loss = float("nan")
-                hist.train_loss.append(train_loss)
-                hist.val_loss.append(val_loss)
-                hist.epoch_time.append(time.perf_counter() - t0)
-            # Synchronous training invariant: replicas stayed identical.
-            flat = model.get_flat_parameters()
-            spread = comm.allreduce(flat, ReduceOp.MAX) - comm.allreduce(flat, ReduceOp.MIN)
-            divergence = float(np.max(np.abs(spread)))
-            return hist, divergence, model if comm.rank == 0 else None
-
-        results = group.run(rank_body)
-        hist0, divergence, model0 = results[0]
-        if divergence > 1e-5:
-            raise RuntimeError(
-                f"rank parameter divergence {divergence:.3e} — synchronous "
-                "training invariant violated"
-            )
-        self.history = hist0
-        self.group_stats = {
-            "reductions": group.reductions,
-            "bytes_reduced": group.bytes_reduced,
-            "max_param_divergence": divergence,
-        }
-        self._final_model = model0
-        return self.history
+        engine = TrainingEngine(self._build_backend(), config=self.engine_config())
+        engine.run()
+        return self._finish(engine)
 
     # -- shared helpers ------------------------------------------------------------------
 
@@ -241,23 +180,11 @@ class DistributedTrainer:
             raise RuntimeError("run() has not completed")
         return self._final_model
 
-    def _validate_single(self, model: CosmoFlowModel) -> float:
-        if self.val_data is None:
-            return float("nan")
-        losses = [
-            model.validation_loss(x, y)
-            for x, y in self.val_data.batches(1, shuffle=False)
-        ]
-        return float(np.mean(losses))
-
     @staticmethod
     def _unflatten(flat: np.ndarray, like: List[np.ndarray]) -> List[np.ndarray]:
-        out = []
-        offset = 0
-        for g in like:
-            out.append(flat[offset : offset + g.size].reshape(g.shape))
-            offset += g.size
-        return out
+        # Kept for backwards compatibility; the shared implementation
+        # lives in repro.utils.packing.
+        return unflatten_like(flat, like)
 
     @staticmethod
     def stepped_equals_batch_sgd_note() -> str:

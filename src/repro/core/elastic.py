@@ -25,33 +25,25 @@ Fault injection is cooperative: ranks call
 :meth:`FaultInjector.maybe_crash` / :meth:`~FaultInjector.hang_delay`
 at the top of each step, which is where a real failure detector would
 observe missed heartbeats.
+
+The loop itself lives in :class:`repro.core.engine.TrainingEngine` over
+an :class:`~repro.core.engine.ElasticBackend`; checkpointing rides in a
+:class:`~repro.core.engine.CheckpointCallback` and restart is the
+backend's relaunch loop (observable via the ``on_restart`` hook).
 """
 
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Optional
 
-import numpy as np
-
-from repro.comm.communicator import ReduceOp
-from repro.comm.elastic import ElasticThreadedGroup
-from repro.comm.errors import QuorumLostError
-from repro.comm.plugin import MLPlugin
-from repro.core.checkpoint import latest_checkpoint, load_checkpoint, save_checkpoint
 from repro.core.distributed import DistributedConfig, DistributedTrainer
-from repro.core.model import CosmoFlowModel
-from repro.core.optimizer import CosmoFlowOptimizer
+from repro.core.engine import ElasticBackend, TrainingEngine
 from repro.core.trainer import History
 from repro.faults import FaultInjector
-from repro.utils.logging import get_logger
 
 __all__ = ["ElasticConfig", "ElasticTrainer", "run_elastic"]
-
-_log = get_logger("core.elastic")
 
 
 @dataclass(frozen=True)
@@ -107,172 +99,19 @@ def run_elastic(
     """
     elastic = elastic or ElasticConfig()
     injector = injector or FaultInjector()
-    cfg = trainer.config
-    k = cfg.n_ranks
-    quorum = elastic.resolve_quorum(k)
-    ckpt_dir = (
-        Path(elastic.checkpoint_dir) if elastic.checkpoint_dir is not None else None
+    backend = ElasticBackend(
+        trainer.model_config,
+        trainer.train_data,
+        val_data=trainer.val_data,
+        optimizer_config=trainer.optimizer_config,
+        n_ranks=trainer.config.n_ranks,
+        plugin_config=trainer.config.plugin,
+        elastic=elastic,
+        injector=injector,
     )
-    if ckpt_dir is not None:
-        ckpt_dir.mkdir(parents=True, exist_ok=True)
-    epochs = cfg.epochs
-    steps = trainer.steps_per_epoch
-    train = trainer.train_data
-    val = trainer.val_data
-    opt_cfg = trainer.optimizer_config
-    model_cfg = trainer.model_config
-    validate = cfg.validate
-
-    def rank_body(comm):
-        model = CosmoFlowModel(model_cfg, seed=cfg.seed)
-        optimizer = CosmoFlowOptimizer(model.parameter_arrays(), opt_cfg)
-        hist = History()
-        start_epoch = 0
-        if ckpt_dir is not None:
-            ckpt = latest_checkpoint(ckpt_dir)
-            if ckpt is not None:
-                # Restores the completed epochs' curves too, so a
-                # restarted run's History spans every epoch, not just
-                # the ones after the resume point.
-                load_checkpoint(ckpt, model, optimizer, history=hist)
-                start_epoch = optimizer.step_count // steps
-        # Pre-training phase: step-keyed faults must not fire on the
-        # initial parameter broadcast.
-        injector.begin_step(comm.rank, -1)
-        plugin = MLPlugin(comm, cfg.plugin).init()
-        # Algorithm 2 preamble: rank 0's parameters to all ranks (after
-        # a restart this re-synchronizes any replica drift too).
-        plugin.broadcast_parameters(model.parameter_arrays())
-        shard = train.shard(comm.rank, k)
-        rng = np.random.default_rng([cfg.seed, comm.rank])
-        it = iter(())
-
-        def next_batch():
-            # A strict=False dataset skips records that went corrupt
-            # after construction, so an epoch stream can come up short
-            # of steps_per_epoch — recycle it instead of letting the
-            # bad record kill the rank with StopIteration.
-            nonlocal it
-            try:
-                return next(it)
-            except StopIteration:
-                it = shard.batches(1, rng=rng, shuffle=True)
-                try:
-                    return next(it)
-                except StopIteration:
-                    raise RuntimeError(
-                        f"rank {comm.rank}: data shard yielded no batches"
-                    ) from None
-
-        # Burn-in: replay completed epochs' batch draws so the resumed
-        # RNG stream is exactly where an uninterrupted run would be.
-        for _ in range(start_epoch):
-            it = shard.batches(1, rng=rng, shuffle=True)
-            for _ in range(steps):
-                next_batch()
-        for epoch in range(start_epoch, epochs):
-            t0 = time.perf_counter()
-            hist.lr.append(optimizer.current_lr())
-            it = shard.batches(1, rng=rng, shuffle=True)
-            losses = []
-            for step in range(steps):
-                global_step = epoch * steps + step
-                injector.begin_step(comm.rank, global_step)
-                injector.maybe_crash(comm.rank, global_step)
-                stall = injector.hang_delay(comm.rank, global_step)
-                if stall > 0:
-                    time.sleep(stall)
-                x, y = next_batch()
-                loss, grads = model.loss_and_gradients(x, y)
-                global_grads = plugin.gradients(grads)
-                optimizer.step(global_grads)
-                losses.append(plugin.average_scalar(loss))
-            train_loss = float(np.mean(losses))
-            if validate and val is not None:
-                vshard = val.shard(comm.rank, k) if len(val) >= k else val
-                vlosses = [
-                    model.validation_loss(x, y)
-                    for x, y in vshard.batches(1, shuffle=False)
-                ]
-                val_loss = plugin.average_scalar(float(np.mean(vlosses)))
-            else:
-                val_loss = float("nan")
-            hist.train_loss.append(train_loss)
-            hist.val_loss.append(val_loss)
-            hist.epoch_time.append(time.perf_counter() - t0)
-            if (
-                ckpt_dir is not None
-                and (epoch + 1 - start_epoch) % elastic.checkpoint_every_epochs == 0
-                and comm.rank == min(comm.active_ranks)
-            ):
-                save_checkpoint(
-                    ckpt_dir / f"ckpt-{(epoch + 1) * steps:08d}",
-                    model,
-                    optimizer,
-                    history=hist,
-                )
-        # Synchronous training invariant among the survivors.
-        flat = model.get_flat_parameters()
-        spread = comm.allreduce(flat, ReduceOp.MAX) - comm.allreduce(flat, ReduceOp.MIN)
-        divergence = float(np.max(np.abs(spread)))
-        keeper = comm.rank == min(comm.active_ranks)
-        return hist, divergence, model if keeper else None
-
-    restarts = 0
-    while True:
-        group = ElasticThreadedGroup(
-            k,
-            timeout_s=elastic.timeout_s,
-            quorum=quorum,
-            injector=injector,
-            join_timeout_s=elastic.join_timeout_s,
-        )
-        try:
-            results = group.run(rank_body)
-            break
-        except QuorumLostError as exc:
-            restarts += 1
-            can_restart = ckpt_dir is not None and restarts <= elastic.max_restarts
-            _log.warning(
-                "quorum lost (%d survivors); %s",
-                len(exc.survivors),
-                f"restart {restarts}/{elastic.max_restarts} from checkpoint"
-                if can_restart
-                else "giving up",
-            )
-            if not can_restart:
-                raise
-            # Relaunch with the full rank count (replacement nodes).
-            # Already-consumed fault events do not re-fire.
-
-    alive = [r for r, res in enumerate(results) if res is not None]
-    hist0, divergence, model0 = results[alive[0]]
-    if divergence > 1e-5:
-        raise RuntimeError(
-            f"rank parameter divergence {divergence:.3e} — synchronous "
-            "training invariant violated"
-        )
-    trainer.history = hist0
-    trainer.group_stats = {
-        "reductions": group.reductions,
-        "bytes_reduced": group.bytes_reduced,
-        "max_param_divergence": divergence,
-        "survivors": group.active_ranks,
-        "failed_ranks": sorted(group.failures),
-        "evicted_ranks": sorted(r for _, r in group.evictions),
-        "retransmits": group.retransmits,
-        "restarts": restarts,
-        "faults_injected": injector.summary(),
-    }
-    # A record-backed dataset routed through the burst-buffer tier
-    # reports its staging decisions alongside the comm-layer stats; the
-    # manager is shared by every rank's shard, so this is the run total.
-    staging = getattr(train, "staging", None)
-    if staging is not None:
-        trainer.group_stats["staging"] = staging.stats.as_dict()
-        trainer.group_stats["staging_breakers"] = staging.breaker_states()
-    trainer._final_model = model0
-    return trainer.history
+    engine = TrainingEngine(backend, config=trainer.engine_config())
+    engine.run()
+    return trainer._finish(engine)
 
 
 class ElasticTrainer(DistributedTrainer):

@@ -1,0 +1,1002 @@
+"""One training loop, many execution backends.
+
+The paper's per-rank workflow (Section V-A) — "gradient calculation,
+gradient averaging via MPI communication, and model update from the
+globally averaged gradients", plus a validation loop of "loss
+calculation and global averaging" — used to be re-implemented four
+times across the single-process trainer, the stepped and threaded
+data-parallel modes, and the elastic fault-tolerant driver, with
+divergent timing and bookkeeping.  This module collapses them into a
+single :class:`TrainingEngine`:
+
+* the engine owns the canonical epoch/step loop — batch fetch (``io``),
+  loss+gradients (``compute``), gradient aggregation (``comm``),
+  optimizer update (``optimizer``), validation, and the
+  :class:`History` / :class:`~repro.utils.timer.StageTimer` accounting
+  behind the Figure 3 stage profile;
+* an :class:`ExecutionBackend` decides only *how ranks execute and
+  aggregate*: in-process (:class:`LocalBackend`), sequentially
+  simulated (:class:`SteppedBackend`), one OS thread per rank
+  (:class:`ThreadedBackend`), or fault-tolerant with checkpoint/restart
+  (:class:`ElasticBackend`);
+* mode-specific bookkeeping — learning-rate recording, divergence
+  checking, checkpointing, group-stats collection — lives in
+  :class:`Callback` hooks, so the loop body contains no mode branches.
+
+Every backend reduces through
+:func:`repro.comm.communicator.reduce_arrays` in rank order, so runs
+with the same seed are bitwise identical across backends — the property
+the pre-engine trainers guaranteed and the golden equivalence tests
+pin.  New aggregation strategies (e.g. the Horovod-style fused reducer
+in :mod:`repro.comm.horovod`) drop in via ``aggregator_factory`` without
+touching the loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp
+from repro.comm.elastic import ElasticThreadedGroup
+from repro.comm.errors import QuorumLostError
+from repro.comm.plugin import MLPlugin, PluginConfig
+from repro.comm.serial import SteppedGroup
+from repro.comm.threaded import ThreadedGroup
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import CosmoFlowOptimizer, OptimizerConfig
+from repro.utils.logging import get_logger
+from repro.utils.packing import flatten_arrays, unflatten_like
+from repro.utils.timer import StageTimer
+
+__all__ = [
+    "History",
+    "EngineConfig",
+    "Callback",
+    "CallbackList",
+    "LRRecorder",
+    "DivergenceCheck",
+    "CheckpointCallback",
+    "GroupStatsCollector",
+    "RankContext",
+    "EngineResult",
+    "ExecutionBackend",
+    "LocalBackend",
+    "SteppedBackend",
+    "ThreadedBackend",
+    "ElasticBackend",
+    "TrainingEngine",
+]
+
+_log = get_logger("core.engine")
+
+
+@dataclass
+class History:
+    """Per-epoch training curves."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    epoch_time: List[float] = field(default_factory=list)
+    lr: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "train_loss": self.train_loss,
+            "val_loss": self.val_loss,
+            "epoch_time": self.epoch_time,
+            "lr": self.lr,
+        }
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Backend-independent training-loop configuration.
+
+    ``divergence_threshold`` bounds the cross-rank parameter spread the
+    synchronous-training invariant tolerates (checked by
+    :class:`DivergenceCheck` on multi-rank backends).
+    """
+
+    epochs: int = 10
+    batch_size: int = 1
+    seed: Optional[int] = 0
+    shuffle: bool = True
+    validate: bool = True
+    divergence_threshold: float = 1e-5
+
+    def __post_init__(self):
+        if self.epochs < 0:
+            raise ValueError("epochs must be >= 0")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.divergence_threshold < 0:
+            raise ValueError("divergence_threshold must be >= 0")
+
+
+# ---------------------------------------------------------------------------
+# Callbacks
+# ---------------------------------------------------------------------------
+
+
+class Callback:
+    """Observer hooks around the engine loop.
+
+    Per-rank hooks receive the executing rank's :class:`RankContext`;
+    driver hooks (``on_restart``, ``on_run_end``) fire once per run in
+    the launching thread.  Override what you need; defaults are no-ops.
+    """
+
+    def on_run_start(self, rc: "RankContext") -> None:  # noqa: B027
+        """A rank is about to enter its epoch loop."""
+
+    def on_epoch_start(self, rc: "RankContext") -> None:  # noqa: B027
+        """``rc.epoch`` is set; training steps have not started."""
+
+    def on_step_end(self, rc: "RankContext") -> None:  # noqa: B027
+        """One optimizer update applied; ``rc.step``/``rc.last_loss`` set."""
+
+    def on_validation(self, rc: "RankContext") -> None:  # noqa: B027
+        """Validation finished; ``rc.last_val_loss`` set."""
+
+    def on_epoch_end(self, rc: "RankContext") -> None:  # noqa: B027
+        """Epoch curves appended to ``rc.history``."""
+
+    def on_rank_end(self, rc: "RankContext") -> None:  # noqa: B027
+        """A rank finished all epochs (still inside its group)."""
+
+    def on_restart(self, engine: "TrainingEngine", restarts: int, exc: BaseException) -> None:  # noqa: B027
+        """The elastic driver is relaunching after a lost quorum."""
+
+    def on_run_end(self, engine: "TrainingEngine", result: "EngineResult") -> None:  # noqa: B027
+        """The backend finished; ``result`` is about to be returned."""
+
+
+class CallbackList(Callback):
+    """Dispatches every hook to an ordered list of callbacks."""
+
+    def __init__(self, callbacks: Sequence[Callback] = ()):
+        self.callbacks = list(callbacks)
+
+    def on_run_start(self, rc):
+        for cb in self.callbacks:
+            cb.on_run_start(rc)
+
+    def on_epoch_start(self, rc):
+        for cb in self.callbacks:
+            cb.on_epoch_start(rc)
+
+    def on_step_end(self, rc):
+        for cb in self.callbacks:
+            cb.on_step_end(rc)
+
+    def on_validation(self, rc):
+        for cb in self.callbacks:
+            cb.on_validation(rc)
+
+    def on_epoch_end(self, rc):
+        for cb in self.callbacks:
+            cb.on_epoch_end(rc)
+
+    def on_rank_end(self, rc):
+        for cb in self.callbacks:
+            cb.on_rank_end(rc)
+
+    def on_restart(self, engine, restarts, exc):
+        for cb in self.callbacks:
+            cb.on_restart(engine, restarts, exc)
+
+    def on_run_end(self, engine, result):
+        for cb in self.callbacks:
+            cb.on_run_end(engine, result)
+
+
+class LRRecorder(Callback):
+    """Appends the scheduled learning rate to ``history.lr`` each epoch
+    (installed by default — every pre-engine loop recorded it)."""
+
+    def on_epoch_start(self, rc):
+        rc.history.lr.append(rc.optimizer.current_lr())
+
+
+class DivergenceCheck(Callback):
+    """Measures the cross-rank parameter spread after the last epoch.
+
+    Synchronous training keeps every replica bitwise identical; the
+    spread (max |MAX - MIN| over all parameters, via two allreduces
+    among the surviving ranks) should be ~0.  The engine raises if it
+    exceeds ``EngineConfig.divergence_threshold``.
+    """
+
+    def on_rank_end(self, rc):
+        if rc.comm is None:
+            return
+        flat = rc.model.get_flat_parameters()
+        spread = rc.comm.allreduce(flat, ReduceOp.MAX) - rc.comm.allreduce(
+            flat, ReduceOp.MIN
+        )
+        rc.divergence = float(np.max(np.abs(spread)))
+
+
+class CheckpointCallback(Callback):
+    """Crash-safe checkpoint every ``every_epochs`` epochs.
+
+    Only the keeper rank (lowest surviving rank) writes.  File names
+    embed the zero-padded global step so
+    :func:`repro.core.checkpoint.latest_checkpoint` resumes from the
+    newest one.
+    """
+
+    def __init__(self, directory, every_epochs: int = 1):
+        if every_epochs < 1:
+            raise ValueError("every_epochs must be >= 1")
+        self.directory = Path(directory)
+        self.every_epochs = every_epochs
+
+    def on_epoch_end(self, rc):
+        if not rc.is_keeper:
+            return
+        if (rc.epoch + 1 - rc.start_epoch) % self.every_epochs != 0:
+            return
+        from repro.core.checkpoint import checkpoint_path, save_checkpoint
+
+        if rc.steps_per_epoch is not None:
+            step = (rc.epoch + 1) * rc.steps_per_epoch
+        else:
+            step = rc.optimizer.step_count
+        save_checkpoint(
+            checkpoint_path(self.directory, step),
+            rc.model,
+            rc.optimizer,
+            history=rc.history,
+        )
+
+
+class GroupStatsCollector(Callback):
+    """Publishes the backend's communication/fault statistics on the
+    engine as ``engine.group_stats`` (installed by default)."""
+
+    def on_run_end(self, engine, result):
+        engine.group_stats = dict(result.stats)
+
+
+# ---------------------------------------------------------------------------
+# Per-rank execution context
+# ---------------------------------------------------------------------------
+
+
+class RankContext:
+    """Everything one executing worker sees: its model replica,
+    optimizer, data views, aggregator, timers, and curves.
+
+    The engine drives the loop through four verbs — ``start_stream``
+    (new epoch), ``fetch`` (one batch, ``None`` when exhausted),
+    ``compute`` (loss + gradients), ``aggregate`` (global averaging) —
+    which backends specialize without the loop body branching on mode.
+    """
+
+    def __init__(
+        self,
+        engine: "TrainingEngine",
+        *,
+        model: CosmoFlowModel,
+        optimizer: CosmoFlowOptimizer,
+        train_view,
+        val_view=None,
+        rank: int = 0,
+        n_ranks: int = 1,
+        batch_size: int = 1,
+        val_batch_size: int = 1,
+        steps_per_epoch: Optional[int] = None,
+        rng=None,
+        shuffle: bool = True,
+        aggregator=None,
+        comm: Optional[Communicator] = None,
+        callbacks: Optional[CallbackList] = None,
+        history: Optional[History] = None,
+        timer: Optional[StageTimer] = None,
+        start_epoch: int = 0,
+    ):
+        self.engine = engine
+        self.model = model
+        self.optimizer = optimizer
+        self.train_view = train_view
+        self.val_view = val_view
+        self.rank = rank
+        self.n_ranks = n_ranks
+        self.batch_size = batch_size
+        self.val_batch_size = val_batch_size
+        self.steps_per_epoch = steps_per_epoch
+        self.rng = rng
+        self.shuffle = shuffle
+        self.aggregator = aggregator
+        self.comm = comm
+        self.callbacks = callbacks if callbacks is not None else CallbackList()
+        self.history = history if history is not None else History()
+        self.timer = timer if timer is not None else StageTimer()
+        self.start_epoch = start_epoch
+        self.epoch = start_epoch
+        self.step = -1
+        self.last_loss = float("nan")
+        self.last_val_loss = float("nan")
+        self.divergence: Optional[float] = None
+        self.samples_seen = 0
+        self._tracked_total = 0.0
+        self._it = None
+
+    # -- capabilities -----------------------------------------------------
+
+    @property
+    def aggregates(self) -> bool:
+        """Whether this rank participates in gradient/loss averaging."""
+        return self.aggregator is not None
+
+    @property
+    def is_keeper(self) -> bool:
+        """Whether this rank is responsible for run-level artifacts
+        (checkpoints, the returned model): the lowest surviving rank."""
+        active = getattr(self.comm, "active_ranks", None)
+        if active is not None:
+            return self.rank == min(active)
+        return self.rank == 0
+
+    # -- the four verbs ---------------------------------------------------
+
+    def start_stream(self) -> None:
+        """Open this epoch's training-batch stream."""
+        self._it = self.train_view.batches(
+            self.batch_size, rng=self.rng, shuffle=self.shuffle
+        )
+
+    def fetch(self, step: int):
+        """Next batch of the epoch, or ``None`` when exhausted."""
+        return next(self._it, None)
+
+    def compute(self, batch):
+        """Loss and gradients for one batch; returns ``(loss, grads, n)``."""
+        x, y = batch
+        loss, grads = self.model.loss_and_gradients(x, y)
+        return loss, grads, len(x)
+
+    def aggregate(self, loss, grads):
+        """Globally average the step's gradients and loss."""
+        grads = self.aggregator.gradients(grads)
+        loss = self.aggregator.average_scalar(loss)
+        return loss, grads
+
+    def aggregate_scalar(self, value: float) -> float:
+        """Globally average a scalar metric (the validation loop's
+        "loss calculation and global averaging")."""
+        return self.aggregator.average_scalar(value)
+
+    # -- accounting -------------------------------------------------------
+
+    def account_untracked(self, elapsed: float) -> None:
+        """Attribute loop/framework overhead not captured by a stage —
+        Figure 3's "TensorFlow framework time" analogue."""
+        tracked = sum(
+            self.timer.stages[s].total
+            for s in ("io", "compute", "comm", "optimizer")
+            if s in self.timer.stages
+        )
+        epoch_tracked = tracked - self._tracked_total
+        self._tracked_total = tracked
+        self.timer.add("other", max(0.0, elapsed - epoch_tracked))
+
+
+class _SteppedContext(RankContext):
+    """K simulated ranks executed sequentially on one model replica.
+
+    Synchronous SGD keeps every replica bitwise identical between
+    steps, so one model instance can compute all k per-rank gradients
+    and apply the averaged update once — exact, not approximate (see
+    ``DistributedTrainer.stepped_equals_batch_sgd_note``).
+    """
+
+    def __init__(self, engine, *, group: SteppedGroup, shards, rngs, **kwargs):
+        super().__init__(engine, **kwargs)
+        self.group = group
+        self.shards = shards
+        self.rngs = rngs
+        self._iters = None
+
+    @property
+    def aggregates(self) -> bool:
+        return True
+
+    def start_stream(self):
+        self._iters = [
+            shard.batches(self.batch_size, rng=rng, shuffle=self.shuffle)
+            for shard, rng in zip(self.shards, self.rngs)
+        ]
+
+    def fetch(self, step):
+        return [next(it) for it in self._iters]
+
+    def compute(self, batch):
+        losses, grad_lists, n = [], [], 0
+        for x, y in batch:
+            loss, grads = self.model.loss_and_gradients(x, y)
+            losses.append(loss)
+            grad_lists.append(grads)
+            n += len(x)
+        return losses, grad_lists, n
+
+    def aggregate(self, losses, grad_lists):
+        # One flat message per virtual rank, like the plugin's fused
+        # buffer; the group reduces them in rank order.
+        flats = [flatten_arrays(grads) for grads in grad_lists]
+        avg_flat = self.group.allreduce(flats, ReduceOp.MEAN)[0]
+        return float(np.mean(losses)), unflatten_like(avg_flat, grad_lists[0])
+
+    def aggregate_scalar(self, value):
+        # Validation runs once on the shared replica — nothing to average.
+        return value
+
+
+class _ElasticContext(RankContext):
+    """Rank context over an elastic group with cooperative fault hooks
+    and a recycling batch stream (see :mod:`repro.core.elastic`)."""
+
+    def __init__(self, engine, *, injector, **kwargs):
+        super().__init__(engine, **kwargs)
+        self.injector = injector
+
+    def _next_batch(self):
+        # A strict=False dataset skips records that went corrupt after
+        # construction, so an epoch stream can come up short of
+        # steps_per_epoch — recycle it instead of letting the bad
+        # record kill the rank with StopIteration.
+        try:
+            return next(self._it)
+        except StopIteration:
+            self.start_stream()
+            try:
+                return next(self._it)
+            except StopIteration:
+                raise RuntimeError(
+                    f"rank {self.rank}: data shard yielded no batches"
+                ) from None
+
+    def fetch(self, step):
+        # Top of step is where a real failure detector would observe
+        # missed heartbeats; step-keyed faults fire here.
+        global_step = self.epoch * self.steps_per_epoch + step
+        self.injector.begin_step(self.rank, global_step)
+        self.injector.maybe_crash(self.rank, global_step)
+        stall = self.injector.hang_delay(self.rank, global_step)
+        if stall > 0:
+            time.sleep(stall)
+        return self._next_batch()
+
+    def burn_in(self) -> None:
+        """Replay completed epochs' batch draws so the resumed RNG
+        stream is exactly where an uninterrupted run would be."""
+        for _ in range(self.start_epoch):
+            self.start_stream()
+            for _ in range(self.steps_per_epoch):
+                self._next_batch()
+
+
+# ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineResult:
+    """What a backend hands back to the engine."""
+
+    history: History
+    model: Optional[CosmoFlowModel]
+    stats: Dict[str, Any] = field(default_factory=dict)
+    divergence: Optional[float] = None
+
+
+class ExecutionBackend:
+    """How ranks execute and aggregate; the engine owns everything else."""
+
+    def callbacks(self) -> List[Callback]:
+        """Backend-supplied callbacks (divergence check, checkpointing)."""
+        return []
+
+    def execute(
+        self,
+        engine: "TrainingEngine",
+        callbacks: CallbackList,
+        epochs: Optional[int] = None,
+    ) -> EngineResult:
+        raise NotImplementedError
+
+
+class LocalBackend(ExecutionBackend):
+    """Single in-process rank — the paper's single-node run, optionally
+    with a single-rank aggregation plugin ("enable the CPE ML plugin
+    even at the single node").
+
+    The context is created once and reused across ``execute`` calls, so
+    history, stage timers, and the shuffle RNG stream accumulate over
+    repeated runs exactly like the original ``Trainer``.
+    """
+
+    def __init__(
+        self,
+        model: CosmoFlowModel,
+        optimizer: CosmoFlowOptimizer,
+        train_data,
+        val_data=None,
+        aggregator=None,
+        rng=None,
+        history: Optional[History] = None,
+        timer: Optional[StageTimer] = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.train_data = train_data
+        self.val_data = val_data
+        self.aggregator = aggregator
+        self.rng = rng
+        self.history = history
+        self.timer = timer
+        self._rc: Optional[RankContext] = None
+
+    def context(self, engine: "TrainingEngine", callbacks: CallbackList) -> RankContext:
+        if self._rc is None:
+            cfg = engine.config
+            rng = self.rng
+            if rng is None:
+                # The engine-native per-rank stream convention ([seed,
+                # rank]), matching the distributed backends at k=1.
+                rng = (
+                    np.random.default_rng([cfg.seed, 0])
+                    if cfg.seed is not None
+                    else np.random.default_rng()
+                )
+            self._rc = RankContext(
+                engine,
+                model=self.model,
+                optimizer=self.optimizer,
+                train_view=self.train_data,
+                val_view=self.val_data,
+                batch_size=cfg.batch_size,
+                val_batch_size=cfg.batch_size,
+                rng=rng,
+                shuffle=cfg.shuffle,
+                aggregator=self.aggregator,
+                callbacks=callbacks,
+                history=self.history,
+                timer=self.timer,
+            )
+        else:
+            self._rc.callbacks = callbacks
+        return self._rc
+
+    def execute(self, engine, callbacks, epochs=None):
+        rc = self.context(engine, callbacks)
+        hist = engine.rank_loop(rc, epochs=epochs)
+        return EngineResult(history=hist, model=self.model)
+
+
+class _GroupBackend(ExecutionBackend):
+    """Shared construction for the data-parallel backends."""
+
+    def __init__(
+        self,
+        model_config,
+        train_data,
+        val_data=None,
+        optimizer_config: Optional[OptimizerConfig] = None,
+        n_ranks: int = 2,
+        plugin_config: Optional[PluginConfig] = None,
+        aggregator_factory: Optional[Callable[[Communicator], Any]] = None,
+    ):
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.model_config = model_config
+        self.train_data = train_data
+        self.val_data = val_data
+        self.optimizer_config = optimizer_config
+        self.n_ranks = n_ranks
+        self.plugin_config = plugin_config or PluginConfig()
+        self.aggregator_factory = aggregator_factory
+        self.steps_per_epoch = len(train_data) // n_ranks
+
+    def _opt_config(self, engine: "TrainingEngine") -> OptimizerConfig:
+        if self.optimizer_config is not None:
+            return self.optimizer_config
+        return OptimizerConfig(
+            decay_steps=max(1, engine.config.epochs * self.steps_per_epoch)
+        )
+
+    def _aggregator(self, comm: Communicator):
+        if self.aggregator_factory is not None:
+            return self.aggregator_factory(comm)
+        return MLPlugin(comm, self.plugin_config).init()
+
+    def _val_view(self, rank: int):
+        val = self.val_data
+        if val is None:
+            return None
+        return val.shard(rank, self.n_ranks) if len(val) >= self.n_ranks else val
+
+
+class SteppedBackend(_GroupBackend):
+    """K simulated ranks executed sequentially in the calling thread —
+    exact SSGD emulation that scales to thousands of virtual ranks
+    (the Figure 5 convergence study's vehicle)."""
+
+    def execute(self, engine, callbacks, epochs=None):
+        cfg = engine.config
+        k = self.n_ranks
+        model = CosmoFlowModel(self.model_config, seed=cfg.seed)
+        optimizer = CosmoFlowOptimizer(model.parameter_arrays(), self._opt_config(engine))
+        group = SteppedGroup(k)
+        rc = _SteppedContext(
+            engine,
+            group=group,
+            shards=[self.train_data.shard(r, k) for r in range(k)],
+            rngs=[np.random.default_rng([cfg.seed, r]) for r in range(k)],
+            model=model,
+            optimizer=optimizer,
+            train_view=self.train_data,
+            val_view=self.val_data,
+            n_ranks=k,
+            batch_size=cfg.batch_size,
+            val_batch_size=1,
+            steps_per_epoch=self.steps_per_epoch,
+            shuffle=cfg.shuffle,
+            callbacks=callbacks,
+        )
+        hist = engine.rank_loop(rc, epochs=epochs)
+        stats = {
+            "reductions": group.reductions,
+            "bytes_reduced": group.bytes_reduced,
+        }
+        return EngineResult(history=hist, model=model, stats=stats)
+
+
+class ThreadedBackend(_GroupBackend):
+    """One OS thread per rank with independent model replicas — the
+    paper's actual execution structure at small scale."""
+
+    def __init__(self, *args, timeout_s: Optional[float] = 60.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.timeout_s = timeout_s
+
+    def callbacks(self):
+        return [DivergenceCheck()]
+
+    def _make_context(self, engine, comm, callbacks) -> RankContext:
+        cfg = engine.config
+        model = CosmoFlowModel(self.model_config, seed=cfg.seed)
+        optimizer = CosmoFlowOptimizer(model.parameter_arrays(), self._opt_config(engine))
+        aggregator = self._aggregator(comm)
+        # Algorithm 2 preamble: rank 0's parameters to all ranks.
+        aggregator.broadcast_parameters(model.parameter_arrays())
+        return RankContext(
+            engine,
+            model=model,
+            optimizer=optimizer,
+            train_view=self.train_data.shard(comm.rank, self.n_ranks),
+            val_view=self._val_view(comm.rank),
+            rank=comm.rank,
+            n_ranks=self.n_ranks,
+            batch_size=cfg.batch_size,
+            val_batch_size=1,
+            steps_per_epoch=self.steps_per_epoch,
+            rng=np.random.default_rng([cfg.seed, comm.rank]),
+            shuffle=cfg.shuffle,
+            aggregator=aggregator,
+            comm=comm,
+            callbacks=callbacks,
+        )
+
+    def execute(self, engine, callbacks, epochs=None):
+        group = ThreadedGroup(self.n_ranks, timeout_s=self.timeout_s)
+
+        def rank_body(comm):
+            rc = self._make_context(engine, comm, callbacks)
+            engine.rank_loop(rc, epochs=epochs)
+            return rc
+
+        results = group.run(rank_body)
+        rc0 = results[0]
+        stats = {
+            "reductions": group.reductions,
+            "bytes_reduced": group.bytes_reduced,
+            "max_param_divergence": rc0.divergence,
+        }
+        return EngineResult(
+            history=rc0.history, model=rc0.model, stats=stats, divergence=rc0.divergence
+        )
+
+
+class ElasticBackend(ThreadedBackend):
+    """Threaded ranks over an :class:`ElasticThreadedGroup`: crashed or
+    hung ranks are evicted and the gradient average renormalizes over
+    the survivors; quorum loss restarts from the last crash-safe
+    checkpoint with the full rank count (replacement-node semantics).
+    Fault-free runs are bitwise identical to :class:`ThreadedBackend`.
+
+    ``elastic`` is the fault-tolerance policy
+    (:class:`repro.core.elastic.ElasticConfig` or any object with the
+    same fields); ``injector`` a :class:`repro.faults.FaultInjector`.
+    """
+
+    def __init__(self, *args, elastic=None, injector=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if elastic is None or injector is None:
+            raise ValueError("ElasticBackend needs an elastic policy and an injector")
+        self.elastic = elastic
+        self.injector = injector
+        self.restarts = 0
+
+    def callbacks(self):
+        cbs: List[Callback] = [DivergenceCheck()]
+        if self.elastic.checkpoint_dir is not None:
+            cbs.append(
+                CheckpointCallback(
+                    self.elastic.checkpoint_dir,
+                    every_epochs=self.elastic.checkpoint_every_epochs,
+                )
+            )
+        return cbs
+
+    def _make_context(self, engine, comm, callbacks) -> RankContext:
+        cfg = engine.config
+        model = CosmoFlowModel(self.model_config, seed=cfg.seed)
+        optimizer = CosmoFlowOptimizer(model.parameter_arrays(), self._opt_config(engine))
+        history = History()
+        start_epoch = 0
+        if self.elastic.checkpoint_dir is not None:
+            from repro.core.checkpoint import latest_checkpoint, load_checkpoint
+
+            ckpt = latest_checkpoint(self.elastic.checkpoint_dir)
+            if ckpt is not None:
+                # Restores the completed epochs' curves too, so a
+                # restarted run's History spans every epoch, not just
+                # the ones after the resume point.
+                load_checkpoint(ckpt, model, optimizer, history=history)
+                start_epoch = optimizer.step_count // self.steps_per_epoch
+        # Pre-training phase: step-keyed faults must not fire on the
+        # initial parameter broadcast.
+        self.injector.begin_step(comm.rank, -1)
+        aggregator = self._aggregator(comm)
+        # After a restart the broadcast re-synchronizes any replica drift.
+        aggregator.broadcast_parameters(model.parameter_arrays())
+        rc = _ElasticContext(
+            engine,
+            injector=self.injector,
+            model=model,
+            optimizer=optimizer,
+            train_view=self.train_data.shard(comm.rank, self.n_ranks),
+            val_view=self._val_view(comm.rank),
+            rank=comm.rank,
+            n_ranks=self.n_ranks,
+            batch_size=cfg.batch_size,
+            val_batch_size=1,
+            steps_per_epoch=self.steps_per_epoch,
+            rng=np.random.default_rng([cfg.seed, comm.rank]),
+            shuffle=cfg.shuffle,
+            aggregator=aggregator,
+            comm=comm,
+            callbacks=callbacks,
+            history=history,
+            start_epoch=start_epoch,
+        )
+        rc.burn_in()
+        return rc
+
+    def execute(self, engine, callbacks, epochs=None):
+        el = self.elastic
+        quorum = el.resolve_quorum(self.n_ranks)
+        ckpt_dir = Path(el.checkpoint_dir) if el.checkpoint_dir is not None else None
+        if ckpt_dir is not None:
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
+        self.restarts = 0
+
+        def rank_body(comm):
+            rc = self._make_context(engine, comm, callbacks)
+            engine.rank_loop(rc, epochs=epochs)
+            return rc
+
+        while True:
+            group = ElasticThreadedGroup(
+                self.n_ranks,
+                timeout_s=el.timeout_s,
+                quorum=quorum,
+                injector=self.injector,
+                join_timeout_s=el.join_timeout_s,
+            )
+            try:
+                results = group.run(rank_body)
+                break
+            except QuorumLostError as exc:
+                self.restarts += 1
+                can_restart = ckpt_dir is not None and self.restarts <= el.max_restarts
+                _log.warning(
+                    "quorum lost (%d survivors); %s",
+                    len(exc.survivors),
+                    f"restart {self.restarts}/{el.max_restarts} from checkpoint"
+                    if can_restart
+                    else "giving up",
+                )
+                if not can_restart:
+                    raise
+                callbacks.on_restart(engine, self.restarts, exc)
+                # Relaunch with the full rank count (replacement nodes).
+                # Already-consumed fault events do not re-fire.
+
+        alive = [rc for rc in results if rc is not None]
+        rc0 = alive[0]
+        stats = {
+            "reductions": group.reductions,
+            "bytes_reduced": group.bytes_reduced,
+            "max_param_divergence": rc0.divergence,
+            "survivors": group.active_ranks,
+            "failed_ranks": sorted(group.failures),
+            "evicted_ranks": sorted(r for _, r in group.evictions),
+            "retransmits": group.retransmits,
+            "restarts": self.restarts,
+            "faults_injected": self.injector.summary(),
+        }
+        # A record-backed dataset routed through the burst-buffer tier
+        # reports its staging decisions alongside the comm-layer stats;
+        # the manager is shared by every rank's shard, so this is the
+        # run total.
+        staging = getattr(self.train_data, "staging", None)
+        if staging is not None:
+            stats["staging"] = staging.stats.as_dict()
+            stats["staging_breakers"] = staging.breaker_states()
+        return EngineResult(
+            history=rc0.history, model=rc0.model, stats=stats, divergence=rc0.divergence
+        )
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class TrainingEngine:
+    """The canonical epoch/step loop over an :class:`ExecutionBackend`.
+
+    The step body is mode-free by construction: fetch (``io``) →
+    loss+gradients (``compute``) → global averaging (``comm``) →
+    optimizer update (``optimizer``), with validation and the Figure-3
+    stage accounting handled identically for every backend.
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        config: Optional[EngineConfig] = None,
+        callbacks: Sequence[Callback] = (),
+    ):
+        self.backend = backend
+        self.config = config or EngineConfig()
+        self.callbacks = list(callbacks)
+        self.history = History()
+        self.group_stats: Dict[str, Any] = {}
+        self._final_model: Optional[CosmoFlowModel] = None
+
+    # -- driver -----------------------------------------------------------
+
+    def build_callbacks(self) -> CallbackList:
+        """Default hooks + backend hooks + user hooks, in firing order."""
+        return CallbackList(
+            [LRRecorder(), GroupStatsCollector(), *self.backend.callbacks(), *self.callbacks]
+        )
+
+    def run(self, epochs: Optional[int] = None) -> History:
+        """Train for ``epochs`` (default from config); returns history."""
+        callbacks = self.build_callbacks()
+        result = self.backend.execute(self, callbacks, epochs=epochs)
+        self._check_divergence(result.divergence)
+        self.history = result.history
+        self._final_model = result.model
+        callbacks.on_run_end(self, result)
+        return self.history
+
+    @property
+    def final_model(self) -> CosmoFlowModel:
+        """The trained model (identical on every rank)."""
+        if self._final_model is None:
+            raise RuntimeError("run() has not completed")
+        return self._final_model
+
+    def _check_divergence(self, divergence: Optional[float]) -> None:
+        if divergence is None:
+            return
+        if divergence > self.config.divergence_threshold:
+            raise RuntimeError(
+                f"rank parameter divergence {divergence:.3e} — synchronous "
+                "training invariant violated"
+            )
+
+    # -- the canonical loop (runs inside each executing rank) -------------
+
+    def rank_loop(self, rc: RankContext, epochs: Optional[int] = None) -> History:
+        """All epochs for one rank; backends call this per worker."""
+        epochs = self.config.epochs if epochs is None else epochs
+        rc.callbacks.on_run_start(rc)
+        for epoch in range(rc.start_epoch, epochs):
+            self.run_epoch(rc, epoch)
+        rc.callbacks.on_rank_end(rc)
+        return rc.history
+
+    def run_epoch(self, rc: RankContext, epoch: int) -> None:
+        """One epoch: training pass, validation pass, curve accounting."""
+        t0 = time.perf_counter()
+        rc.epoch = epoch
+        rc.callbacks.on_epoch_start(rc)
+        train_loss = self.train_epoch(rc)
+        val_loss = (
+            self.validate(rc)
+            if (self.config.validate and rc.val_view is not None)
+            else float("nan")
+        )
+        elapsed = time.perf_counter() - t0
+        rc.account_untracked(elapsed)
+        rc.history.train_loss.append(train_loss)
+        rc.history.val_loss.append(val_loss)
+        rc.history.epoch_time.append(elapsed)
+        rc.callbacks.on_epoch_end(rc)
+
+    def train_epoch(self, rc: RankContext) -> float:
+        """One pass over the training data; returns the mean step loss."""
+        losses: List[float] = []
+        rc.start_stream()
+        step = 0
+        while rc.steps_per_epoch is None or step < rc.steps_per_epoch:
+            with rc.timer.stage("io"):
+                batch = rc.fetch(step)
+            if batch is None:
+                break
+            with rc.timer.stage("compute"):
+                loss, grads, n_samples = rc.compute(batch)
+            if rc.aggregates:
+                with rc.timer.stage("comm"):
+                    loss, grads = rc.aggregate(loss, grads)
+            with rc.timer.stage("optimizer"):
+                rc.optimizer.step(grads)
+            losses.append(loss)
+            rc.samples_seen += n_samples
+            rc.step = step
+            rc.last_loss = loss
+            rc.callbacks.on_step_end(rc)
+            step += 1
+        if not losses:
+            raise RuntimeError("training epoch saw no batches")
+        return float(np.mean(losses))
+
+    def validate(self, rc: RankContext) -> float:
+        """Mean validation loss (globally averaged when aggregating).
+
+        Batch fetches are attributed to the ``io`` stage and loss
+        evaluation to ``compute``, so validation I/O no longer lands in
+        ``other`` and skews the Figure 3 profile.
+        """
+        if rc.val_view is None:
+            raise RuntimeError("no validation data configured")
+        losses = []
+        it = rc.val_view.batches(rc.val_batch_size, shuffle=False)
+        while True:
+            with rc.timer.stage("io"):
+                batch = next(it, None)
+            if batch is None:
+                break
+            x, y = batch
+            with rc.timer.stage("compute"):
+                losses.append(rc.model.validation_loss(x, y))
+        loss = float(np.mean(losses))
+        if rc.aggregates:
+            with rc.timer.stage("comm"):
+                loss = rc.aggregate_scalar(loss)
+        rc.last_val_loss = loss
+        rc.callbacks.on_validation(rc)
+        return loss

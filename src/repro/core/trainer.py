@@ -1,4 +1,4 @@
-"""Single-process training loop.
+"""Single-process training loop (compatibility shim over the engine).
 
 Reproduces the paper's per-rank workflow (Section V-A): "Each rank then
 enters a loop over epochs, where an epoch consists of training and
@@ -7,28 +7,35 @@ calculation, gradient averaging via MPI communication, and model update
 from the globally averaged gradients.  The validation loop consists of
 loss calculation and global averaging."
 
-The trainer attributes wall time to stages (io / compute / comm /
-optimizer / other) with a :class:`~repro.utils.timer.StageTimer` —
-the data behind the Figure 3 profile — and reports throughput in
-samples/sec and achieved flop/s (the paper's 535 Gflop/s single-node
-metric, E2).
+The loop itself now lives in :class:`repro.core.engine.TrainingEngine`
+over a :class:`~repro.core.engine.LocalBackend`; :class:`Trainer` keeps
+the original public API (``train_epoch`` / ``validate`` / ``run`` /
+``throughput``) and numerics.  Wall time is attributed to stages
+(io / compute / comm / optimizer / other) with a
+:class:`~repro.utils.timer.StageTimer` — the data behind the Figure 3
+profile — and throughput is reported in samples/sec and achieved
+flop/s (the paper's 535 Gflop/s single-node metric, E2).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.comm.plugin import MLPlugin
+from repro.core.engine import (
+    EngineConfig,
+    History,
+    LocalBackend,
+    TrainingEngine,
+)
 from repro.core.model import CosmoFlowModel
 from repro.core.optimizer import CosmoFlowOptimizer, OptimizerConfig
 from repro.utils.rng import new_rng
-from repro.utils.timer import StageTimer
 
-__all__ = ["InMemoryData", "TrainerConfig", "Trainer"]
+__all__ = ["InMemoryData", "TrainerConfig", "History", "Trainer"]
 
 
 def random_cube_symmetry(volume: np.ndarray, rng) -> np.ndarray:
@@ -113,28 +120,17 @@ class TrainerConfig:
     validate: bool = True
 
 
-@dataclass
-class History:
-    """Per-epoch training curves."""
-
-    train_loss: List[float] = field(default_factory=list)
-    val_loss: List[float] = field(default_factory=list)
-    epoch_time: List[float] = field(default_factory=list)
-    lr: List[float] = field(default_factory=list)
-
-    def as_dict(self) -> Dict[str, List[float]]:
-        return {
-            "train_loss": self.train_loss,
-            "val_loss": self.val_loss,
-            "epoch_time": self.epoch_time,
-            "lr": self.lr,
-        }
-
-
 class Trainer:
     """Single-process trainer (optionally with a single-rank plugin,
     matching the paper's single-node runs which "enable the CPE ML
-    plugin even at the single node")."""
+    plugin even at the single node").
+
+    A thin shim: constructs a :class:`~repro.core.engine.LocalBackend`
+    + :class:`~repro.core.engine.TrainingEngine` and exposes the
+    historical API over them.  The shuffle RNG is the legacy
+    ``new_rng(seed)`` stream, so fixed-seed runs reproduce pre-engine
+    results bit for bit.
+    """
 
     def __init__(
         self,
@@ -165,81 +161,56 @@ class Trainer:
         self.plugin = plugin
         if self.plugin is not None:
             self.plugin.init()
-        self.history = History()
-        self.timer = StageTimer()
-        self.samples_seen = 0
-        self._tracked_total = 0.0
         self._rng = new_rng(self.config.seed)
+        self._backend = LocalBackend(
+            model,
+            optimizer,
+            train_data,
+            val_data=val_data,
+            aggregator=self.plugin,
+            rng=self._rng,
+        )
+        self._engine = TrainingEngine(
+            self._backend,
+            config=EngineConfig(
+                epochs=self.config.epochs,
+                batch_size=self.config.batch_size,
+                seed=self.config.seed,
+                shuffle=self.config.shuffle,
+                validate=self.config.validate,
+            ),
+        )
+        # Created eagerly so history/timer/samples_seen are live from
+        # construction and shared with every engine call.
+        self._rc = self._backend.context(self._engine, self._engine.build_callbacks())
+
+    # -- state shared with the engine --------------------------------------------
+
+    @property
+    def history(self) -> History:
+        return self._rc.history
+
+    @property
+    def timer(self):
+        return self._rc.timer
+
+    @property
+    def samples_seen(self) -> int:
+        return self._rc.samples_seen
 
     # -- loops -----------------------------------------------------------------
 
     def train_epoch(self) -> float:
         """One pass over the training data; returns the mean step loss."""
-        losses: List[float] = []
-        batch_iter = self.train_data.batches(
-            self.config.batch_size, rng=self._rng, shuffle=self.config.shuffle
-        )
-        while True:
-            with self.timer.stage("io"):
-                batch = next(batch_iter, None)
-            if batch is None:
-                break
-            x, y = batch
-            with self.timer.stage("compute"):
-                loss, grads = self.model.loss_and_gradients(x, y)
-            if self.plugin is not None:
-                with self.timer.stage("comm"):
-                    grads = self.plugin.gradients(grads)
-                    loss = self.plugin.average_scalar(loss)
-            with self.timer.stage("optimizer"):
-                self.optimizer.step(grads)
-            losses.append(loss)
-            self.samples_seen += len(x)
-        if not losses:
-            raise RuntimeError("training epoch saw no batches")
-        return float(np.mean(losses))
+        return self._engine.train_epoch(self._rc)
 
     def validate(self) -> float:
         """Mean validation loss (globally averaged when a plugin is set)."""
-        if self.val_data is None:
-            raise RuntimeError("no validation data configured")
-        losses = []
-        for x, y in self.val_data.batches(self.config.batch_size, shuffle=False):
-            with self.timer.stage("compute"):
-                losses.append(self.model.validation_loss(x, y))
-        loss = float(np.mean(losses))
-        if self.plugin is not None:
-            with self.timer.stage("comm"):
-                loss = self.plugin.average_scalar(loss)
-        return loss
+        return self._engine.validate(self._rc)
 
     def run(self, epochs: Optional[int] = None) -> History:
         """Train for ``epochs`` (default from config); returns history."""
-        epochs = self.config.epochs if epochs is None else epochs
-        for _ in range(epochs):
-            t0 = time.perf_counter()
-            self.history.lr.append(self.optimizer.current_lr())
-            train_loss = self.train_epoch()
-            val_loss = (
-                self.validate()
-                if (self.config.validate and self.val_data is not None)
-                else float("nan")
-            )
-            elapsed = time.perf_counter() - t0
-            tracked = sum(
-                self.timer.stages[s].total
-                for s in ("io", "compute", "comm", "optimizer")
-                if s in self.timer.stages
-            )
-            epoch_tracked = tracked - self._tracked_total
-            self._tracked_total = tracked
-            # Loop/framework overhead not attributed to a stage —
-            # Figure 3's "TensorFlow framework time" analogue.
-            self.timer.add("other", max(0.0, elapsed - epoch_tracked))
-            self.history.train_loss.append(train_loss)
-            self.history.val_loss.append(val_loss)
-            self.history.epoch_time.append(elapsed)
-        return self.history
+        return self._engine.run(epochs=epochs)
 
     # -- throughput reporting ----------------------------------------------------
 

@@ -1,0 +1,108 @@
+"""Generate the golden fixtures for the TrainingEngine refactor.
+
+Run once against the PRE-refactor trainers (commit 20df40d) to freeze
+the exact numerics of every pre-existing execution mode::
+
+    PYTHONPATH=src python tests/golden/generate_engine_golden.py
+
+``tests/core/test_engine_equivalence.py`` then asserts that the
+post-refactor shims reproduce these parameters and loss curves
+*bitwise* — the proof that collapsing the four training loops into one
+engine changed no numerics.
+
+The fixtures are host-generated: regenerating on a machine with a
+different BLAS/NumPy build may produce different (equally valid) bits.
+Regenerate and re-verify on one machine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.distributed import DistributedConfig, DistributedTrainer
+from repro.core.elastic import ElasticConfig, ElasticTrainer
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import OptimizerConfig
+from repro.core.topology import tiny_16
+from repro.core.trainer import InMemoryData, Trainer, TrainerConfig
+
+OUT = Path(__file__).parent / "engine_golden.npz"
+
+OPT = OptimizerConfig(eta0=5e-3, decay_steps=50)
+N_RANKS = 3
+EPOCHS = 3
+
+
+def make_dataset(n, seed=0, size=16):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, size, size, size)).astype(np.float32)
+    y = rng.uniform(0.2, 0.8, size=(n, 3)).astype(np.float32)
+    return InMemoryData(x, y)
+
+
+def run_local():
+    model = CosmoFlowModel(tiny_16(), seed=0)
+    trainer = Trainer(
+        model,
+        make_dataset(8),
+        val_data=make_dataset(4, seed=7),
+        optimizer_config=OPT,
+        config=TrainerConfig(epochs=EPOCHS, seed=9),
+    )
+    hist = trainer.run()
+    return model.get_flat_parameters(), hist
+
+
+def run_distributed(mode):
+    cls = ElasticTrainer if mode == "elastic" else DistributedTrainer
+    kwargs = {"elastic": ElasticConfig(timeout_s=10.0)} if mode == "elastic" else {}
+    trainer = cls(
+        tiny_16(),
+        make_dataset(9),
+        val_data=make_dataset(6, seed=7),
+        config=DistributedConfig(
+            n_ranks=N_RANKS, epochs=EPOCHS, mode=mode, seed=0
+        ),
+        optimizer_config=OPT,
+        **kwargs,
+    )
+    hist = trainer.run()
+    return trainer.final_model.get_flat_parameters(), hist
+
+
+def host_fingerprint():
+    """BLAS/NumPy-build fingerprint from refactor-independent APIs.
+
+    Uses only ``CosmoFlowModel.loss_and_gradients`` — untouched by the
+    engine refactor — so the equivalence test can distinguish "fixture
+    from a different numerical build" (skip) from "refactor changed the
+    numerics" (fail).
+    """
+    model = CosmoFlowModel(tiny_16(), seed=0)
+    data = make_dataset(2)
+    loss, grads = model.loss_and_gradients(data.x[:1], data.y[:1])
+    return np.concatenate([[loss], grads[0].ravel()[:32]]).astype(np.float64)
+
+
+def main():
+    payload = {"host_fingerprint": host_fingerprint()}
+    params, hist = run_local()
+    payload["local_params"] = params
+    payload["local_train_loss"] = np.asarray(hist.train_loss)
+    payload["local_val_loss"] = np.asarray(hist.val_loss)
+    for mode in ("stepped", "threaded", "elastic"):
+        params, hist = run_distributed(mode)
+        payload[f"{mode}_params"] = params
+        payload[f"{mode}_train_loss"] = np.asarray(hist.train_loss)
+        payload[f"{mode}_val_loss"] = np.asarray(hist.val_loss)
+    np.savez(OUT, **payload)
+    print(f"wrote {OUT}")
+    for key in sorted(payload):
+        arr = payload[key]
+        print(f"  {key}: shape={arr.shape} sum={float(np.sum(arr)):.10g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,17 @@ class TestParser:
             parsed = parser.parse_args(args)
             assert parsed.command == cmd
 
+    def test_train_mode_flags(self):
+        parser = build_parser()
+        parsed = parser.parse_args(["train", "--data", "x"])
+        assert parsed.mode == "local" and parsed.ranks == 2
+        parsed = parser.parse_args(
+            ["train", "--data", "x", "--mode", "stepped", "--ranks", "3"]
+        )
+        assert parsed.mode == "stepped" and parsed.ranks == 3
+        with pytest.raises(SystemExit):
+            parser.parse_args(["train", "--data", "x", "--mode", "horse"])
+
 
 class TestCommands:
     def test_topology(self, capsys):
@@ -182,3 +193,39 @@ class TestCommandsSlow:
         )
         with pytest.raises(SystemExit, match="expects"):
             main(["train", "--data", str(ds), "--preset", "tiny_16", "--epochs", "1"])
+
+    @pytest.mark.slow
+    def test_train_distributed_modes(self, tmp_path, capsys):
+        """The train command drives every engine backend via --mode."""
+        ds = tmp_path / "ds"
+        assert (
+            main(
+                [
+                    "simulate", "--out", str(ds), "--sims", "8",
+                    "--particle-grid", "16", "--histogram-grid", "32",
+                    "--box-size", "32",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for mode in ("stepped", "elastic"):
+            assert (
+                main(
+                    [
+                        "train", "--data", str(ds), "--preset", "tiny_16",
+                        "--epochs", "1", "--mode", mode, "--ranks", "2",
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert f"mode: {mode}  ranks: 2" in out
+            assert "reductions:" in out
+        with pytest.raises(SystemExit, match="cannot feed"):
+            main(
+                [
+                    "train", "--data", str(ds), "--preset", "tiny_16",
+                    "--epochs", "1", "--mode", "threaded", "--ranks", "500",
+                ]
+            )
