@@ -13,6 +13,7 @@ Commands
 ``scaling``    print the Figure-4 scaling table for a machine model
 ``faultsim``   run elastic SSGD under an injected fault plan
 ``stage``      stage a dataset through the burst-buffer tier and verify
+``trace``      summarize an exported trace file (Figure-3-style table)
 """
 
 from __future__ import annotations
@@ -57,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--ranks", type=int, default=2,
                    help="data-parallel ranks for non-local modes")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record a Chrome trace (open in chrome://tracing "
+                        "or Perfetto) and print the metrics registry")
 
     p = sub.add_parser("predict", help="evaluate a checkpoint on a dataset's test split")
     p.add_argument("--data", required=True)
@@ -120,6 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-read burst-buffer eviction probability")
     p.add_argument("--strict", action="store_true",
                    help="fail on corrupt records instead of skip-and-count")
+
+    p = sub.add_parser("trace", help="inspect an exported trace file")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize",
+        help="print the Figure-3-style stage breakdown of a trace",
+    )
+    ps.add_argument("trace_file", help="Chrome trace JSON from `train --trace`")
+    ps.add_argument("--no-per-rank", action="store_true",
+                    help="omit the per-rank-track breakdown")
     return parser
 
 
@@ -169,6 +183,13 @@ def cmd_train(args) -> int:
         xv, yv = datasets["val"].to_arrays()
         val = InMemoryData(xv, yv)
 
+    tracer = metrics = None
+    if args.trace:
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+
     if args.mode == "local":
         model = CosmoFlowModel(preset, seed=args.seed)
         optimizer = CosmoFlowOptimizer(
@@ -178,6 +199,7 @@ def cmd_train(args) -> int:
         trainer = Trainer(
             model, train, val_data=val, optimizer=optimizer,
             config=TrainerConfig(epochs=args.epochs, seed=args.seed + 1),
+            tracer=tracer, metrics=metrics,
         )
     else:
         from repro.core.distributed import DistributedConfig, DistributedTrainer
@@ -200,6 +222,7 @@ def cmd_train(args) -> int:
             optimizer_config=OptimizerConfig(
                 eta0=args.eta0, decay_steps=max(1, args.epochs * steps)
             ),
+            tracer=tracer, metrics=metrics,
         )
     history = trainer.run()
     for e, (tl, vl) in enumerate(zip(history.train_loss, history.val_loss), 1):
@@ -216,6 +239,28 @@ def cmd_train(args) -> int:
     if args.checkpoint:
         path = save_checkpoint(args.checkpoint, model, optimizer)
         print(f"checkpoint: {path}")
+    if tracer is not None:
+        out = tracer.export(args.trace)
+        print(f"trace: {out} ({len(tracer.ordered())} events; "
+              f"`repro trace summarize {args.trace}` for the stage table)")
+        print(metrics.report())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import format_summary, load_trace, summarize_trace
+
+    events = load_trace(args.trace_file)
+    summary = summarize_trace(events)
+    try:
+        print(format_summary(summary, per_rank=not args.no_per_rank))
+    except BrokenPipeError:
+        # Summaries get piped into head/less; a closed pipe is not an
+        # error worth a traceback.
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -415,6 +460,7 @@ def main(argv=None) -> int:
         "scaling": cmd_scaling,
         "faultsim": cmd_faultsim,
         "stage": cmd_stage,
+        "trace": cmd_trace,
     }[args.command](args)
 
 

@@ -46,6 +46,7 @@ from repro.comm.errors import (
     RankEvictedError,
     RankFailedError,
 )
+from repro.obs.tracer import NULL_TRACER
 from repro.utils.logging import get_logger
 
 __all__ = ["ElasticThreadedGroup", "ElasticComm"]
@@ -67,11 +68,12 @@ class _Contribution:
 class _ElasticState:
     """Membership, pending collective, and result shared by all ranks."""
 
-    def __init__(self, size: int, timeout_s: float, quorum: int, injector=None):
+    def __init__(self, size: int, timeout_s: float, quorum: int, injector=None, tracer=None):
         self.size = size
         self.timeout_s = timeout_s
         self.quorum = quorum
         self.injector = injector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.checksums = injector is not None and injector.corrupts_messages
         self.cond = threading.Condition()
         self.active: set = set(range(size))
@@ -94,6 +96,14 @@ class _ElasticState:
     def _check_quorum_locked(self) -> None:
         if not self.quorum_lost and len(self.active) < self.quorum:
             self.quorum_lost = True
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "quorum-lost",
+                    cat="comm",
+                    track="driver",
+                    survivors=len(self.active),
+                    quorum=self.quorum,
+                )
             _log.warning(
                 "quorum lost: %d survivors < quorum %d", len(self.active), self.quorum
             )
@@ -110,6 +120,10 @@ class _ElasticState:
                             f"rank {r}'s contribution corrupt and unrecoverable"
                         )
                     self.retransmits += 1
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "retransmit", cat="comm", track=r, collective=self.generation
+                        )
                     _log.warning(
                         "corrupt contribution from rank %d in collective %d — "
                         "retransmitted", r, self.generation,
@@ -169,6 +183,10 @@ class _ElasticState:
             self.active.discard(rank)
             self.slots.pop(rank, None)
             self.failures[rank] = exc
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "rank-failed", cat="comm", track=rank, cause=type(exc).__name__
+                )
             _log.warning("rank %d failed (%r); %d survivors", rank, exc, len(self.active))
             self._check_quorum_locked()
             if not self.quorum_lost:
@@ -179,6 +197,10 @@ class _ElasticState:
         self.active.discard(rank)
         self.slots.pop(rank, None)
         self.evictions.append((self.generation, rank))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "eviction", cat="comm", track=rank, collective=self.generation
+            )
         _log.warning(
             "rank %d evicted after %.2fs without a heartbeat (collective %d); "
             "%d survivors", rank, waited_s, self.generation, len(self.active),
@@ -220,6 +242,14 @@ class ElasticComm(Communicator):
 
     def _collective(self, op: Tuple, array: Optional[np.ndarray]):
         st = self._st
+        if not st.tracer.enabled:
+            return self._collective_inner(op, array)
+        nbytes = 0 if array is None else int(np.asarray(array).nbytes)
+        with st.tracer.span(op[0], cat="comm", track=self._rank, nbytes=nbytes):
+            return self._collective_inner(op, array)
+
+    def _collective_inner(self, op: Tuple, array: Optional[np.ndarray]):
+        st = self._st
         with st.cond:
             if st.quorum_lost:
                 raise QuorumLostError(
@@ -251,7 +281,14 @@ class ElasticComm(Communicator):
                     st.cond.notify_all()
                     break
                 st.cond.wait(remaining)
-            if st.quorum_lost:
+            if st.generation == gen and st.quorum_lost:
+                # Nothing was published for our collective before quorum
+                # was lost.  (If the generation DID advance, publication
+                # happened strictly before the loss — once quorum_lost
+                # is set no collective can finish — so consume the
+                # result and let the next collective raise: whether this
+                # thread woke before or after the flag was set must not
+                # change the outcome.)
                 raise QuorumLostError(
                     f"group below quorum {st.quorum}", survivors=sorted(st.active)
                 )
@@ -319,6 +356,7 @@ class ElasticThreadedGroup:
         quorum: int = 1,
         injector=None,
         join_timeout_s: Optional[float] = None,
+        tracer=None,
     ):
         if size < 1:
             raise ValueError(f"group size must be >= 1, got {size}")
@@ -332,7 +370,7 @@ class ElasticThreadedGroup:
         self.timeout_s = timeout_s
         self.quorum = quorum
         self.join_timeout_s = join_timeout_s
-        self._st = _ElasticState(size, timeout_s, quorum, injector=injector)
+        self._st = _ElasticState(size, timeout_s, quorum, injector=injector, tracer=tracer)
 
     # -- introspection -------------------------------------------------------
 

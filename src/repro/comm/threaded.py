@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.comm.communicator import Communicator, ReduceOp, reduce_arrays
 from repro.comm.errors import CommTimeoutError, RankFailedError
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["ThreadedGroup"]
 
@@ -30,9 +31,10 @@ __all__ = ["ThreadedGroup"]
 class _SharedState:
     """Shared buffers and barrier for one thread group."""
 
-    def __init__(self, size: int, timeout_s: Optional[float] = None):
+    def __init__(self, size: int, timeout_s: Optional[float] = None, tracer=None):
         self.size = size
         self.timeout_s = timeout_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.barrier = threading.Barrier(size)
         self.slots: List[Optional[np.ndarray]] = [None] * size
         self.result: Optional[Any] = None
@@ -95,8 +97,18 @@ class _ThreadRankComm(Communicator):
     # before its *next* collective's barrier #1 can let rank 0 overwrite.
 
     def allreduce(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        arr = np.asarray(array)
+        tracer = self._shared.tracer
+        if not tracer.enabled:
+            return self._allreduce(arr, op)
+        with tracer.span(
+            "allreduce", cat="comm", track=self._rank, nbytes=int(arr.nbytes)
+        ):
+            return self._allreduce(arr, op)
+
+    def _allreduce(self, arr: np.ndarray, op: ReduceOp) -> np.ndarray:
         s = self._shared
-        s.slots[self._rank] = np.asarray(array)
+        s.slots[self._rank] = arr
         self._wait()
         if self._rank == 0:
             s.result = reduce_arrays(s.slots, op)  # type: ignore[arg-type]
@@ -108,6 +120,14 @@ class _ThreadRankComm(Communicator):
 
     def bcast(self, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
         self._check_root(root)
+        s = self._shared
+        tracer = s.tracer
+        if not tracer.enabled:
+            return self._bcast(array, root)
+        with tracer.span("bcast", cat="comm", track=self._rank, root=root):
+            return self._bcast(array, root)
+
+    def _bcast(self, array: Optional[np.ndarray], root: int) -> np.ndarray:
         s = self._shared
         if self._rank == root:
             if array is None:
@@ -152,6 +172,7 @@ class ThreadedGroup:
         size: int,
         timeout_s: Optional[float] = 60.0,
         join_timeout_s: Optional[float] = None,
+        tracer=None,
     ):
         if size < 1:
             raise ValueError(f"group size must be >= 1, got {size}")
@@ -162,7 +183,7 @@ class ThreadedGroup:
         self.size = size
         self.timeout_s = timeout_s
         self.join_timeout_s = join_timeout_s
-        self._shared = _SharedState(size, timeout_s)
+        self._shared = _SharedState(size, timeout_s, tracer=tracer)
 
     @property
     def reductions(self) -> int:

@@ -108,6 +108,8 @@ class DistributedTrainer:
         val_data: Optional[InMemoryData] = None,
         config: Optional[DistributedConfig] = None,
         optimizer_config: Optional[OptimizerConfig] = None,
+        tracer=None,
+        metrics=None,
     ):
         config = config or DistributedConfig(n_ranks=2)
         if len(train_data) < config.n_ranks:
@@ -127,6 +129,8 @@ class DistributedTrainer:
         )
         self.history = History()
         self.group_stats: dict = {}
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- engine plumbing ----------------------------------------------------------
 
@@ -167,7 +171,12 @@ class DistributedTrainer:
             from repro.core.elastic import run_elastic
 
             return run_elastic(self)
-        engine = TrainingEngine(self._build_backend(), config=self.engine_config())
+        engine = TrainingEngine(
+            self._build_backend(),
+            config=self.engine_config(),
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         engine.run()
         return self._finish(engine)
 

@@ -109,7 +109,12 @@ def run_elastic(
         elastic=elastic,
         injector=injector,
     )
-    engine = TrainingEngine(backend, config=trainer.engine_config())
+    engine = TrainingEngine(
+        backend,
+        config=trainer.engine_config(),
+        tracer=getattr(trainer, "tracer", None),
+        metrics=getattr(trainer, "metrics", None),
+    )
     engine.run()
     return trainer._finish(engine)
 
@@ -132,6 +137,8 @@ class ElasticTrainer(DistributedTrainer):
         optimizer_config=None,
         elastic: Optional[ElasticConfig] = None,
         injector: Optional[FaultInjector] = None,
+        tracer=None,
+        metrics=None,
     ):
         super().__init__(
             model_config,
@@ -139,6 +146,8 @@ class ElasticTrainer(DistributedTrainer):
             val_data=val_data,
             config=config or DistributedConfig(n_ranks=2, mode="elastic"),
             optimizer_config=optimizer_config,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.elastic = elastic or ElasticConfig()
         self.injector = injector or FaultInjector()

@@ -35,6 +35,7 @@ touching the loop.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -49,6 +50,9 @@ from repro.comm.serial import SteppedGroup
 from repro.comm.threaded import ThreadedGroup
 from repro.core.model import CosmoFlowModel
 from repro.core.optimizer import CosmoFlowOptimizer, OptimizerConfig
+from repro.obs.callback import TraceCallback
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.utils.logging import get_logger
 from repro.utils.packing import flatten_arrays, unflatten_like
 from repro.utils.timer import StageTimer
@@ -375,6 +379,28 @@ class RankContext:
 
     # -- accounting -------------------------------------------------------
 
+    @contextmanager
+    def timed_stage(self, name: str, step: Optional[int] = None):
+        """Time one stage region into both the :class:`StageTimer` and
+        the engine's tracer.
+
+        One ``perf_counter`` window feeds both sinks, so the durations
+        in an exported trace sum to exactly the stage totals ``History``
+        accounting reports — ``trace summarize`` and Figure 3 agree by
+        construction, not by coincidence.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.timer.add(name, dt)
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    name, t0, dt, cat="engine", track=self.rank, step=step, epoch=self.epoch
+                )
+
     def account_untracked(self, elapsed: float) -> None:
         """Attribute loop/framework overhead not captured by a stage —
         Figure 3's "TensorFlow framework time" analogue."""
@@ -385,7 +411,18 @@ class RankContext:
         )
         epoch_tracked = tracked - self._tracked_total
         self._tracked_total = tracked
-        self.timer.add("other", max(0.0, elapsed - epoch_tracked))
+        other = max(0.0, elapsed - epoch_tracked)
+        self.timer.add("other", other)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "other",
+                time.perf_counter() - other,
+                other,
+                cat="engine",
+                track=self.rank,
+                epoch=self.epoch,
+            )
 
 
 class _SteppedContext(RankContext):
@@ -696,7 +733,9 @@ class ThreadedBackend(_GroupBackend):
         )
 
     def execute(self, engine, callbacks, epochs=None):
-        group = ThreadedGroup(self.n_ranks, timeout_s=self.timeout_s)
+        group = ThreadedGroup(
+            self.n_ranks, timeout_s=self.timeout_s, tracer=engine.tracer
+        )
 
         def rank_body(comm):
             rc = self._make_context(engine, comm, callbacks)
@@ -811,6 +850,7 @@ class ElasticBackend(ThreadedBackend):
                 quorum=quorum,
                 injector=self.injector,
                 join_timeout_s=el.join_timeout_s,
+                tracer=engine.tracer,
             )
             try:
                 results = group.run(rank_body)
@@ -876,10 +916,18 @@ class TrainingEngine:
         backend: ExecutionBackend,
         config: Optional[EngineConfig] = None,
         callbacks: Sequence[Callback] = (),
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.backend = backend
         self.config = config or EngineConfig()
         self.callbacks = list(callbacks)
+        #: Observability sinks.  The tracer defaults to the shared
+        #: no-op :data:`~repro.obs.tracer.NULL_TRACER` (zero cost); the
+        #: metrics registry is always live — its counters are cheap and
+        #: the cross-backend consistency tests read them.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.history = History()
         self.group_stats: Dict[str, Any] = {}
         self._final_model: Optional[CosmoFlowModel] = None
@@ -889,7 +937,13 @@ class TrainingEngine:
     def build_callbacks(self) -> CallbackList:
         """Default hooks + backend hooks + user hooks, in firing order."""
         return CallbackList(
-            [LRRecorder(), GroupStatsCollector(), *self.backend.callbacks(), *self.callbacks]
+            [
+                LRRecorder(),
+                GroupStatsCollector(),
+                TraceCallback(self.tracer, self.metrics),
+                *self.backend.callbacks(),
+                *self.callbacks,
+            ]
         )
 
     def run(self, epochs: Optional[int] = None) -> History:
@@ -953,16 +1007,16 @@ class TrainingEngine:
         rc.start_stream()
         step = 0
         while rc.steps_per_epoch is None or step < rc.steps_per_epoch:
-            with rc.timer.stage("io"):
+            with rc.timed_stage("io", step):
                 batch = rc.fetch(step)
             if batch is None:
                 break
-            with rc.timer.stage("compute"):
+            with rc.timed_stage("compute", step):
                 loss, grads, n_samples = rc.compute(batch)
             if rc.aggregates:
-                with rc.timer.stage("comm"):
+                with rc.timed_stage("comm", step):
                     loss, grads = rc.aggregate(loss, grads)
-            with rc.timer.stage("optimizer"):
+            with rc.timed_stage("optimizer", step):
                 rc.optimizer.step(grads)
             losses.append(loss)
             rc.samples_seen += n_samples
@@ -986,16 +1040,16 @@ class TrainingEngine:
         losses = []
         it = rc.val_view.batches(rc.val_batch_size, shuffle=False)
         while True:
-            with rc.timer.stage("io"):
+            with rc.timed_stage("io"):
                 batch = next(it, None)
             if batch is None:
                 break
             x, y = batch
-            with rc.timer.stage("compute"):
+            with rc.timed_stage("compute"):
                 losses.append(rc.model.validation_loss(x, y))
         loss = float(np.mean(losses))
         if rc.aggregates:
-            with rc.timer.stage("comm"):
+            with rc.timed_stage("comm"):
                 loss = rc.aggregate_scalar(loss)
         rc.last_val_loss = loss
         rc.callbacks.on_validation(rc)

@@ -141,6 +141,8 @@ class Trainer:
         optimizer_config: Optional[OptimizerConfig] = None,
         config: Optional[TrainerConfig] = None,
         plugin: Optional[MLPlugin] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.model = model
         self.train_data = train_data
@@ -179,6 +181,8 @@ class Trainer:
                 shuffle=self.config.shuffle,
                 validate=self.config.validate,
             ),
+            tracer=tracer,
+            metrics=metrics,
         )
         # Created eagerly so history/timer/samples_seen are live from
         # construction and shared with every engine call.

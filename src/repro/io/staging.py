@@ -55,6 +55,7 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
+from repro.obs.tracer import NULL_TRACER
 from repro.utils.logging import get_logger
 from repro.utils.retry import RetryPolicy
 from repro.utils.rng import derive_seed, new_rng
@@ -251,6 +252,10 @@ class StagingManager:
         ``STAGE_FAIL`` / ``TARGET_SLOW`` / ``BB_EVICT`` events.
     time_scale
         Real seconds slept per virtual second (0 = never sleep).
+    tracer
+        Optional :class:`~repro.obs.tracer.Tracer`; every decision-log
+        entry is mirrored as an instant event on the ``"staging"``
+        track, stamped with the virtual clock (``vts``).
     """
 
     def __init__(
@@ -263,6 +268,7 @@ class StagingManager:
         seed: int = 0,
         injector=None,
         time_scale: float = 0.0,
+        tracer=None,
     ):
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
@@ -278,6 +284,7 @@ class StagingManager:
         self.seed = seed
         self.injector = injector
         self.time_scale = time_scale
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = StagingStats()
         #: Human-readable decision log ("stage:x", "hedge:y", "trip:t2",
         #: ...) — the determinism tests compare two runs' logs verbatim.
@@ -317,6 +324,21 @@ class StagingManager:
         with self._lock:
             return sum(e.nbytes for e in self._staged.values())
 
+    # -- decision log --------------------------------------------------------
+
+    def _event(self, kind: str, detail) -> None:
+        """Record one decision: string log plus (optionally) a trace instant.
+
+        The instant carries the *virtual* timestamp so two runs with the
+        same seed and fault plan produce identical event sequences even
+        though their wall clocks differ.
+        """
+        self.events.append(f"{kind}:{detail}")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                kind, cat="io", track="staging", file=str(detail), vts=self.clock_s
+            )
+
     # -- virtual time / latency ----------------------------------------------
 
     def _advance(self, dt: float) -> None:
@@ -349,7 +371,7 @@ class StagingManager:
         self.stats.breaker_trips += b.trips - trips
         self.stats.breaker_half_opens += b.half_opens - half
         if b.state is BreakerState.OPEN and before is not BreakerState.OPEN:
-            self.events.append(f"trip:{b.name}")
+            self._event("trip", b.name)
             _log.warning("circuit breaker %s tripped OPEN", b.name)
 
     def _allow(self, target: int) -> bool:
@@ -358,7 +380,7 @@ class StagingManager:
         ok = b.allow(self.clock_s)
         if b.half_opens != half:
             self.stats.breaker_half_opens += b.half_opens - half
-            self.events.append(f"half-open:{b.name}")
+            self._event("half-open", b.name)
         return ok
 
     # -- stage-in ------------------------------------------------------------
@@ -383,7 +405,7 @@ class StagingManager:
                 except (OSError, StageError) as exc:
                     if attempt + 1 >= policy.max_attempts:
                         self.stats.stage_failures += 1
-                        self.events.append(f"stage-fail:{source.name}")
+                        self._event("stage-fail", source.name)
                         self._record_failure(target)
                         _log.warning("stage-in of %s failed terminally: %s", source, exc)
                         return False
@@ -394,7 +416,7 @@ class StagingManager:
                         backoff *= 1.0 + jitter * float(rng.uniform(-1.0, 1.0))
                     self._advance(backoff)
                 else:
-                    self.events.append(f"stage:{source.name}")
+                    self._event("stage", source.name)
                     self.breaker(target).record_success()
                     return True
         return False  # pragma: no cover - loop always returns
@@ -435,7 +457,7 @@ class StagingManager:
                 return
             self._drop(victim)
             self.stats.capacity_evictions += 1
-            self.events.append(f"lru-evict:{victim.name}")
+            self._event("lru-evict", victim.name)
 
     def _drop(self, source: Path) -> None:
         entry = self._staged.pop(source, None)
@@ -452,7 +474,7 @@ class StagingManager:
                 self._drop(source)
             if n:
                 self.stats.evictions += 1
-                self.events.append(f"bb-evict:{n}")
+                self._event("bb-evict", n)
                 _log.warning("burst-buffer allocation evicted (%d staged files lost)", n)
             return n
 
@@ -476,11 +498,11 @@ class StagingManager:
                     entry.path.unlink(missing_ok=True)
                 del self._staged[source]
                 self.stats.quarantined += 1
-                self.events.append(f"quarantine:{source.name}")
+                self._event("quarantine", source.name)
                 _log.warning("quarantined corrupt staged copy of %s", source.name)
             if self.stage(source):
                 self.stats.restages += 1
-                self.events.append(f"restage:{source.name}")
+                self._event("restage", source.name)
                 return StagedRead(self._staged[source].path, "bb", 0.0)
             self.stats.fallback_reads += 1
             return StagedRead(source, "backing", 0.0)
@@ -515,7 +537,7 @@ class StagingManager:
                 latency = self._tier_latency(self.backing_spec, nbytes, rng)
                 self._advance(latency)
                 self.stats.fallback_reads += 1
-                self.events.append(f"fallback:{source.name}")
+                self._event("fallback", source.name)
                 return StagedRead(source, "backing", latency)
             # Hot-tier read, possibly hedged.
             entry.last_used = self.clock_s
@@ -523,7 +545,7 @@ class StagingManager:
             budget = self.config.hedge_budget_s
             if budget is not None and bb_latency > budget:
                 self.stats.hedged_reads += 1
-                self.events.append(f"hedge:{source.name}")
+                self._event("hedge", source.name)
                 backing_latency = budget + self._tier_latency(
                     self.backing_spec, entry.nbytes, rng
                 )

@@ -1,0 +1,42 @@
+"""Unified observability: structured tracing + a metrics registry.
+
+The instrumentation layer behind the paper's Figure 3 profile and
+Section V scaling analysis, shared by every subsystem:
+
+* :mod:`repro.obs.tracer` — span/instant events with per-rank tracks
+  and a Chrome trace-event exporter (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms that
+  absorb the legacy ad-hoc stats objects behind one read API;
+* :mod:`repro.obs.callback` — the engine hook wiring both into
+  :class:`~repro.core.engine.TrainingEngine`;
+* :mod:`repro.obs.summarize` — ``repro trace summarize``'s
+  Figure-3-style stage table from an exported trace file.
+
+See ``docs/observability.md`` for how to capture and read a trace.
+"""
+
+from repro.obs.callback import TraceCallback
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.summarize import (
+    TraceSummary,
+    format_summary,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceCallback",
+    "TraceEvent",
+    "Tracer",
+    "TraceSummary",
+    "format_summary",
+    "load_trace",
+    "summarize_trace",
+]

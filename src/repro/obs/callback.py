@@ -1,0 +1,132 @@
+"""Engine observability hook: trace events + metrics for every backend.
+
+:class:`TraceCallback` is installed by
+:class:`~repro.core.engine.TrainingEngine` on every run (it implements
+the full :class:`~repro.core.engine.Callback` protocol without
+importing it, to keep ``repro.obs`` free of core dependencies).  It has
+two jobs:
+
+* **Metrics** — always on.  It maintains the engine-level counters the
+  cross-backend consistency tests compare: ``engine.steps`` (global
+  synchronized optimizer steps, counted once per step on the keeper
+  rank so local, stepped, threaded, and elastic runs agree),
+  ``engine.rank_steps`` (per-executing-rank step count),
+  ``engine.records`` (samples consumed, globally), ``engine.epochs``,
+  and ``comm.step_aggregations`` (gradient-averaging rounds).  On run
+  end it absorbs the backend's ``group_stats`` and each rank's
+  :class:`~repro.utils.timer.StageTimer` into the registry.
+
+* **Tracing** — active only when the engine's tracer is enabled.  It
+  marks epoch boundaries, validation results, elastic restarts, and
+  run completion as instant events on the owning rank's track.  The
+  per-step io/compute/comm/optimizer *spans* are emitted by the engine
+  loop itself (they need the stage timings), not by this callback.
+
+The per-step and per-epoch span events carry ``step``/``epoch`` args so
+``trace summarize`` can rebuild the Figure 3 stage table per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["TraceCallback"]
+
+
+class TraceCallback:
+    """Observability hooks over the engine loop (see module docstring)."""
+
+    def __init__(self, tracer: Optional[Tracer] = None, metrics: Optional[MetricsRegistry] = None):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- per-rank hooks ----------------------------------------------------
+
+    def on_run_start(self, rc) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "run-start", cat="engine", track=rc.rank, epoch=rc.start_epoch
+            )
+
+    def on_epoch_start(self, rc) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant("epoch-start", cat="engine", track=rc.rank, epoch=rc.epoch)
+
+    def on_step_end(self, rc) -> None:
+        m = self.metrics
+        m.counter("engine.rank_steps").add(1)
+        # Records are counted as a *global* quantity: each executing
+        # rank adds its own samples (the stepped context already sums
+        # its virtual ranks), so every backend converges on the same
+        # total for the same run.
+        delta = rc.samples_seen - getattr(rc, "_obs_samples_absorbed", 0)
+        rc._obs_samples_absorbed = rc.samples_seen
+        if delta:
+            m.counter("engine.records").add(delta)
+        if rc.is_keeper:
+            # One synchronized global step per keeper-rank step: local
+            # k=1, stepped, threaded, and elastic all count the same.
+            m.counter("engine.steps").add(1)
+            if rc.aggregates:
+                m.counter("comm.step_aggregations").add(1)
+
+    def on_validation(self, rc) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "validation",
+                cat="engine",
+                track=rc.rank,
+                epoch=rc.epoch,
+                val_loss=float(rc.last_val_loss),
+            )
+
+    def on_epoch_end(self, rc) -> None:
+        if rc.is_keeper:
+            self.metrics.counter("engine.epochs").add(1)
+            self.metrics.histogram("engine.epoch_time_s").observe(rc.history.epoch_time[-1])
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "epoch-end",
+                cat="engine",
+                track=rc.rank,
+                epoch=rc.epoch,
+                train_loss=float(rc.history.train_loss[-1]),
+            )
+
+    def on_rank_end(self, rc) -> None:
+        # Stage totals accumulate on the rank's timer across epochs (and
+        # across repeated runs of a reused LocalBackend context), so
+        # absorb only the delta since this callback last looked.
+        absorbed = getattr(rc, "_obs_timer_absorbed", {})
+        for name, rec in rc.timer.stages.items():
+            seen_total, seen_count = absorbed.get(name, (0.0, 0))
+            self.metrics.gauge(f"engine.stage.{name}.seconds").add(rec.total - seen_total)
+            self.metrics.counter(f"engine.stage.{name}.count").add(rec.count - seen_count)
+            absorbed[name] = (rec.total, rec.count)
+        rc._obs_timer_absorbed = absorbed
+
+    # -- driver hooks ------------------------------------------------------
+
+    def on_restart(self, engine, restarts: int, exc: BaseException) -> None:
+        self.metrics.counter("engine.restarts").add(1)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "restart",
+                cat="engine",
+                track="driver",
+                restarts=restarts,
+                cause=type(exc).__name__,
+            )
+
+    def on_run_end(self, engine, result) -> None:
+        self.metrics.absorb_mapping(
+            {k: v for k, v in result.stats.items() if k != "staging"}, "comm"
+        )
+        staging = result.stats.get("staging")
+        if isinstance(staging, dict):
+            self.metrics.absorb_mapping(staging, "io.staging")
+        if self.tracer.enabled:
+            self.tracer.instant("run-end", cat="engine", track="driver")

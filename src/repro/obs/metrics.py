@@ -1,0 +1,222 @@
+"""One registry for every number the system counts.
+
+Before this module the repo's instrumentation was scattered:
+:class:`~repro.io.pipeline.PipelineStats` counted pipeline behaviour,
+the elastic trainer published ``group_stats`` dicts, the staging tier
+kept :class:`~repro.io.staging.StagingStats`, and
+:class:`~repro.utils.timer.StageTimer` held stage totals — four schemas
+with four read APIs.  :class:`MetricsRegistry` unifies them behind one
+namespace of named counters, gauges, and histograms
+(``engine.steps``, ``comm.reductions``, ``io.staging.hedged_reads``,
+``engine.stage.io.seconds``, ...), with ``absorb_*`` adapters that map
+each legacy stats object into the shared namespace.
+
+All instruments are thread-safe (rank threads increment concurrently)
+and deterministic: a counter's final value depends on what the run did,
+never on scheduling, so seeded runs produce identical snapshots — the
+property the cross-backend metrics-consistency tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic accumulator (events, records, bytes)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    @property
+    def value(self):
+        return self._value
+
+    def add(self, n=1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (add {n})")
+        with self._lock:
+            self._value += n
+
+
+class Gauge:
+    """Last-write-wins value (queue depth, breaker state, LR)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    @property
+    def value(self):
+        return self._value
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta) -> None:
+        with self._lock:
+            self._value += delta
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/sum/min/max — enough for mean latencies and tail spot
+    checks without unbounded storage.
+    """
+
+    __slots__ = ("name", "_lock", "count", "total", "min", "max")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms behind one read API.
+
+    Instruments are created on first use (``registry.counter("x")``)
+    and live for the registry's lifetime.  A name is bound to exactly
+    one instrument kind — asking for ``counter("x")`` after
+    ``gauge("x")`` is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, threading.Lock())
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(inst).__name__}, not a {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- reading -----------------------------------------------------------
+
+    def names(self):
+        with self._lock:
+            return sorted(self._instruments)
+
+    def value(self, name: str, default=None):
+        """The scalar value of a counter/gauge (histograms: the mean)."""
+        with self._lock:
+            inst = self._instruments.get(name)
+        if inst is None:
+            return default
+        return inst.mean if isinstance(inst, Histogram) else inst.value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every instrument as plain data, sorted by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: Dict[str, Any] = {}
+        for name in sorted(instruments):
+            inst = instruments[name]
+            out[name] = inst.summary() if isinstance(inst, Histogram) else inst.value
+        return out
+
+    def report(self, title: str = "metrics") -> str:
+        """Human-readable dump, one instrument per line."""
+        lines = [title]
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                value = (
+                    f"n={value['count']} mean={value['mean']:.6g} "
+                    f"min={value['min']:.6g} max={value['max']:.6g}"
+                )
+            lines.append(f"  {name} = {value}")
+        return "\n".join(lines)
+
+    # -- adapters over the legacy stats objects ----------------------------
+
+    def absorb_mapping(self, stats: Mapping[str, Any], prefix: str) -> None:
+        """Add every numeric entry of a stats dict as a counter.
+
+        Non-numeric entries (survivor lists, breaker-state strings) are
+        skipped — they are reports, not metrics.
+        """
+        for key, value in stats.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.counter(f"{prefix}.{key}").add(value)
+
+    def absorb_pipeline(self, stats, prefix: str = "io.pipeline") -> None:
+        """Absorb a :class:`~repro.io.pipeline.PipelineStats`."""
+        self.counter(f"{prefix}.samples_delivered").add(stats.samples_delivered)
+        self.counter(f"{prefix}.producer_errors").add(stats.producer_errors)
+        self.gauge(f"{prefix}.max_queue_depth").set(stats.max_queue_depth)
+        self.histogram(f"{prefix}.consumer_wait_s").observe(stats.consumer_wait_s)
+        for name in (
+            "read_retries",
+            "records_skipped",
+            "hedged_reads",
+            "hedge_wins",
+            "fallback_reads",
+            "stage_retries",
+        ):
+            self.counter(f"{prefix}.{name}").add(getattr(stats, name))
+
+    def absorb_staging(self, stats, prefix: str = "io.staging") -> None:
+        """Absorb a :class:`~repro.io.staging.StagingStats`."""
+        self.absorb_mapping(stats.as_dict(), prefix)
+
+    def absorb_timer(self, timer, prefix: str = "engine.stage") -> None:
+        """Absorb a :class:`~repro.utils.timer.StageTimer`'s totals."""
+        for name, rec in timer.stages.items():
+            self.gauge(f"{prefix}.{name}.seconds").add(rec.total)
+            self.counter(f"{prefix}.{name}.count").add(rec.count)

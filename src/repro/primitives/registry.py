@@ -5,6 +5,13 @@ registry so the kernel implementation can be switched globally — used
 by the A1 ablation benchmark to compare the GEMM path against the
 Algorithm-1 direct path, mirroring how TensorFlow dispatches to MKL-DNN
 when built with ``--config=mkl``.
+
+Optional accounting: :func:`set_metrics` attaches a
+:class:`~repro.obs.metrics.MetricsRegistry`, after which every kernel
+call increments ``primitives.conv3d.<op>.{calls,flops,bytes}``
+counters (the Section-III "portion of the computational cost" numbers).
+With no registry attached — the default — :func:`get_impl` hands back
+the raw kernels, so the accounting costs nothing when off.
 """
 
 from __future__ import annotations
@@ -15,7 +22,14 @@ from typing import Callable, Dict
 from repro.primitives import conv3d as _gemm
 from repro.primitives import direct as _direct
 
-__all__ = ["ConvImpl", "get_impl", "set_default_impl", "available_impls"]
+__all__ = [
+    "ConvImpl",
+    "get_impl",
+    "set_default_impl",
+    "available_impls",
+    "set_metrics",
+    "get_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +67,83 @@ _IMPLS: Dict[str, ConvImpl] = {
 
 _default = "gemm"
 
+#: When set (via :func:`set_metrics`), kernel calls are counted here.
+_metrics = None
+
+#: Instrumented wrappers, built lazily per registered implementation.
+_instrumented: Dict[str, ConvImpl] = {}
+
+
+def set_metrics(registry) -> None:
+    """Attach a metrics registry for per-call FLOP/byte accounting.
+
+    Pass ``None`` to detach; subsequent :func:`get_impl` calls return
+    the raw, uncounted kernels again.
+    """
+    global _metrics
+    _metrics = registry
+
+
+def get_metrics():
+    """The currently attached metrics registry (``None`` when off)."""
+    return _metrics
+
+
+def _conv_flops(n: int, oc: int, ic: int, out_spatial, kernel) -> int:
+    """Multiply-add FLOPs of one conv pass (2 per MAC).
+
+    All three passes (forward, backward-data, backward-weights) perform
+    the same MAC count ``N*OC*IC*OD*OH*OW*KD*KH*KW``, just contracted
+    over different axes.
+    """
+    od, oh, ow = (int(v) for v in out_spatial)
+    kd, kh, kw = (int(v) for v in kernel)
+    return 2 * int(n) * int(oc) * int(ic) * od * oh * ow * kd * kh * kw
+
+
+def _count(op: str, flops: int, nbytes: int) -> None:
+    m = _metrics
+    if m is None:  # metrics detached mid-call
+        return
+    m.counter(f"primitives.conv3d.{op}.calls").add(1)
+    m.counter(f"primitives.conv3d.{op}.flops").add(flops)
+    m.counter(f"primitives.conv3d.{op}.bytes").add(nbytes)
+
+
+def _instrument(impl: ConvImpl) -> ConvImpl:
+    """Wrap an implementation's kernels with FLOP/byte accounting."""
+
+    def forward(x, w, bias=None, stride=1, padding=0):
+        out = impl.forward(x, w, bias, stride=stride, padding=padding)
+        n, oc, ic = x.shape[0], w.shape[0], w.shape[1]
+        flops = _conv_flops(n, oc, ic, out.shape[2:], w.shape[2:])
+        _count("forward", flops, x.nbytes + w.nbytes + out.nbytes)
+        return out
+
+    def backward_data(grad_out, w, input_shape, stride=1, padding=0):
+        gx = impl.backward_data(grad_out, w, input_shape, stride=stride, padding=padding)
+        n, oc, ic = grad_out.shape[0], w.shape[0], w.shape[1]
+        flops = _conv_flops(n, oc, ic, grad_out.shape[2:], w.shape[2:])
+        _count("backward_data", flops, grad_out.nbytes + w.nbytes + gx.nbytes)
+        return gx
+
+    def backward_weights(x, grad_out, kernel, stride=1, padding=0, with_bias=False):
+        gw = impl.backward_weights(
+            x, grad_out, kernel, stride=stride, padding=padding, with_bias=with_bias
+        )
+        gw_arr = gw[0] if isinstance(gw, tuple) else gw
+        n, oc, ic = x.shape[0], grad_out.shape[1], x.shape[1]
+        flops = _conv_flops(n, oc, ic, grad_out.shape[2:], kernel)
+        _count("backward_weights", flops, x.nbytes + grad_out.nbytes + gw_arr.nbytes)
+        return gw
+
+    return ConvImpl(
+        name=impl.name,
+        forward=forward,
+        backward_data=backward_data,
+        backward_weights=backward_weights,
+    )
+
 
 def available_impls() -> list[str]:
     """Names of the registered convolution implementations."""
@@ -60,14 +151,24 @@ def available_impls() -> list[str]:
 
 
 def get_impl(name: str | None = None) -> ConvImpl:
-    """Look up an implementation by name (``None`` -> current default)."""
+    """Look up an implementation by name (``None`` -> current default).
+
+    With a metrics registry attached the returned kernels also count
+    calls/FLOPs/bytes; otherwise they are the raw implementations.
+    """
     key = _default if name is None else name
     try:
-        return _IMPLS[key]
+        impl = _IMPLS[key]
     except KeyError:
         raise KeyError(
             f"unknown conv3d implementation {key!r}; available: {available_impls()}"
         ) from None
+    if _metrics is None:
+        return impl
+    wrapped = _instrumented.get(key)
+    if wrapped is None:
+        wrapped = _instrumented[key] = _instrument(impl)
+    return wrapped
 
 
 def set_default_impl(name: str) -> None:

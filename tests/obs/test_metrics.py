@@ -1,0 +1,110 @@
+"""Tests for the metrics registry and its legacy-stats adapters."""
+
+import pytest
+
+from repro.io.pipeline import PipelineStats
+from repro.io.staging import StagingStats
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.utils.timer import StageTimer
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        c = m.counter("steps")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        assert m.counter("steps") is c  # same instrument on re-ask
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            MetricsRegistry().counter("x").add(-1)
+
+    def test_gauge_set_and_add(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3.0)
+        g.add(-1.5)
+        assert g.value == 1.5
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3 and s["min"] == 1.0 and s["max"] == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        s = MetricsRegistry().histogram("lat").summary()
+        assert s == {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            m.gauge("x")
+
+
+class TestRegistryReads:
+    def test_value_and_default(self):
+        m = MetricsRegistry()
+        m.counter("a").add(2)
+        m.histogram("h").observe(4.0)
+        assert m.value("a") == 2
+        assert m.value("h") == 4.0  # histograms read as their mean
+        assert m.value("missing", default=-1) == -1
+
+    def test_names_and_snapshot_sorted(self):
+        m = MetricsRegistry()
+        m.gauge("b").set(1)
+        m.counter("a").add(1)
+        assert m.names() == ["a", "b"]
+        assert list(m.snapshot()) == ["a", "b"]
+
+    def test_report_renders_every_instrument(self):
+        m = MetricsRegistry()
+        m.counter("engine.steps").add(7)
+        m.histogram("engine.epoch_time_s").observe(0.5)
+        text = m.report()
+        assert "engine.steps = 7" in text
+        assert "n=1" in text
+
+
+class TestAbsorbers:
+    def test_absorb_mapping_skips_non_numeric(self):
+        m = MetricsRegistry()
+        m.absorb_mapping(
+            {"reductions": 4, "survivors": [0, 1], "ok": True, "note": "x"}, "comm"
+        )
+        assert m.names() == ["comm.reductions"]
+        assert m.value("comm.reductions") == 4
+
+    def test_absorb_staging(self):
+        stats = StagingStats(stage_ins=3, hedged_reads=2, bytes_staged=100)
+        m = MetricsRegistry()
+        m.absorb_staging(stats)
+        assert m.value("io.staging.stage_ins") == 3
+        assert m.value("io.staging.hedged_reads") == 2
+        assert m.value("io.staging.bytes_staged") == 100
+
+    def test_absorb_pipeline(self):
+        stats = PipelineStats(
+            samples_delivered=8, max_queue_depth=4, hedged_reads=1, consumer_wait_s=0.25
+        )
+        m = MetricsRegistry()
+        m.absorb_pipeline(stats)
+        assert m.value("io.pipeline.samples_delivered") == 8
+        assert m.value("io.pipeline.max_queue_depth") == 4
+        assert m.value("io.pipeline.hedged_reads") == 1
+        assert m.value("io.pipeline.consumer_wait_s") == pytest.approx(0.25)
+
+    def test_absorb_timer(self):
+        t = StageTimer()
+        t.add("io", 1.5, count=3)
+        t.add("compute", 2.5)
+        m = MetricsRegistry()
+        m.absorb_timer(t)
+        assert m.value("engine.stage.io.seconds") == pytest.approx(1.5)
+        assert m.value("engine.stage.io.count") == 3
+        assert m.value("engine.stage.compute.seconds") == pytest.approx(2.5)

@@ -1,0 +1,163 @@
+"""Tests for the structured tracer and its Chrome trace exporter."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.summarize import format_summary, load_trace, summarize_trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class TestRecording:
+    def test_span_records_complete_event(self):
+        tr = Tracer()
+        with tr.span("io", cat="engine", track=0, step=3):
+            time.sleep(0.001)
+        (e,) = tr.events
+        assert e.name == "io" and e.cat == "engine" and e.ph == "X"
+        assert e.track == 0 and e.args == {"step": 3}
+        assert e.dur_s >= 0.0009
+
+    def test_span_records_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        assert len(tr.events) == 1 and tr.events[0].name == "boom"
+
+    def test_complete_uses_external_duration(self):
+        tr = Tracer()
+        tr.complete("compute", time.perf_counter(), 1.25, track=2)
+        assert tr.events[0].dur_s == 1.25
+
+    def test_instant(self):
+        tr = Tracer()
+        tr.instant("eviction", cat="comm", track=1, collective=7)
+        (e,) = tr.events
+        assert e.ph == "i" and e.dur_s == 0.0 and e.args == {"collective": 7}
+
+    def test_per_track_sequence_numbers_are_independent(self):
+        tr = Tracer()
+        tr.instant("a", track=0)
+        tr.instant("b", track=1)
+        tr.instant("c", track=0)
+        tr.instant("d", track="staging")
+        seqs = {(e.track, e.name): e.seq for e in tr.events}
+        assert seqs[(0, "a")] == 0 and seqs[(0, "c")] == 1
+        assert seqs[(1, "b")] == 0 and seqs[("staging", "d")] == 0
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.instant("a", track=0)
+        tr.clear()
+        assert tr.events == []
+        tr.instant("b", track=0)
+        assert tr.events[0].seq == 0  # counters reset too
+
+
+class TestOrdering:
+    def test_ordered_sorts_ranks_before_named_tracks(self):
+        tr = Tracer()
+        tr.instant("s", track="staging")
+        tr.instant("r1", track=1)
+        tr.instant("d", track="driver")
+        tr.instant("r0", track=0)
+        assert [e.track for e in tr.ordered()] == [0, 1, "driver", "staging"]
+
+    def test_sequence_excludes_wall_clock(self):
+        tr = Tracer()
+        tr.complete("io", time.perf_counter(), 0.5, track=0, step=4)
+        tr.instant("restart", track="driver")
+        assert tr.sequence() == [(0, "io", 4), ("driver", "restart", None)]
+
+    def test_sequence_independent_of_append_interleaving(self):
+        # Same per-track event streams, different global interleaving:
+        # the deterministic order must agree.
+        a, b = Tracer(), Tracer()
+        a.instant("x", track=0)
+        a.instant("y", track=1)
+        a.instant("z", track=0)
+        b.instant("y", track=1)
+        b.instant("x", track=0)
+        b.instant("z", track=0)
+        assert a.sequence() == b.sequence()
+
+
+class TestChromeExport:
+    def make_tracer(self):
+        tr = Tracer()
+        with tr.span("compute", cat="engine", track=0, step=0):
+            pass
+        with tr.span("allreduce", cat="comm", track=1, nbytes=64):
+            pass
+        tr.instant("hedge", cat="io", track="staging", file="a.rec")
+        return tr
+
+    def test_trace_structure(self):
+        doc = self.make_tracer().to_chrome()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        labels = {e["tid"]: e["args"]["name"] for e in meta}
+        assert labels == {0: "rank 0", 1: "rank 1", 2: "staging"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert all("dur" in e and "ts" in e for e in spans)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["s"] == "t"
+
+    def test_named_track_tids_follow_ranks(self):
+        tr = Tracer()
+        tr.instant("a", track=3)
+        tr.instant("b", track="driver")
+        tr.instant("c", track="staging")
+        meta = {
+            e["args"]["name"]: e["tid"]
+            for e in tr.to_chrome()["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert meta["rank 3"] == 3
+        assert sorted((meta["driver"], meta["staging"])) == [4, 5]
+
+    def test_export_roundtrip_and_summary(self, tmp_path):
+        path = self.make_tracer().export(tmp_path / "out.json")
+        json.loads(path.read_text())  # valid JSON
+        summary = summarize_trace(load_trace(path))
+        assert summary.stages["compute"].count == 1
+        assert summary.comm["allreduce"].count == 1
+        assert summary.instants == {"hedge": 1}
+        text = format_summary(summary)
+        assert "compute" in text and "allreduce" in text and "hedge" in text
+
+    def test_load_trace_accepts_bare_array(self, tmp_path):
+        p = tmp_path / "bare.json"
+        p.write_text(json.dumps([{"name": "x", "ph": "i", "tid": 0, "ts": 0}]))
+        assert summarize_trace(load_trace(p)).instants == {"x": 1}
+
+    def test_load_trace_rejects_non_trace(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text(json.dumps({"traceEvents": "nope"}))
+        with pytest.raises(ValueError):
+            load_trace(p)
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        nt = NullTracer()
+        assert nt.enabled is False and Tracer.enabled is True
+        with nt.span("x", track=0):
+            pass
+        nt.complete("y", 0.0, 1.0)
+        nt.instant("z")
+        assert nt.events == [] and nt.sequence() == []
+
+    def test_span_is_shared_reusable_object(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_engine_defaults_to_null_tracer(self):
+        from repro.core.engine import TrainingEngine
+
+        assert TrainingEngine.__init__.__defaults__ is not None
+        # The module-level singleton is what an engine without an
+        # explicit tracer consults on every step.
+        assert NULL_TRACER.enabled is False

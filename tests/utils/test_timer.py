@@ -27,6 +27,33 @@ class TestFormatDuration:
     def test_negative(self):
         assert format_duration(-2.0).startswith("-")
 
+    @pytest.mark.parametrize(
+        "seconds,expect",
+        [
+            # Unit boundaries are half-open: exactly at the threshold
+            # rolls over to the larger unit.
+            (1e-6, "1.0 us"),
+            (1e-3, "1.00 ms"),
+            (1.0, "1.00 s"),
+            (119.999, "120.00 s"),
+            (120.0, "2.0 min"),
+            (7200.0, "120.0 min"),
+        ],
+    )
+    def test_unit_boundaries(self, seconds, expect):
+        assert format_duration(seconds) == expect
+
+    def test_zero_renders_as_ns(self):
+        assert format_duration(0.0) == "0.0 ns"
+
+    def test_sub_nanosecond(self):
+        assert format_duration(5e-10) == "0.5 ns"
+
+    def test_negative_recurses_through_units(self):
+        # The sign prefix composes with every unit branch.
+        assert format_duration(-5e-10) == "-0.5 ns"
+        assert format_duration(-150.0) == "-2.5 min"
+
 
 class TestTimer:
     def test_measures_elapsed(self):
@@ -103,6 +130,51 @@ class TestStageTimer:
             with st.stage("x"):
                 raise ValueError("boom")
         assert st.stages["x"].count == 1
+
+    def test_nested_distinct_stages_count_inclusively(self):
+        # Documented semantics: time inside an inner stage is counted
+        # in BOTH stages, like a profiler's inclusive time.
+        st = StageTimer()
+        with st.stage("outer"):
+            with st.stage("inner"):
+                time.sleep(0.005)
+        assert st.stages["outer"].count == 1
+        assert st.stages["inner"].count == 1
+        assert st.stages["outer"].total >= st.stages["inner"].total >= 0.004
+
+    def test_reentrant_same_stage(self):
+        # Re-entering the SAME stage name nests fine; each exit records
+        # its own window, so the elapsed inner time is double-counted —
+        # exactly the inclusive-time contract.
+        st = StageTimer()
+        with st.stage("a"):
+            with st.stage("a"):
+                time.sleep(0.003)
+        assert st.stages["a"].count == 2
+        assert st.stages["a"].total >= 2 * 0.002
+
+    def test_zero_duration_stage(self):
+        st = StageTimer()
+        with st.stage("noop"):
+            pass
+        rec = st.stages["noop"]
+        assert rec.count == 1
+        assert rec.total >= 0.0
+        # A zero-total stage must not poison derived views.
+        st.add("noop", -rec.total)  # force an exact 0.0 total
+        assert st.stages["noop"].mean == 0.0 or st.stages["noop"].total == 0.0
+        assert st.report()  # renders without dividing by zero
+
+    def test_all_zero_totals_fractions_are_zero(self):
+        st = StageTimer()
+        st.add("a", 0.0)
+        st.add("b", 0.0)
+        assert st.fractions() == {"a": 0.0, "b": 0.0}
+
+    def test_mean_of_empty_record(self):
+        st = StageTimer()
+        st.add("a", 0.0, count=0)
+        assert st.stages["a"].mean == 0.0
 
 
 class TestLogging:
