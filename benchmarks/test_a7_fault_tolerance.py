@@ -142,3 +142,97 @@ def test_fault_rate_sweep(benchmark, tmp_path):
     # injected faults degrade, they do not crash training).
     for rate, r in results.items():
         assert r["completed"], f"run at rates {rate} did not complete"
+
+
+def run_growback(plan, spares, tmp_path, tag):
+    trainer = ElasticTrainer(
+        tiny_16(),
+        make_data(),
+        config=DistributedConfig(
+            n_ranks=N_RANKS, epochs=EPOCHS, mode="elastic", validate=False
+        ),
+        optimizer_config=OPT,
+        elastic=ElasticConfig(
+            timeout_s=10.0,
+            quorum_fraction=0.5,
+            checkpoint_dir=str(tmp_path / f"ckpt-growback-{tag}"),
+            spares=spares,
+        ),
+        injector=FaultInjector(plan),
+    )
+    hist = trainer.run()
+    stats = trainer.group_stats
+    eb = hist.effective_batch
+    return {
+        "survivors": len(stats["survivors"]),
+        "rejoins": len(stats["rejoins"]),
+        "spares_used": stats["spares_used"],
+        "final_eb": eb[-1],
+        "mean_eb": float(np.mean(eb)),
+        "loss": eval_loss(trainer.final_model),
+    }
+
+
+def test_growback_vs_shrink_only(benchmark, tmp_path):
+    """Rejoin (grow-back) recovers the effective batch that
+    shrink-and-continue permanently gives up after a crash."""
+    from repro.faults.plan import FaultEvent, FaultKind
+
+    crashes = FaultPlan(
+        seed=11,
+        events=(
+            FaultEvent(FaultKind.RANK_CRASH, rank=1, step=3),
+            FaultEvent(FaultKind.RANK_CRASH, rank=3, step=5),
+        ),
+    )
+    variants = {
+        "shrink-only": (crashes, 0),
+        "rejoin": (crashes.with_recovery(4), 0),
+        "warm spares": (crashes, 2),
+    }
+    results = {
+        tag: run_growback(plan, spares, tmp_path, tag.replace(" ", "-"))
+        for tag, (plan, spares) in variants.items()
+    }
+    benchmark.pedantic(
+        lambda: run_growback(crashes.with_recovery(4), 0, tmp_path, "bench"),
+        rounds=1,
+        iterations=1,
+    )
+
+    full_eb = float(N_RANKS)  # batch 1 per rank
+    lines = [
+        "A7b: grow-back vs shrink-only (2 crashes into "
+        f"{N_RANKS} ranks x {EPOCHS} epochs, tiny_16)",
+        f"{'variant':<14}{'alive':>7}{'rejoin':>8}{'spares':>8}"
+        f"{'final eb':>10}{'mean eb':>9}{'loss':>9}",
+    ]
+    for tag, r in results.items():
+        lines.append(
+            f"{tag:<14}{r['survivors']:>7}{r['rejoins']:>8}{r['spares_used']:>8}"
+            f"{r['final_eb']:>10.0f}{r['mean_eb']:>9.2f}{r['loss']:>9.4f}"
+        )
+    lines += [
+        "",
+        "eb = effective global batch (per-epoch mean of active ranks x "
+        "per-rank batch).  Shrink-only ends the run permanently degraded; "
+        "rejoin readmits the crashed ranks after 4 steps and warm spares "
+        "replace them at the next step boundary, both restoring the full "
+        "effective batch (and hence aggregate throughput).",
+    ]
+    save_report("a7_growback", "\n".join(lines))
+
+    shrink, rejoin, spares = (
+        results["shrink-only"], results["rejoin"], results["warm spares"]
+    )
+    # Shrink-only never gets the two crashed ranks back.
+    assert shrink["survivors"] == N_RANKS - 2 and shrink["rejoins"] == 0
+    assert shrink["final_eb"] == full_eb - 2
+    # Grow-back (either flavor) ends with the full active set and the
+    # full effective global batch restored.
+    for r in (rejoin, spares):
+        assert r["survivors"] == N_RANKS
+        assert r["rejoins"] == 2
+        assert r["final_eb"] == full_eb
+        assert r["mean_eb"] > shrink["mean_eb"]
+    assert spares["spares_used"] == 2 and rejoin["spares_used"] == 0

@@ -89,12 +89,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crash-rate", type=float, default=0.01,
                    help="per-rank per-step crash probability")
     p.add_argument("--hang-rate", type=float, default=0.0)
+    p.add_argument("--hang-delay", type=float, default=0.05, metavar="SECONDS",
+                   help="how long each injected hang stalls its rank; above "
+                   "--timeout the rank is evicted (and a spare, if any, "
+                   "replaces it)")
     p.add_argument("--corrupt-rate", type=float, default=0.0,
                    help="per-rank per-collective message corruption probability")
     p.add_argument("--timeout", type=float, default=10.0)
     p.add_argument("--quorum-fraction", type=float, default=0.5)
     p.add_argument("--checkpoint-dir", default=None,
                    help="enables checkpoint/restart on quorum loss")
+    p.add_argument("--recover-after", type=int, default=None, metavar="STEPS",
+                   help="schedule every crashed rank to rejoin (grow back) "
+                   "this many steps after its crash")
+    p.add_argument("--spares", type=int, default=0,
+                   help="warm-spare pool size: evicted ranks are auto-"
+                   "replaced at the next step boundary while spares last")
 
     p = sub.add_parser(
         "stage",
@@ -332,8 +342,11 @@ def cmd_faultsim(args) -> int:
         steps,
         crash_rate=args.crash_rate,
         hang_rate=args.hang_rate,
+        hang_delay_s=args.hang_delay,
         corrupt_rate=args.corrupt_rate,
     )
+    if args.recover_after is not None:
+        plan = plan.with_recovery(args.recover_after)
     print(plan.describe())
     trainer = ElasticTrainer(
         tiny_16(),
@@ -346,6 +359,7 @@ def cmd_faultsim(args) -> int:
             timeout_s=args.timeout,
             quorum_fraction=args.quorum_fraction,
             checkpoint_dir=args.checkpoint_dir,
+            spares=args.spares,
         ),
         injector=FaultInjector(plan),
     )
@@ -369,6 +383,8 @@ def cmd_faultsim(args) -> int:
           f"evicted: {stats['evicted_ranks']}")
     print(f"restarts: {stats['restarts']}  retransmits: {stats['retransmits']}  "
           f"faults fired: {stats['faults_injected'] or 'none'}")
+    print(f"rejoins: {stats['rejoins'] or 'none'}  resyncs: {stats['resyncs']} "
+          f"({stats['resync_bytes']} bytes)  spares used: {stats['spares_used']}")
     return 0
 
 

@@ -27,7 +27,18 @@ of :class:`~repro.comm.threaded.ThreadedGroup`:
 * a configurable **quorum** bounds degradation — when survivors fall
   below ``quorum``, every live rank raises
   :class:`QuorumLostError` and the elastic trainer restarts from the
-  last checkpoint instead of limping on.
+  last checkpoint instead of limping on;
+* membership grows back — a recovered rank (or a warm spare assuming a
+  dead rank's identity) is **admitted** at a generation boundary by a
+  surviving rank, which donates a CRC-verified state resync payload
+  (any survivor is a valid donor: synchronous SGD keeps every replica
+  bitwise identical).  Admission adds the joiner to ``active`` before
+  the admitting rank contributes to the current collective, so the
+  group waits for the joiner's first contribution — it participates in
+  the very step it was admitted at, restoring the effective global
+  batch.  Per-rank *incarnation numbers* fence the protocol: a stale
+  thread of an evicted rank can never contribute to (or fail) its
+  readmitted successor.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from repro.comm.errors import (
     RankEvictedError,
     RankFailedError,
 )
+from repro.faults.plan import FaultKind
 from repro.obs.tracer import NULL_TRACER
 from repro.utils.logging import get_logger
 
@@ -65,10 +77,40 @@ class _Contribution:
         self.source = source
 
 
+def _resync_crc(payload: Dict[str, np.ndarray]) -> int:
+    """CRC32 over a resync payload's tensor content (keys sorted)."""
+    crc = 0
+    for key in sorted(payload):
+        arr = np.ascontiguousarray(np.asarray(payload[key]))
+        crc = zlib.crc32(arr.tobytes(), crc)
+    return crc
+
+
+class _JoinTicket:
+    """An admitted joiner's pending state resync."""
+
+    __slots__ = ("payload", "crc", "incarnation", "spare")
+
+    def __init__(self, payload: Dict[str, np.ndarray], crc: int, incarnation: int, spare: bool):
+        self.payload = payload
+        self.crc = crc
+        self.incarnation = incarnation
+        self.spare = spare
+
+
 class _ElasticState:
     """Membership, pending collective, and result shared by all ranks."""
 
-    def __init__(self, size: int, timeout_s: float, quorum: int, injector=None, tracer=None):
+    def __init__(
+        self,
+        size: int,
+        timeout_s: float,
+        quorum: int,
+        injector=None,
+        tracer=None,
+        spares: int = 0,
+        auto_respawn: bool = True,
+    ):
         self.size = size
         self.timeout_s = timeout_s
         self.quorum = quorum
@@ -90,6 +132,23 @@ class _ElasticState:
         self.reductions = 0
         self.bytes_reduced = 0
         self.retransmits = 0
+        # -- grow-back state ------------------------------------------------
+        self.spares_total = spares
+        self.spares_left = spares
+        self.auto_respawn = auto_respawn
+        #: rank -> current incarnation; a communicator built for an
+        #: older incarnation is fenced out of every protocol step.
+        self.incarnation: Dict[int, int] = {r: 0 for r in range(size)}
+        self.joining: Dict[int, _JoinTicket] = {}
+        #: dead ranks with a spare reserved, awaiting admission at the
+        #: next step boundary.
+        self.respawn_queue: List[int] = []
+        self.rejoins: List[Tuple[int, int]] = []  # (generation, rank)
+        self.resyncs = 0
+        self.resync_bytes = 0
+        #: installed by the group before run(); called with ``cond``
+        #: held, must only spawn the joiner thread (never block).
+        self.spawn_joiner: Optional[Callable[[int, int], None]] = None
 
     # All methods below require ``self.cond`` to be held by the caller.
 
@@ -175,13 +234,27 @@ class _ElasticState:
         if self.pending_op is not None and self.active and set(self.slots) >= self.active:
             self.finish_locked()
 
-    def mark_failed(self, rank: int, exc: BaseException) -> None:
-        """A rank died: shrink the group and unblock any waiters."""
+    def mark_failed(
+        self, rank: int, exc: BaseException, incarnation: Optional[int] = None
+    ) -> None:
+        """A rank died: shrink the group and unblock any waiters.
+
+        ``incarnation`` (when given) fences stale threads: a leftover
+        thread of an evicted rank that dies *after* the rank was
+        readmitted must not take down its successor.
+        """
         with self.cond:
+            if incarnation is not None and self.incarnation.get(rank, 0) != incarnation:
+                _log.warning(
+                    "stale thread of rank %d (incarnation %d) died (%r); ignored",
+                    rank, incarnation, exc,
+                )
+                return
             if rank not in self.active and rank in self.failures:
                 return
             self.active.discard(rank)
             self.slots.pop(rank, None)
+            self.joining.pop(rank, None)
             self.failures[rank] = exc
             if self.tracer.enabled:
                 self.tracer.instant(
@@ -189,6 +262,7 @@ class _ElasticState:
                 )
             _log.warning("rank %d failed (%r); %d survivors", rank, exc, len(self.active))
             self._check_quorum_locked()
+            self._reserve_spare_locked(rank)
             if not self.quorum_lost:
                 self.maybe_finish_locked()
             self.cond.notify_all()
@@ -196,6 +270,7 @@ class _ElasticState:
     def evict_locked(self, rank: int, waited_s: float) -> None:
         self.active.discard(rank)
         self.slots.pop(rank, None)
+        self.joining.pop(rank, None)
         self.evictions.append((self.generation, rank))
         if self.tracer.enabled:
             self.tracer.instant(
@@ -206,6 +281,78 @@ class _ElasticState:
             "%d survivors", rank, waited_s, self.generation, len(self.active),
         )
         self._check_quorum_locked()
+        self._reserve_spare_locked(rank)
+
+    # -- grow-back (all require ``cond`` held unless noted) -----------------
+
+    def _reserve_spare_locked(self, rank: int) -> None:
+        """Reserve a warm spare to replace a dead rank, if policy allows.
+
+        Reservation happens at eviction/failure time (not admission
+        time) so the spare budget is spent in a deterministic order;
+        the actual join lands at the next step boundary when a survivor
+        services the respawn queue.
+        """
+        if (
+            not self.auto_respawn
+            or self.spares_left <= 0
+            or self.quorum_lost
+            or self.spawn_joiner is None
+            or rank in self.respawn_queue
+        ):
+            return
+        self.spares_left -= 1
+        self.respawn_queue.append(rank)
+        _log.info(
+            "spare reserved for dead rank %d (%d spare(s) left)",
+            rank, self.spares_left,
+        )
+
+    def admit_locked(self, rank: int, payload: Dict[str, np.ndarray], spare: bool) -> bool:
+        """Admit ``rank`` with a state resync, spawning its thread.
+
+        Called by the admitting survivor *before* it contributes to the
+        current step's collective, so the pending (or next) collective
+        cannot finish without the joiner — its first contribution lands
+        in the very step it was admitted at.
+        """
+        if (
+            self.quorum_lost
+            or self.spawn_joiner is None
+            or rank in self.active
+            or rank in self.joining
+            or not 0 <= rank < self.size
+        ):
+            return False
+        payload = {k: np.array(v, copy=True) for k, v in payload.items()}
+        crc = _resync_crc(payload)
+        nbytes = sum(int(np.asarray(v).nbytes) for v in payload.values())
+        incarnation = self.incarnation.get(rank, 0) + 1
+        self.incarnation[rank] = incarnation
+        self.joining[rank] = _JoinTicket(payload, crc, incarnation, spare)
+        self.active.add(rank)
+        self.rejoins.append((self.generation, rank))
+        self.resyncs += 1
+        self.resync_bytes += nbytes
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "rejoin-admitted",
+                cat="comm",
+                track=rank,
+                collective=self.generation,
+                spare=spare,
+                incarnation=incarnation,
+            )
+            self.tracer.instant("resync", cat="comm", track=rank, nbytes=nbytes)
+        _log.info(
+            "rank %d admitted (%s, incarnation %d) at collective %d; "
+            "resync %d bytes; %d active",
+            rank, "spare" if spare else "recovered", incarnation,
+            self.generation, nbytes, len(self.active),
+        )
+        self.spawn_joiner(rank, incarnation)
+        self.cond.notify_all()
+        return True
 
 
 class ElasticComm(Communicator):
@@ -216,9 +363,16 @@ class ElasticComm(Communicator):
     ``active_ranks`` reports current membership.
     """
 
-    def __init__(self, rank: int, state: _ElasticState):
+    def __init__(self, rank: int, state: _ElasticState, incarnation: int = 0):
         self._rank = rank
         self._st = state
+        self._incarnation = incarnation
+        # Membership of the last collective this rank completed.  Unlike
+        # a live read of ``n_active``, this is fixed at collective
+        # completion, so every participant observes the same value for
+        # the same step — a concurrent admission or failure between two
+        # collectives cannot leak into per-epoch accounting.
+        self.last_members: Optional[frozenset] = None
 
     @property
     def rank(self) -> int:
@@ -229,6 +383,10 @@ class ElasticComm(Communicator):
         return self._st.size
 
     @property
+    def incarnation(self) -> int:
+        return self._incarnation
+
+    @property
     def active_ranks(self) -> List[int]:
         with self._st.cond:
             return sorted(self._st.active)
@@ -237,6 +395,109 @@ class ElasticComm(Communicator):
     def n_active(self) -> int:
         with self._st.cond:
             return len(self._st.active)
+
+    # -- grow-back protocol -------------------------------------------------
+
+    @property
+    def has_pending_respawns(self) -> bool:
+        """Whether dead ranks with reserved spares await admission.
+
+        Read without the lock — a respawn queued during step ``s``'s
+        collective is visible to every rank by the top of step ``s+1``
+        (the queueing happens before the collective finishes), which is
+        when this is consulted.
+        """
+        return bool(self._st.respawn_queue)
+
+    def joins_due(self, events: Sequence = ()) -> List[Tuple[int, bool]]:
+        """Resolve which ranks to admit now; returns ``(rank, is_spare)``.
+
+        ``events`` are the ``RANK_RECOVER``/``SPARE_JOIN`` fault events
+        the caller consumed from the injector for this step; queued
+        auto-respawns (spares reserved at eviction time) are drained
+        too.  ``SPARE_JOIN`` draws from the spare pool; ``RANK_RECOVER``
+        does not (the original node came back) and cancels any respawn
+        already queued for the same rank, returning its spare.
+        """
+        st = self._st
+        if not events and not st.respawn_queue:
+            return []
+        out: List[Tuple[int, bool]] = []
+        with st.cond:
+            if st.quorum_lost:
+                return []
+            taken: set = set()
+
+            def usable(r: Optional[int]) -> bool:
+                return (
+                    r is not None
+                    and 0 <= r < st.size
+                    and r not in st.active
+                    and r not in st.joining
+                    and r not in taken
+                )
+
+            for ev in events:
+                if ev.kind is FaultKind.RANK_RECOVER:
+                    r = ev.rank
+                    if usable(r):
+                        out.append((r, False))
+                        taken.add(r)
+                        if r in st.respawn_queue:
+                            st.respawn_queue.remove(r)
+                            st.spares_left += 1
+                elif ev.kind is FaultKind.SPARE_JOIN:
+                    if st.spares_left <= 0:
+                        continue
+                    r = ev.rank
+                    if r is None:
+                        dead = sorted(x for x in range(st.size) if usable(x))
+                        r = dead[0] if dead else None
+                    if usable(r):
+                        st.spares_left -= 1
+                        out.append((r, True))
+                        taken.add(r)
+            while st.respawn_queue:
+                r = st.respawn_queue.pop(0)
+                if usable(r):
+                    out.append((r, True))
+                    taken.add(r)
+                else:
+                    st.spares_left += 1
+        return out
+
+    def admit(self, rank: int, payload: Dict[str, np.ndarray], spare: bool = False) -> bool:
+        """Admit ``rank`` with a full state resync (see module docstring)."""
+        with self._st.cond:
+            return self._st.admit_locked(rank, payload, spare)
+
+    def await_admission(self) -> Dict[str, np.ndarray]:
+        """Claim this joiner's CRC-verified resync payload.
+
+        Called once by the joiner thread before its first collective.
+        Raises :class:`QuorumLostError` if the group collapsed while
+        the resync was in flight, and :class:`MessageCorruptError` if
+        the payload fails its CRC (the joiner then fails and the group
+        simply stays shrunk).
+        """
+        st = self._st
+        with st.cond:
+            if st.quorum_lost:
+                raise QuorumLostError(
+                    f"group below quorum {st.quorum}", survivors=sorted(st.active)
+                )
+            ticket = st.joining.get(self._rank)
+            if ticket is not None and ticket.incarnation == self._incarnation:
+                # Claim only our own ticket: a stale claimant must not
+                # consume (and thereby lose) its successor's resync.
+                del st.joining[self._rank]
+        if ticket is None or ticket.incarnation != self._incarnation:
+            raise RankEvictedError(self._rank)
+        if _resync_crc(ticket.payload) != ticket.crc:
+            raise MessageCorruptError(
+                f"resync payload for rank {self._rank} failed CRC verification"
+            )
+        return ticket.payload
 
     # -- the one collective engine ----------------------------------------
 
@@ -255,6 +516,10 @@ class ElasticComm(Communicator):
                 raise QuorumLostError(
                     f"group below quorum {st.quorum}", survivors=sorted(st.active)
                 )
+            if st.incarnation.get(self._rank, 0) != self._incarnation:
+                # A stale thread of a readmitted rank: fence it out
+                # before it can contribute to its successor's slot.
+                raise RankEvictedError(self._rank)
             if self._rank not in st.active:
                 raise RankEvictedError(self._rank)
             if st.pending_op is None:
@@ -300,6 +565,7 @@ class ElasticComm(Communicator):
                 )
             if error is not None:
                 raise error
+            self.last_members = members
             return payload, members
 
     def _contribution(self, array: Optional[np.ndarray]) -> _Contribution:
@@ -357,6 +623,8 @@ class ElasticThreadedGroup:
         injector=None,
         join_timeout_s: Optional[float] = None,
         tracer=None,
+        spares: int = 0,
+        auto_respawn: bool = True,
     ):
         if size < 1:
             raise ValueError(f"group size must be >= 1, got {size}")
@@ -366,11 +634,23 @@ class ElasticThreadedGroup:
             raise ValueError(f"quorum must be in [1, {size}], got {quorum}")
         if join_timeout_s is not None and join_timeout_s <= 0:
             raise ValueError("join_timeout_s must be positive (or None to disable)")
+        if spares < 0:
+            raise ValueError("spares must be >= 0")
         self.size = size
         self.timeout_s = timeout_s
         self.quorum = quorum
         self.join_timeout_s = join_timeout_s
-        self._st = _ElasticState(size, timeout_s, quorum, injector=injector, tracer=tracer)
+        self.spares = spares
+        self._st = _ElasticState(
+            size,
+            timeout_s,
+            quorum,
+            injector=injector,
+            tracer=tracer,
+            spares=spares,
+            auto_respawn=auto_respawn,
+        )
+        self._live: List[Tuple[int, int, threading.Thread]] = []
 
     # -- introspection -------------------------------------------------------
 
@@ -401,6 +681,24 @@ class ElasticThreadedGroup:
     def retransmits(self) -> int:
         return self._st.retransmits
 
+    @property
+    def rejoins(self) -> List[Tuple[int, int]]:
+        with self._st.cond:
+            return list(self._st.rejoins)
+
+    @property
+    def resyncs(self) -> int:
+        return self._st.resyncs
+
+    @property
+    def resync_bytes(self) -> int:
+        return self._st.resync_bytes
+
+    @property
+    def spares_used(self) -> int:
+        with self._st.cond:
+            return self._st.spares_total - self._st.spares_left
+
     def stats(self) -> Dict[str, Any]:
         with self._st.cond:
             return {
@@ -410,6 +708,10 @@ class ElasticThreadedGroup:
                 "failed_ranks": sorted(self._st.failures),
                 "evicted_ranks": sorted(r for _, r in self._st.evictions),
                 "survivors": sorted(self._st.active),
+                "rejoins": sorted(r for _, r in self._st.rejoins),
+                "resyncs": self._st.resyncs,
+                "resync_bytes": self._st.resync_bytes,
+                "spares_used": self._st.spares_total - self._st.spares_left,
             }
 
     # -- execution -----------------------------------------------------------
@@ -418,6 +720,7 @@ class ElasticThreadedGroup:
         self,
         fn: Callable[..., Any],
         args_per_rank: Optional[Sequence[tuple]] = None,
+        joiner_fn: Optional[Callable[[ElasticComm], Any]] = None,
     ) -> List[Any]:
         """Execute ``fn(comm, *args)`` per rank; return per-rank results.
 
@@ -425,6 +728,12 @@ class ElasticThreadedGroup:
         are in :attr:`failures`).  Raises :class:`QuorumLostError` when
         survivors fall below the quorum, or the first failure when *no*
         rank survives.
+
+        ``joiner_fn(comm)`` is the body run by readmitted ranks (its
+        first act should be ``comm.await_admission()`` to claim the
+        state resync); without one, admission requests are refused and
+        the group is shrink-only.  A readmitted rank's result replaces
+        its predecessor's ``None`` entry.
         """
         if args_per_rank is not None and len(args_per_rank) != self.size:
             raise ValueError(
@@ -434,11 +743,10 @@ class ElasticThreadedGroup:
         results: List[Any] = [None] * self.size
         quorum_errors: List[QuorumLostError] = []
 
-        def worker(rank: int) -> None:
-            comm = ElasticComm(rank, st)
-            args = args_per_rank[rank] if args_per_rank is not None else ()
+        def worker(rank: int, incarnation: int, body: Callable[[ElasticComm], Any]) -> None:
+            comm = ElasticComm(rank, st, incarnation=incarnation)
             try:
-                results[rank] = fn(comm, *args)
+                results[rank] = body(comm)
             except RankEvictedError:
                 # The group already moved on without this rank; its
                 # eviction is recorded in ``evictions``.
@@ -446,15 +754,46 @@ class ElasticThreadedGroup:
             except QuorumLostError as exc:
                 quorum_errors.append(exc)
             except BaseException as exc:  # noqa: BLE001 - handled elastically
-                st.mark_failed(rank, exc)
+                st.mark_failed(rank, exc, incarnation=incarnation)
 
-        threads = [
-            threading.Thread(target=worker, args=(r,), name=f"elastic-rank-{r}", daemon=True)
-            for r in range(self.size)
-        ]
-        for t in threads:
+        def spawn_joiner(rank: int, incarnation: int) -> None:
+            # Called by admit_locked with ``st.cond`` held; appending
+            # under the lock keeps ``_join``'s snapshots consistent.
+            t = threading.Thread(
+                target=worker,
+                args=(rank, incarnation, joiner_fn),
+                name=f"elastic-rank-{rank}.{incarnation}",
+                daemon=True,
+            )
+            self._live.append((rank, incarnation, t))
             t.start()
-        self._join(threads)
+
+        st.spawn_joiner = spawn_joiner if joiner_fn is not None else None
+        self._live = []
+        for r in range(self.size):
+            args = args_per_rank[r] if args_per_rank is not None else ()
+
+            def body(comm, _fn=fn, _args=args):
+                return _fn(comm, *_args)
+
+            self._live.append(
+                (
+                    r,
+                    0,
+                    threading.Thread(
+                        target=worker, args=(r, 0, body), name=f"elastic-rank-{r}", daemon=True
+                    ),
+                )
+            )
+        for _, _, t in list(self._live):
+            t.start()
+        try:
+            self._join()
+        finally:
+            # No admissions after the run: a straggler must not spawn
+            # a thread nobody will ever join.
+            with st.cond:
+                st.spawn_joiner = None
         with st.cond:
             survivors = sorted(st.active)
             failures = dict(st.failures)
@@ -470,18 +809,24 @@ class ElasticThreadedGroup:
             raise next(iter(failures.values()))
         return results
 
-    def _join(self, threads: Sequence[threading.Thread]) -> None:
+    def _join(self) -> None:
         """Join rank threads without capping healthy training time.
 
-        A thread whose rank is still *active* is joined indefinitely —
-        arriving at a collective is the heartbeat, so a live rank either
-        makes progress or is evicted by its peers within ``timeout_s``.
-        A thread whose rank has left the group (failed or evicted) or
-        whose group lost quorum gets ``timeout_s`` to unwind; after
-        that it is abandoned as a daemon thread — its rank is already
-        out of the membership, so no result depends on it.
-        ``join_timeout_s``, when set, caps the whole join and raises
-        :class:`RankFailedError` on expiry.
+        A thread whose rank is still *active* (at the thread's own
+        incarnation) is joined indefinitely — arriving at a collective
+        is the heartbeat, so a live rank either makes progress or is
+        evicted by its peers within ``timeout_s``.  A thread whose rank
+        has left the group (failed, evicted, or superseded by a newer
+        incarnation) or whose group lost quorum gets ``timeout_s`` to
+        unwind; after that it is abandoned as a daemon thread — its
+        rank is already out of the membership, so no result depends on
+        it.  ``join_timeout_s``, when set, caps the whole join and
+        raises :class:`RankFailedError` on expiry.
+
+        The thread list is re-snapshotted every iteration: joiner
+        threads spawned by admissions appear dynamically.  A joiner is
+        only ever spawned by a live rank thread, and the spawn happens
+        before the spawner exits, so an empty pending set is final.
         """
         st = self._st
         poll_s = 0.05
@@ -490,32 +835,42 @@ class ElasticThreadedGroup:
             if self.join_timeout_s is not None
             else None
         )
-        grace: Dict[int, float] = {}  # rank -> abandon deadline
-        pending = list(enumerate(threads))
-        abandoned: List[int] = []
-        while pending:
-            rank, t = pending[0]
+        grace: Dict[Tuple[int, int], float] = {}  # (rank, incarnation) -> abandon deadline
+        done: set = set()
+        abandoned: List[Tuple[int, int]] = []
+        while True:
+            with st.cond:
+                snapshot = list(self._live)
+            pending = [(r, i, t) for (r, i, t) in snapshot if (r, i) not in done]
+            if not pending:
+                break
+            rank, inc, t = pending[0]
             if hard is not None and time.monotonic() >= hard:
-                alive = [r for r, th in pending if th.is_alive()]
+                alive = sorted({r for r, _, th in pending if th.is_alive()})
                 raise RankFailedError(
                     f"rank(s) {alive} still running after "
                     f"{self.join_timeout_s}s join timeout",
                     failed_ranks=alive,
                 )
             with st.cond:
-                inactive = rank not in st.active or st.quorum_lost
-            if inactive and rank not in grace:
-                grace[rank] = time.monotonic() + self.timeout_s
-            if rank in grace and time.monotonic() >= grace[rank]:
+                inactive = (
+                    rank not in st.active
+                    or st.quorum_lost
+                    or st.incarnation.get(rank, 0) != inc
+                )
+            key = (rank, inc)
+            if inactive and key not in grace:
+                grace[key] = time.monotonic() + self.timeout_s
+            if key in grace and time.monotonic() >= grace[key]:
                 if t.is_alive():
-                    abandoned.append(rank)
-                pending.pop(0)
+                    abandoned.append(key)
+                done.add(key)
                 continue
             t.join(poll_s)
             if not t.is_alive():
-                pending.pop(0)
+                done.add(key)
         if abandoned:
             _log.warning(
-                "abandoned still-running thread(s) of non-member rank(s) %s "
-                "after %.1fs grace", abandoned, self.timeout_s,
+                "abandoned still-running thread(s) of non-member "
+                "(rank, incarnation) %s after %.1fs grace", abandoned, self.timeout_s,
             )

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.engine import History
 from repro.core.model import CosmoFlowModel
 from repro.core.optimizer import CosmoFlowOptimizer
+from repro.utils.logging import get_logger
 
 __all__ = [
     "CheckpointError",
@@ -40,7 +41,11 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "latest_checkpoint",
+    "load_latest_checkpoint",
+    "prune_checkpoints",
 ]
+
+_log = get_logger("core.checkpoint")
 
 _FORMAT_VERSION = 1
 
@@ -196,9 +201,13 @@ def load_checkpoint(
                     m[...] = data["adam_m"][offset : offset + m.size].reshape(m.shape)
                     v[...] = data["adam_v"][offset : offset + v.size].reshape(v.shape)
                     offset += m.size
-            if history is not None and "hist_train_loss" in data.files:
+            if history is not None:
+                # Per-key presence guard: a checkpoint written before a
+                # curve existed (e.g. ``effective_batch``) restores the
+                # curves it has and leaves the rest untouched.
                 for key, values in history.as_dict().items():
-                    values[:] = [float(v) for v in data[f"hist_{key}"]]
+                    if f"hist_{key}" in data.files:
+                        values[:] = [float(v) for v in data[f"hist_{key}"]]
         except (CheckpointError, FileNotFoundError):
             raise
         except Exception as exc:
@@ -224,3 +233,73 @@ def latest_checkpoint(directory, pattern: str = "*.npz") -> Optional[Path]:
         p for p in directory.glob(pattern) if not p.name.endswith(".tmp")
     )
     return candidates[-1] if candidates else None
+
+
+def load_latest_checkpoint(
+    directory,
+    model: CosmoFlowModel,
+    optimizer: Optional[CosmoFlowOptimizer] = None,
+    history: Optional[History] = None,
+    quarantine: bool = True,
+) -> Optional[Path]:
+    """Self-healing load: the newest checkpoint that passes verification.
+
+    Walks the directory newest-first; a checkpoint that fails its CRC
+    (or is otherwise corrupt) is skipped — and, with ``quarantine``,
+    renamed aside with a ``.corrupt`` suffix so later scans don't
+    re-verify it — and the next older one is tried.  Returns the path
+    actually loaded, or ``None`` when no loadable checkpoint exists.
+
+    Concurrent callers are safe: a file quarantined or pruned by a
+    peer mid-walk reads as ``FileNotFoundError`` and is skipped.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates: List[Path] = sorted(
+        (p for p in directory.glob("*.npz") if not p.name.endswith(".tmp")),
+        reverse=True,
+    )
+    for path in candidates:
+        try:
+            load_checkpoint(path, model, optimizer=optimizer, history=history)
+            return path
+        except FileNotFoundError:
+            continue
+        except CheckpointCorruptError as exc:
+            _log.warning(
+                "checkpoint %s failed verification (%s); falling back to the "
+                "previous one", path.name, exc,
+            )
+            if quarantine:
+                try:
+                    path.rename(path.with_name(path.name + ".corrupt"))
+                except OSError:
+                    pass  # a concurrent rank already moved it
+            continue
+    return None
+
+
+def prune_checkpoints(directory, keep_last: int) -> List[Path]:
+    """Delete all but the newest ``keep_last`` checkpoints.
+
+    Returns the removed paths.  The newest ``keep_last`` are never
+    touched, so a concurrent newest-first fallback walk always has a
+    target.
+    """
+    if keep_last < 1:
+        raise ValueError("keep_last must be >= 1")
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    candidates: List[Path] = sorted(
+        p for p in directory.glob("*.npz") if not p.name.endswith(".tmp")
+    )
+    removed: List[Path] = []
+    for p in candidates[:-keep_last]:
+        try:
+            p.unlink()
+        except OSError:
+            continue
+        removed.append(p)
+    return removed

@@ -56,6 +56,13 @@ class ElasticConfig:
     launch of the training group — leave it ``None`` (the default)
     unless a scheduler needs a hard bound, since hung ranks are already
     evicted by the collective heartbeat.
+
+    ``spares`` sizes the warm-spare pool for grow-back: with
+    ``auto_respawn`` (the default), every evicted/failed rank is
+    replaced by a spare at the next step boundary while the pool
+    lasts; scheduled ``RANK_RECOVER``/``SPARE_JOIN`` fault events join
+    through the same admission path.  ``keep_last`` bounds checkpoint
+    retention (all but the newest N are pruned after each save).
     """
 
     timeout_s: float = 30.0
@@ -65,6 +72,9 @@ class ElasticConfig:
     checkpoint_every_epochs: int = 1
     max_restarts: int = 2
     join_timeout_s: Optional[float] = None
+    spares: int = 0
+    auto_respawn: bool = True
+    keep_last: Optional[int] = None
 
     def __post_init__(self):
         if self.timeout_s <= 0:
@@ -79,6 +89,10 @@ class ElasticConfig:
             raise ValueError("checkpoint_every_epochs must be >= 1")
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
+        if self.spares < 0:
+            raise ValueError("spares must be >= 0")
+        if self.keep_last is not None and self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None to keep everything)")
 
     def resolve_quorum(self, n_ranks: int) -> int:
         q = self.quorum if self.quorum is not None else math.ceil(

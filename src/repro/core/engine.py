@@ -81,12 +81,20 @@ _log = get_logger("core.engine")
 
 @dataclass
 class History:
-    """Per-epoch training curves."""
+    """Per-epoch training curves.
+
+    ``effective_batch`` tracks the *global* effective batch size
+    (``batch_size × active ranks``) the epoch ended with — flat at
+    ``batch_size × n_ranks`` in healthy runs, dipping when the elastic
+    group shrinks and recovering when evicted ranks (or warm spares)
+    are readmitted.
+    """
 
     train_loss: List[float] = field(default_factory=list)
     val_loss: List[float] = field(default_factory=list)
     epoch_time: List[float] = field(default_factory=list)
     lr: List[float] = field(default_factory=list)
+    effective_batch: List[float] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, List[float]]:
         return {
@@ -94,6 +102,7 @@ class History:
             "val_loss": self.val_loss,
             "epoch_time": self.epoch_time,
             "lr": self.lr,
+            "effective_batch": self.effective_batch,
         }
 
 
@@ -153,6 +162,10 @@ class Callback:
     def on_rank_end(self, rc: "RankContext") -> None:  # noqa: B027
         """A rank finished all epochs (still inside its group)."""
 
+    def on_rejoin(self, rc: "RankContext") -> None:  # noqa: B027
+        """A readmitted rank's context is resynced and about to enter
+        the loop mid-run (elastic grow-back)."""
+
     def on_restart(self, engine: "TrainingEngine", restarts: int, exc: BaseException) -> None:  # noqa: B027
         """The elastic driver is relaunching after a lost quorum."""
 
@@ -189,6 +202,10 @@ class CallbackList(Callback):
     def on_rank_end(self, rc):
         for cb in self.callbacks:
             cb.on_rank_end(rc)
+
+    def on_rejoin(self, rc):
+        for cb in self.callbacks:
+            cb.on_rejoin(rc)
 
     def on_restart(self, engine, restarts, exc):
         for cb in self.callbacks:
@@ -232,21 +249,31 @@ class CheckpointCallback(Callback):
     Only the keeper rank (lowest surviving rank) writes.  File names
     embed the zero-padded global step so
     :func:`repro.core.checkpoint.latest_checkpoint` resumes from the
-    newest one.
+    newest one.  ``keep_last``, when set, prunes all but the newest N
+    checkpoints after each save — bounded disk with the newest-good
+    fallback (:func:`repro.core.checkpoint.load_latest_checkpoint`)
+    always keeping a rollback target.
     """
 
-    def __init__(self, directory, every_epochs: int = 1):
+    def __init__(self, directory, every_epochs: int = 1, keep_last: Optional[int] = None):
         if every_epochs < 1:
             raise ValueError("every_epochs must be >= 1")
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None to keep everything)")
         self.directory = Path(directory)
         self.every_epochs = every_epochs
+        self.keep_last = keep_last
 
     def on_epoch_end(self, rc):
         if not rc.is_keeper:
             return
         if (rc.epoch + 1 - rc.start_epoch) % self.every_epochs != 0:
             return
-        from repro.core.checkpoint import checkpoint_path, save_checkpoint
+        from repro.core.checkpoint import (
+            checkpoint_path,
+            prune_checkpoints,
+            save_checkpoint,
+        )
 
         if rc.steps_per_epoch is not None:
             step = (rc.epoch + 1) * rc.steps_per_epoch
@@ -258,6 +285,8 @@ class CheckpointCallback(Callback):
             rc.optimizer,
             history=rc.history,
         )
+        if self.keep_last is not None:
+            prune_checkpoints(self.directory, self.keep_last)
 
 
 class GroupStatsCollector(Callback):
@@ -327,8 +356,14 @@ class RankContext:
         self.step = -1
         self.last_loss = float("nan")
         self.last_val_loss = float("nan")
+        self.last_grads: Optional[List[np.ndarray]] = None
         self.divergence: Optional[float] = None
         self.samples_seen = 0
+        #: Steps to skip at the start of the first epoch — a readmitted
+        #: rank resumes mid-epoch at the step it was admitted at.
+        self.resume_step = 0
+        #: Whether this context was built from a mid-run state resync.
+        self.rejoined = False
         self._tracked_total = 0.0
         self._it = None
 
@@ -347,6 +382,24 @@ class RankContext:
         if active is not None:
             return self.rank == min(active)
         return self.rank == 0
+
+    def effective_batch(self) -> int:
+        """The current *global* effective batch size: per-rank batch
+        size times the number of participating ranks (live membership
+        for elastic groups, the static count otherwise).
+
+        For elastic groups this reads the membership latched by the
+        last *completed* collective rather than the live active set:
+        between two steps another rank may already have admitted a
+        joiner for the next boundary, and a live read would leak that
+        future membership into this epoch's accounting."""
+        members = getattr(self.comm, "last_members", None)
+        if members is not None:
+            return self.batch_size * len(members)
+        n = getattr(self.comm, "n_active", None)
+        if n is None:
+            n = self.n_ranks
+        return self.batch_size * n
 
     # -- the four verbs ---------------------------------------------------
 
@@ -476,12 +529,22 @@ class _SteppedContext(RankContext):
 
 
 class _ElasticContext(RankContext):
-    """Rank context over an elastic group with cooperative fault hooks
-    and a recycling batch stream (see :mod:`repro.core.elastic`)."""
+    """Rank context over an elastic group with cooperative fault hooks,
+    a recycling batch stream, and grow-back admission servicing (see
+    :mod:`repro.core.elastic`)."""
 
     def __init__(self, engine, *, injector, **kwargs):
         super().__init__(engine, **kwargs)
         self.injector = injector
+        #: Batch draws to discard on the next ``start_stream`` — a
+        #: readmitted rank's first (partial) epoch starts mid-stream.
+        self._skip_next_stream = 0
+
+    def start_stream(self):
+        super().start_stream()
+        skip, self._skip_next_stream = self._skip_next_stream, 0
+        for _ in range(skip):
+            self._next_batch()
 
     def _next_batch(self):
         # A strict=False dataset skips records that went corrupt after
@@ -501,14 +564,69 @@ class _ElasticContext(RankContext):
 
     def fetch(self, step):
         # Top of step is where a real failure detector would observe
-        # missed heartbeats; step-keyed faults fire here.
+        # missed heartbeats; step-keyed faults fire here — and where
+        # scheduled recoveries are serviced, so a joiner is admitted at
+        # a step (= generation) boundary.
         global_step = self.epoch * self.steps_per_epoch + step
+        self._service_rejoins(global_step)
         self.injector.begin_step(self.rank, global_step)
         self.injector.maybe_crash(self.rank, global_step)
         stall = self.injector.hang_delay(self.rank, global_step)
         if stall > 0:
             time.sleep(stall)
         return self._next_batch()
+
+    def _service_rejoins(self, global_step: int) -> None:
+        """Admit scheduled recoveries/spares due at this step boundary.
+
+        Whichever surviving rank gets here first consumes the events
+        (the injector hands them out at most once) and becomes the
+        resync donor — valid regardless of which rank wins, because
+        synchronous SGD keeps every replica bitwise identical.  The
+        empty-plan/no-spare fast path keeps fault-free runs bitwise
+        identical to the non-elastic backends.
+        """
+        comm = self.comm
+        if comm is None or not hasattr(comm, "admit"):
+            return
+        events = (
+            self.injector.recoveries_due(global_step)
+            if self.injector.has_recoveries
+            else ()
+        )
+        if not events and not comm.has_pending_respawns:
+            return
+        due = comm.joins_due(events)
+        if not due:
+            return
+        payload = self._pack_resync(global_step)
+        for rank, spare in due:
+            comm.admit(rank, payload, spare=spare)
+
+    def _pack_resync(self, global_step: int) -> Dict[str, np.ndarray]:
+        """Snapshot this replica's full training state for a joiner.
+
+        Parameters, Adam slots, step/epoch counters, and the History
+        curves — everything a readmitted rank needs to be bitwise
+        indistinguishable from a rank that never left.  The ``lr``
+        curve is trimmed to the completed epochs: the joiner's own
+        ``LRRecorder`` re-records the rejoin epoch's rate.
+        """
+        opt = self.optimizer
+        n_done = len(self.history.train_loss)
+        payload: Dict[str, np.ndarray] = {
+            "flat_parameters": self.model.get_flat_parameters(),
+            "adam_m": np.concatenate([m.ravel() for m in opt.adam.m]),
+            "adam_v": np.concatenate([v.ravel() for v in opt.adam.v]),
+            "adam_t": np.int64(opt.adam.t),
+            "step_count": np.int64(opt.step_count),
+            "epoch": np.int64(self.epoch),
+            "resume_step": np.int64(global_step % self.steps_per_epoch),
+            "lr_scale": np.float64(getattr(opt, "lr_scale", 1.0)),
+        }
+        for key, values in self.history.as_dict().items():
+            payload[f"hist_{key}"] = np.asarray(values[:n_done], dtype=np.float64)
+        return payload
 
     def burn_in(self) -> None:
         """Replay completed epochs' batch draws so the resumed RNG
@@ -781,6 +899,7 @@ class ElasticBackend(ThreadedBackend):
                 CheckpointCallback(
                     self.elastic.checkpoint_dir,
                     every_epochs=self.elastic.checkpoint_every_epochs,
+                    keep_last=getattr(self.elastic, "keep_last", None),
                 )
             )
         return cbs
@@ -792,14 +911,17 @@ class ElasticBackend(ThreadedBackend):
         history = History()
         start_epoch = 0
         if self.elastic.checkpoint_dir is not None:
-            from repro.core.checkpoint import latest_checkpoint, load_checkpoint
+            from repro.core.checkpoint import load_latest_checkpoint
 
-            ckpt = latest_checkpoint(self.elastic.checkpoint_dir)
+            # Self-healing resume: a corrupt newest checkpoint falls
+            # back to the newest previous good one instead of killing
+            # the restart.  Restores the completed epochs' curves too,
+            # so a restarted run's History spans every epoch, not just
+            # the ones after the resume point.
+            ckpt = load_latest_checkpoint(
+                self.elastic.checkpoint_dir, model, optimizer, history=history
+            )
             if ckpt is not None:
-                # Restores the completed epochs' curves too, so a
-                # restarted run's History spans every epoch, not just
-                # the ones after the resume point.
-                load_checkpoint(ckpt, model, optimizer, history=history)
                 start_epoch = optimizer.step_count // self.steps_per_epoch
         # Pre-training phase: step-keyed faults must not fire on the
         # initial parameter broadcast.
@@ -830,6 +952,66 @@ class ElasticBackend(ThreadedBackend):
         rc.burn_in()
         return rc
 
+    def _make_rejoin_context(self, engine, comm, callbacks, payload) -> RankContext:
+        """Build a readmitted rank's context from its resync payload.
+
+        Everything — parameters, Adam slots, counters, curves — comes
+        from the donated state; the joiner never touches the group's
+        collectives during construction (a broadcast here would desync
+        the survivors' lockstep collective schedule).  The RNG stream
+        burns in the completed epochs plus the partial rejoin epoch, so
+        from its first step the rank is bitwise indistinguishable from
+        one that never left.
+        """
+        cfg = engine.config
+        model = CosmoFlowModel(self.model_config, seed=cfg.seed)
+        optimizer = CosmoFlowOptimizer(model.parameter_arrays(), self._opt_config(engine))
+        model.set_flat_parameters(np.asarray(payload["flat_parameters"]))
+        optimizer.adam.t = int(payload["adam_t"])
+        optimizer.step_count = int(payload["step_count"])
+        optimizer.lr_scale = float(payload.get("lr_scale", 1.0))
+        offset = 0
+        for m, v in zip(optimizer.adam.m, optimizer.adam.v):
+            m[...] = payload["adam_m"][offset : offset + m.size].reshape(m.shape)
+            v[...] = payload["adam_v"][offset : offset + v.size].reshape(v.shape)
+            offset += m.size
+        history = History()
+        for key, values in history.as_dict().items():
+            stored = payload.get(f"hist_{key}")
+            if stored is not None:
+                values[:] = [float(x) for x in stored]
+        epoch = int(payload["epoch"])
+        resume_step = int(payload["resume_step"])
+        # Pre-loop phase for this rank: step-keyed faults key on the
+        # steps it actually runs.
+        self.injector.begin_step(comm.rank, -1)
+        aggregator = self._aggregator(comm)
+        rc = _ElasticContext(
+            engine,
+            injector=self.injector,
+            model=model,
+            optimizer=optimizer,
+            train_view=self.train_data.shard(comm.rank, self.n_ranks),
+            val_view=self._val_view(comm.rank),
+            rank=comm.rank,
+            n_ranks=self.n_ranks,
+            batch_size=cfg.batch_size,
+            val_batch_size=1,
+            steps_per_epoch=self.steps_per_epoch,
+            rng=np.random.default_rng([cfg.seed, comm.rank]),
+            shuffle=cfg.shuffle,
+            aggregator=aggregator,
+            comm=comm,
+            callbacks=callbacks,
+            history=history,
+            start_epoch=epoch,
+        )
+        rc.rejoined = True
+        rc.resume_step = resume_step
+        rc.burn_in()
+        rc._skip_next_stream = resume_step
+        return rc
+
     def execute(self, engine, callbacks, epochs=None):
         el = self.elastic
         quorum = el.resolve_quorum(self.n_ranks)
@@ -837,9 +1019,18 @@ class ElasticBackend(ThreadedBackend):
         if ckpt_dir is not None:
             ckpt_dir.mkdir(parents=True, exist_ok=True)
         self.restarts = 0
+        spares = getattr(el, "spares", 0)
+        auto_respawn = getattr(el, "auto_respawn", True)
 
         def rank_body(comm):
             rc = self._make_context(engine, comm, callbacks)
+            engine.rank_loop(rc, epochs=epochs)
+            return rc
+
+        def joiner_body(comm):
+            payload = comm.await_admission()
+            rc = self._make_rejoin_context(engine, comm, callbacks, payload)
+            callbacks.on_rejoin(rc)
             engine.rank_loop(rc, epochs=epochs)
             return rc
 
@@ -851,9 +1042,11 @@ class ElasticBackend(ThreadedBackend):
                 injector=self.injector,
                 join_timeout_s=el.join_timeout_s,
                 tracer=engine.tracer,
+                spares=spares,
+                auto_respawn=auto_respawn,
             )
             try:
-                results = group.run(rank_body)
+                results = group.run(rank_body, joiner_fn=joiner_body)
                 break
             except QuorumLostError as exc:
                 self.restarts += 1
@@ -872,7 +1065,10 @@ class ElasticBackend(ThreadedBackend):
                 # Already-consumed fault events do not re-fire.
 
         alive = [rc for rc in results if rc is not None]
-        rc0 = alive[0]
+        # Prefer a continuously-active context for the reported curves:
+        # a readmitted rank's History is resync-reconstructed and its
+        # rejoin-epoch lr entry reflects the mid-epoch admission point.
+        rc0 = next((rc for rc in alive if not rc.rejoined), alive[0])
         stats = {
             "reductions": group.reductions,
             "bytes_reduced": group.bytes_reduced,
@@ -882,6 +1078,10 @@ class ElasticBackend(ThreadedBackend):
             "evicted_ranks": sorted(r for _, r in group.evictions),
             "retransmits": group.retransmits,
             "restarts": self.restarts,
+            "rejoins": sorted(r for _, r in group.rejoins),
+            "resyncs": group.resyncs,
+            "resync_bytes": group.resync_bytes,
+            "spares_used": group.spares_used,
             "faults_injected": self.injector.summary(),
         }
         # A record-backed dataset routed through the burst-buffer tier
@@ -999,13 +1199,16 @@ class TrainingEngine:
         rc.history.train_loss.append(train_loss)
         rc.history.val_loss.append(val_loss)
         rc.history.epoch_time.append(elapsed)
+        rc.history.effective_batch.append(float(rc.effective_batch()))
         rc.callbacks.on_epoch_end(rc)
 
     def train_epoch(self, rc: RankContext) -> float:
         """One pass over the training data; returns the mean step loss."""
         losses: List[float] = []
         rc.start_stream()
-        step = 0
+        # A readmitted rank resumes its first (partial) epoch at the
+        # step it was admitted at; every other context starts at 0.
+        step, rc.resume_step = rc.resume_step, 0
         while rc.steps_per_epoch is None or step < rc.steps_per_epoch:
             with rc.timed_stage("io", step):
                 batch = rc.fetch(step)
@@ -1016,6 +1219,7 @@ class TrainingEngine:
             if rc.aggregates:
                 with rc.timed_stage("comm", step):
                     loss, grads = rc.aggregate(loss, grads)
+            rc.last_grads = grads
             with rc.timed_stage("optimizer", step):
                 rc.optimizer.step(grads)
             losses.append(loss)

@@ -1,0 +1,178 @@
+"""Numerical-health watchdog: catch divergence, roll back, cut the LR.
+
+Large-batch training at the paper's scale (Section V-B's 8192-node
+configuration) runs close to the stability edge: an aggressive learning
+rate or a bad batch can blow the loss up to ``inf``/``nan``, and
+synchronous SGD then replicates the poison to every rank within one
+allreduce.  A crashed run wastes the allocation; a silently diverged
+one wastes it *and* reports garbage.
+
+:class:`NumericalHealthWatchdog` is a :class:`~repro.core.engine.Callback`
+that watches every step's loss and (post-aggregation) gradients for
+non-finite values.  Because it only inspects *globally averaged*
+quantities, every rank of a synchronous group sees the same values and
+takes the same decisions in lockstep — no extra collectives needed:
+
+* healthy epoch → the keeper rank snapshots model+optimizer state into
+  the watchdog's own directory (pruned to ``keep_last``);
+* unhealthy epoch → every rank rolls back to the newest good snapshot,
+  multiplies the optimizer's ``lr_scale`` by ``lr_cut``, and training
+  proceeds (the rolled-back Adam moments are pre-poison too);
+* more than ``max_rollbacks`` rollbacks → a typed
+  :class:`NumericalHealthError` aborts the run cleanly.
+
+The ordering argument for why the newest snapshot is always safe to
+load: a rank can only reach the end of an unhealthy epoch after that
+epoch's first collective completed, which requires the keeper to have
+contributed — and the keeper contributes only after finishing the
+previous epoch's ``on_epoch_end`` (where it saved the good snapshot).
+The run-start baseline snapshot guarantees a rollback target even when
+the *first* epoch diverges.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.engine import Callback
+from repro.utils.logging import get_logger
+
+__all__ = ["NumericalHealthError", "NumericalHealthWatchdog"]
+
+_log = get_logger("core.watchdog")
+
+
+class NumericalHealthError(RuntimeError):
+    """Training produced non-finite values and exhausted its rollback
+    budget (or had no healthy state to roll back to)."""
+
+
+class NumericalHealthWatchdog(Callback):
+    """Detect NaN/Inf in loss or gradients; roll back and cut the LR.
+
+    ``directory`` holds the watchdog's own health snapshots (keep it
+    separate from the elastic trainer's checkpoint directory — the two
+    use different step-naming conventions).  ``lr_cut`` multiplies the
+    optimizer's ``lr_scale`` after each rollback; ``max_rollbacks``
+    bounds the retries before a clean :class:`NumericalHealthError`
+    abort.  ``check_gradients=False`` restricts detection to the loss
+    (skipping the per-step all-finite scan of the gradient arrays).
+    """
+
+    def __init__(
+        self,
+        directory,
+        lr_cut: float = 0.5,
+        max_rollbacks: int = 2,
+        check_gradients: bool = True,
+        keep_last: Optional[int] = 2,
+    ):
+        if not 0.0 < lr_cut <= 1.0:
+            raise ValueError("lr_cut must be in (0, 1]")
+        if max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be >= 0")
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None to keep everything)")
+        self.directory = Path(directory)
+        self.lr_cut = lr_cut
+        self.max_rollbacks = max_rollbacks
+        self.check_gradients = check_gradients
+        self.keep_last = keep_last
+        #: Run-level rollback count (incremented by the keeper rank;
+        #: every rank rolls back in lockstep, so this is the number of
+        #: rollback *events*, not rank-rollbacks).
+        self.rollbacks = 0
+
+    # -- per-rank state lives on the context (callbacks are shared) --------
+
+    def _state(self, rc) -> dict:
+        st = getattr(rc, "_watchdog_state", None)
+        if st is None:
+            st = {"bad": None, "rollbacks": 0}
+            rc._watchdog_state = st
+        return st
+
+    def _snapshot(self, rc) -> None:
+        from repro.core.checkpoint import (
+            checkpoint_path,
+            prune_checkpoints,
+            save_checkpoint,
+        )
+
+        save_checkpoint(
+            checkpoint_path(self.directory, rc.optimizer.step_count),
+            rc.model,
+            rc.optimizer,
+        )
+        if self.keep_last is not None:
+            prune_checkpoints(self.directory, self.keep_last)
+
+    # -- hooks --------------------------------------------------------------
+
+    def on_run_start(self, rc) -> None:
+        self._state(rc)
+        if rc.is_keeper:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Baseline snapshot: the first epoch always has a rollback
+            # target.  Written before the keeper's first collective, so
+            # it exists before any rank can finish an epoch.
+            self._snapshot(rc)
+
+    def on_step_end(self, rc) -> None:
+        st = self._state(rc)
+        if st["bad"] is not None:
+            return
+        if not math.isfinite(rc.last_loss):
+            st["bad"] = f"non-finite loss at epoch {rc.epoch} step {rc.step}"
+        elif self.check_gradients and rc.last_grads is not None:
+            for g in rc.last_grads:
+                if not np.all(np.isfinite(g)):
+                    st["bad"] = (
+                        f"non-finite gradient at epoch {rc.epoch} step {rc.step}"
+                    )
+                    break
+
+    def on_epoch_end(self, rc) -> None:
+        st = self._state(rc)
+        if st["bad"] is None:
+            if rc.is_keeper:
+                self._snapshot(rc)
+            return
+        reason, st["bad"] = st["bad"], None
+        st["rollbacks"] += 1
+        if st["rollbacks"] > self.max_rollbacks:
+            raise NumericalHealthError(
+                f"training still diverging after {self.max_rollbacks} "
+                f"rollback(s): {reason}"
+            )
+        from repro.core.checkpoint import load_latest_checkpoint
+
+        target = load_latest_checkpoint(
+            self.directory, rc.model, rc.optimizer, quarantine=False
+        )
+        if target is None:
+            raise NumericalHealthError(
+                f"no healthy snapshot to roll back to: {reason}"
+            )
+        rc.optimizer.lr_scale *= self.lr_cut
+        if rc.is_keeper:
+            self.rollbacks += 1
+        _log.warning(
+            "rank %d: %s — rolled back to %s (rollback %d/%d), lr_scale now %.3g",
+            rc.rank, reason, target.name, st["rollbacks"], self.max_rollbacks,
+            rc.optimizer.lr_scale,
+        )
+        tracer = rc.engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "watchdog-rollback",
+                cat="engine",
+                track=rc.rank,
+                epoch=rc.epoch,
+                lr_scale=float(rc.optimizer.lr_scale),
+                reason=reason,
+            )

@@ -120,6 +120,40 @@ class FaultInjector:
         e = self._take(FaultKind.RANK_HANG, rank, step)
         return e.delay_s if e is not None else 0.0
 
+    # -- recovery hooks (called by the elastic trainer's grow-back path) -------
+
+    @property
+    def has_recoveries(self) -> bool:
+        """Whether the plan schedules any rank rejoin / spare join."""
+        return any(
+            e.kind in (FaultKind.RANK_RECOVER, FaultKind.SPARE_JOIN)
+            for e in self.plan.events
+        )
+
+    def recoveries_due(self, step: int) -> List[FaultEvent]:
+        """Consume every ``RANK_RECOVER``/``SPARE_JOIN`` event scheduled
+        at global training step ``step``.
+
+        At most one caller gets each event (the surviving rank that
+        reaches the step boundary first becomes the admitting rank —
+        any survivor is a valid resync donor because synchronous SGD
+        keeps every replica bitwise identical).
+        """
+        if self.empty:
+            return []
+        out: List[FaultEvent] = []
+        with self._lock:
+            for p in list(self._remaining):
+                e = p.event
+                if e.kind not in (FaultKind.RANK_RECOVER, FaultKind.SPARE_JOIN):
+                    continue
+                if e.step != step:
+                    continue
+                self._remaining.remove(p)
+                self.fired[e.kind] += 1
+                out.append(e)
+        return out
+
     # -- communication hooks (called by the elastic communicator) -------------
 
     @property

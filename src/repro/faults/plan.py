@@ -56,6 +56,16 @@ class FaultKind(enum.Enum):
     #: the DataWarp reservation); staged copies vanish and reads
     #: degrade to the backing store until re-staged.
     BB_EVICT = "bb_evict"
+    #: A previously crashed/evicted rank recovers and asks to rejoin
+    #: the group at the top of global step ``step`` (grow-back).  It is
+    #: readmitted at a generation boundary and resynced from a
+    #: surviving replica before its first collective.
+    RANK_RECOVER = "rank_recover"
+    #: A warm spare joins at the top of global step ``step``, assuming
+    #: the identity (rank id, data shard, RNG stream) of a dead rank —
+    #: ``rank`` pins which one (``None`` = the lowest dead rank).
+    #: Consumes one slot from the group's spare pool.
+    SPARE_JOIN = "spare_join"
 
 
 @dataclass(frozen=True)
@@ -104,6 +114,7 @@ class FaultEvent:
             FaultKind.RANK_CRASH,
             FaultKind.RANK_HANG,
             FaultKind.MESSAGE_CORRUPT,
+            FaultKind.RANK_RECOVER,
         )
         if needs_rank and self.rank is None:
             raise ValueError(f"{self.kind.value} events need a rank")
@@ -129,6 +140,26 @@ class FaultPlan:
 
     def of_kind(self, kind: FaultKind) -> List[FaultEvent]:
         return [e for e in self.events if e.kind is kind]
+
+    def with_recovery(self, after_steps: int) -> "FaultPlan":
+        """Derive a grow-back schedule: every ``RANK_CRASH`` in this
+        plan gains a matching ``RANK_RECOVER`` ``after_steps`` global
+        steps later.
+
+        The derivation is a pure function of the plan, so a sampled
+        plan plus ``with_recovery`` is exactly as reproducible as the
+        plan itself (the ``faultsim --recover-after`` contract).  Ranks
+        that already have an explicit recovery keep only it.
+        """
+        if after_steps < 1:
+            raise ValueError("after_steps must be >= 1")
+        recovered = {e.rank for e in self.events if e.kind is FaultKind.RANK_RECOVER}
+        derived = [
+            FaultEvent(FaultKind.RANK_RECOVER, rank=e.rank, step=e.step + after_steps)
+            for e in self.events
+            if e.kind is FaultKind.RANK_CRASH and e.rank not in recovered
+        ]
+        return FaultPlan(seed=self.seed, events=tuple(self.events) + tuple(derived))
 
     @property
     def empty(self) -> bool:

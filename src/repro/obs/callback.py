@@ -96,6 +96,17 @@ class TraceCallback:
                 train_loss=float(rc.history.train_loss[-1]),
             )
 
+    def on_rejoin(self, rc) -> None:
+        self.metrics.counter("engine.rejoins").add(1)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "rejoin",
+                cat="engine",
+                track=rc.rank,
+                epoch=rc.epoch,
+                resume_step=rc.resume_step,
+            )
+
     def on_rank_end(self, rc) -> None:
         # Stage totals accumulate on the rank's timer across epochs (and
         # across repeated runs of a reused LocalBackend context), so

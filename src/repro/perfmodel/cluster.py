@@ -84,6 +84,11 @@ class ClusterModel:
     #: 1/n — the reason the elastic trainer exists: with a typical
     #: ~5-year node MTBF, 8192 nodes fail every ~5 hours in aggregate.
     node_mtbf_hours: float = 0.0
+    #: Mean time to repair/replace ONE failed node, in hours (warm-spare
+    #: swap-in or reboot-and-rejoin).  With grow-back, a failure costs
+    #: only the shrunken-throughput window of length MTTR instead of
+    #: degrading the rest of the run; 0 models instant replacement.
+    node_mttr_hours: float = 0.0
 
     def __post_init__(self):
         if self.flops_per_sample <= 0 or self.model_bytes < 0 or self.sample_bytes < 0:
@@ -94,6 +99,8 @@ class ClusterModel:
             raise ValueError("straggler_exposure must be in [0, 1]")
         if self.node_mtbf_hours < 0:
             raise ValueError("node_mtbf_hours must be >= 0")
+        if self.node_mttr_hours < 0:
+            raise ValueError("node_mttr_hours must be >= 0")
 
     # -- step decomposition -----------------------------------------------------
 
@@ -191,6 +198,40 @@ class ClusterModel:
             return 0.0
         return duration_s / (mtbf * 3600.0)
 
+    def node_availability(self) -> float:
+        """Steady-state fraction of time one node is up:
+        ``MTBF / (MTBF + MTTR)``.  1.0 when failure modeling is off or
+        repair is instant."""
+        if self.node_mtbf_hours == 0:
+            return 1.0
+        return self.node_mtbf_hours / (self.node_mtbf_hours + self.node_mttr_hours)
+
+    def expected_active_fraction(
+        self, n_nodes: int, duration_s: float, rejoin: bool = True
+    ) -> float:
+        """Time-averaged fraction of the group that is active.
+
+        With ``rejoin`` (grow-back enabled), each node independently
+        alternates up/down phases, so the long-run average is the
+        steady-state availability ``MTBF / (MTBF + MTTR)`` — failures
+        cost a bounded MTTR window each instead of compounding.
+        Shrink-only (``rejoin=False``) never gets nodes back: survivors
+        decay as ``exp(-t / node_MTBF)``, time-averaged over the run.
+        The effective global batch (and aggregate throughput, ignoring
+        the per-step constant terms) scales with this fraction.
+        """
+        if duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        if self.node_mtbf_hours == 0:
+            return 1.0
+        if rejoin:
+            return self.node_availability()
+        d = duration_s / (self.node_mtbf_hours * 3600.0)
+        if d == 0:
+            return 1.0
+        # mean of exp(-t/MTBF) over [0, duration]
+        return float(-np.expm1(-d)) / d
+
     def sweep(self, node_counts: Sequence[int], n_samples: Optional[int] = None) -> List[ScalingPoint]:
         """Scaling sweep; ``n_samples`` defaults to the paper's training
         set size scaled so every count divides evenly."""
@@ -265,6 +306,24 @@ class FullScaleRun:
         elastic/checkpoint machinery of :mod:`repro.core.elastic`.
         """
         return self.model.expected_failures(self.n_nodes, self.training_time_s)
+
+    @property
+    def active_fraction_with_rejoin(self) -> float:
+        """Time-averaged active fraction when failed nodes grow back
+        after the model's ``node_mttr_hours`` (1.0 with no failure
+        model)."""
+        return self.model.expected_active_fraction(
+            self.n_nodes, self.training_time_s, rejoin=True
+        )
+
+    @property
+    def active_fraction_shrink_only(self) -> float:
+        """Time-averaged active fraction when failed nodes never
+        return (the shrink-and-continue floor the rejoin protocol
+        recovers from)."""
+        return self.model.expected_active_fraction(
+            self.n_nodes, self.training_time_s, rejoin=False
+        )
 
 
 def _machine(defaults: dict, overrides: dict) -> ClusterModel:

@@ -10,6 +10,8 @@ from repro.core.checkpoint import (
     CheckpointError,
     latest_checkpoint,
     load_checkpoint,
+    load_latest_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 from repro.core.model import CosmoFlowModel
@@ -119,3 +121,84 @@ class TestLatestCheckpoint:
     def test_empty_or_missing_directory(self, tmp_path):
         assert latest_checkpoint(tmp_path) is None
         assert latest_checkpoint(tmp_path / "nope") is None
+
+
+def corrupt(path):
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestSelfHealingLoad:
+    def test_falls_back_to_newest_good_checkpoint(self, tmp_path):
+        model, opt = make_model()
+        flats = {}
+        for step in (1, 2, 3):
+            model.set_flat_parameters(
+                np.full_like(model.get_flat_parameters(), float(step))
+            )
+            flats[step] = model.get_flat_parameters().copy()
+            save_checkpoint(tmp_path / f"ckpt-{step:06d}", model, opt)
+        corrupt(tmp_path / "ckpt-000003.npz")
+        fresh, fopt = make_model()
+        loaded = load_latest_checkpoint(tmp_path, fresh, fopt)
+        assert loaded is not None and loaded.name == "ckpt-000002.npz"
+        np.testing.assert_array_equal(fresh.get_flat_parameters(), flats[2])
+
+    def test_corrupt_checkpoint_is_quarantined(self, tmp_path):
+        model, opt = make_model()
+        for step in (1, 2):
+            save_checkpoint(tmp_path / f"ckpt-{step:06d}", model, opt)
+        corrupt(tmp_path / "ckpt-000002.npz")
+        fresh, fopt = make_model()
+        load_latest_checkpoint(tmp_path, fresh, fopt)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt-000001.npz", "ckpt-000002.npz.corrupt"]
+        # The quarantined file is out of every later *.npz scan.
+        assert latest_checkpoint(tmp_path).name == "ckpt-000001.npz"
+
+    def test_quarantine_can_be_disabled(self, tmp_path):
+        model, opt = make_model()
+        save_checkpoint(tmp_path / "ckpt-000001", model, opt)
+        save_checkpoint(tmp_path / "ckpt-000002", model, opt)
+        corrupt(tmp_path / "ckpt-000002.npz")
+        fresh, fopt = make_model()
+        loaded = load_latest_checkpoint(tmp_path, fresh, fopt, quarantine=False)
+        assert loaded.name == "ckpt-000001.npz"
+        assert (tmp_path / "ckpt-000002.npz").exists()
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        model, opt = make_model()
+        save_checkpoint(tmp_path / "ckpt-000001", model, opt)
+        corrupt(tmp_path / "ckpt-000001.npz")
+        fresh, fopt = make_model()
+        assert load_latest_checkpoint(tmp_path, fresh, fopt) is None
+
+    def test_empty_or_missing_directory(self, tmp_path):
+        model, _ = make_model()
+        assert load_latest_checkpoint(tmp_path, model) is None
+        assert load_latest_checkpoint(tmp_path / "nope", model) is None
+
+
+class TestRetention:
+    def test_prune_keeps_newest(self, tmp_path):
+        model, opt = make_model()
+        for step in range(5):
+            save_checkpoint(tmp_path / f"ckpt-{step:06d}", model, opt)
+        removed = prune_checkpoints(tmp_path, keep_last=2)
+        assert sorted(p.name for p in removed) == [
+            "ckpt-000000.npz", "ckpt-000001.npz", "ckpt-000002.npz",
+        ]
+        assert sorted(p.name for p in tmp_path.glob("*.npz")) == [
+            "ckpt-000003.npz", "ckpt-000004.npz",
+        ]
+
+    def test_prune_fewer_than_keep_is_noop(self, tmp_path):
+        model, opt = make_model()
+        save_checkpoint(tmp_path / "ckpt-000001", model, opt)
+        assert prune_checkpoints(tmp_path, keep_last=3) == []
+        assert prune_checkpoints(tmp_path / "nope", keep_last=3) == []
+
+    def test_prune_validates_keep_last(self, tmp_path):
+        with pytest.raises(ValueError):
+            prune_checkpoints(tmp_path, keep_last=0)

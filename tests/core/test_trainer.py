@@ -239,4 +239,4 @@ class TestTrainer:
         model = CosmoFlowModel(tiny_16(), seed=0)
         trainer = Trainer(model, make_dataset(4), config=TrainerConfig(epochs=1, validate=False))
         d = trainer.run().as_dict()
-        assert set(d) == {"train_loss", "val_loss", "epoch_time", "lr"}
+        assert set(d) == {"train_loss", "val_loss", "epoch_time", "lr", "effective_batch"}

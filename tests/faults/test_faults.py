@@ -61,6 +61,44 @@ class TestFaultPlan:
         assert "rank_crash" in plan.describe()
         assert "rank=2" in plan.describe()
 
+    def test_recover_event_needs_rank(self):
+        with pytest.raises(ValueError, match="need a rank"):
+            FaultEvent(FaultKind.RANK_RECOVER, step=2)
+        FaultEvent(FaultKind.SPARE_JOIN, step=2)  # rank optional: lowest dead
+
+
+class TestWithRecovery:
+    def test_derives_recovery_per_crash(self):
+        plan = FaultPlan(
+            seed=5,
+            events=[
+                FaultEvent(FaultKind.RANK_CRASH, rank=1, step=3),
+                FaultEvent(FaultKind.RANK_CRASH, rank=2, step=7),
+                FaultEvent(FaultKind.RANK_HANG, rank=0, step=4, delay_s=0.1),
+            ],
+        )
+        out = plan.with_recovery(4)
+        recoveries = out.of_kind(FaultKind.RANK_RECOVER)
+        assert [(e.rank, e.step) for e in recoveries] == [(1, 7), (2, 11)]
+        # Originals are preserved; hangs get no recovery (eviction is
+        # the group's call, not the schedule's).
+        assert len(out) == len(plan) + 2
+        assert out.seed == plan.seed
+
+    def test_existing_recovery_not_duplicated(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(FaultKind.RANK_CRASH, rank=1, step=3),
+                FaultEvent(FaultKind.RANK_RECOVER, rank=1, step=5),
+            ]
+        )
+        out = plan.with_recovery(4)
+        assert len(out.of_kind(FaultKind.RANK_RECOVER)) == 1
+
+    def test_validates_after_steps(self):
+        with pytest.raises(ValueError):
+            FaultPlan().with_recovery(0)
+
 
 class TestInjector:
     def test_crash_fires_once(self):
@@ -105,6 +143,37 @@ class TestInjector:
         np.testing.assert_array_equal(arr, np.ones(16, dtype=np.float32))  # source intact
         # consumed: next collective is clean
         assert inj.corrupt_message(0, 0, arr) is arr
+
+    def test_recoveries_due_consumed_at_most_once(self):
+        inj = FaultInjector(
+            FaultPlan(
+                events=[
+                    FaultEvent(FaultKind.RANK_RECOVER, rank=1, step=4),
+                    FaultEvent(FaultKind.SPARE_JOIN, rank=None, step=4),
+                    FaultEvent(FaultKind.RANK_RECOVER, rank=2, step=6),
+                ]
+            )
+        )
+        assert inj.has_recoveries
+        assert inj.recoveries_due(3) == []
+        due = inj.recoveries_due(4)
+        assert {(e.kind, e.rank) for e in due} == {
+            (FaultKind.RANK_RECOVER, 1),
+            (FaultKind.SPARE_JOIN, None),
+        }
+        # At-most-once: the first survivor to reach the boundary takes
+        # them; later callers (and replays) see nothing.
+        assert inj.recoveries_due(4) == []
+        assert len(inj.recoveries_due(6)) == 1
+        assert inj.fired[FaultKind.RANK_RECOVER] == 2
+        assert inj.fired[FaultKind.SPARE_JOIN] == 1
+
+    def test_no_recoveries_flag(self):
+        inj = FaultInjector(
+            FaultPlan(events=[FaultEvent(FaultKind.RANK_CRASH, rank=0, step=1)])
+        )
+        assert not inj.has_recoveries
+        assert inj.recoveries_due(1) == []
 
     def test_empty_injector_is_noop(self):
         inj = FaultInjector()
