@@ -13,6 +13,7 @@ Commands
 ``scaling``    print the Figure-4 scaling table for a machine model
 ``faultsim``   run elastic SSGD under an injected fault plan
 ``stage``      stage a dataset through the burst-buffer tier and verify
+``serve``      run the inference serving tier under load (and faults)
 ``trace``      summarize an exported trace file (Figure-3-style table)
 """
 
@@ -134,6 +135,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-read burst-buffer eviction probability")
     p.add_argument("--strict", action="store_true",
                    help="fail on corrupt records instead of skip-and-count")
+
+    p = sub.add_parser(
+        "serve",
+        help="serve inference requests through the replica pool under "
+        "a synthetic load (and optional injected replica faults)",
+    )
+    p.add_argument("--preset", default="tiny_16", help="topology preset name")
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--spares", type=int, default=1,
+                   help="warm spares promoted as replicas crash")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--rate", type=float, default=300.0, metavar="QPS",
+                   help="offered load (Poisson arrivals)")
+    p.add_argument("--deadline-ms", type=float, default=250.0,
+                   help="per-request deadline slack")
+    p.add_argument("--unique", type=int, default=64,
+                   help="distinct input volumes (cache-hit potential)")
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--max-wait-ms", type=float, default=5.0,
+                   help="micro-batching window")
+    p.add_argument("--max-queue", type=int, default=64)
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="result-cache entries (0 disables)")
+    p.add_argument("--hedge-budget-ms", type=float, default=None,
+                   help="hedge batches in flight past this budget")
+    p.add_argument("--sustained-gflops", type=float, default=1.0,
+                   help="per-replica sustained compute (sets service time)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crash-at", type=int, action="append", default=[],
+                   metavar="DISPATCH",
+                   help="inject a replica crash at this dispatch ordinal "
+                   "(repeatable)")
+    p.add_argument("--crash-rate", type=float, default=0.0,
+                   help="per-dispatch replica-crash probability")
+    p.add_argument("--slow-rate", type=float, default=0.0,
+                   help="per-dispatch replica-straggle probability")
+    p.add_argument("--slow-ms", type=float, default=50.0)
+    p.add_argument("--p99-budget-ms", type=float, default=None,
+                   help="fail (exit 1) if served p99 exceeds this")
+    p.add_argument("--report", default=None, metavar="OUT.json",
+                   help="write the latency/decision report as JSON")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record the serve-track decision trace")
 
     p = sub.add_parser("trace", help="inspect an exported trace file")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
@@ -345,8 +389,18 @@ def cmd_faultsim(args) -> int:
         hang_delay_s=args.hang_delay,
         corrupt_rate=args.corrupt_rate,
     )
+    if args.spares < 0:
+        raise SystemExit("--spares must be >= 0")
     if args.recover_after is not None:
         plan = plan.with_recovery(args.recover_after)
+    # The run's rank space includes warm spares (they join with ids
+    # past the primaries); a plan referencing anything else, or a
+    # rejoin scheduled after the last step, cannot do what was asked.
+    problems = plan.validate(args.ranks + args.spares, n_steps=steps)
+    if problems:
+        for problem in problems:
+            print(f"infeasible fault plan: {problem}", file=sys.stderr)
+        return 2
     print(plan.describe())
     trainer = ElasticTrainer(
         tiny_16(),
@@ -465,6 +519,99 @@ def cmd_stage(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.core.model import CosmoFlowModel
+    from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+    from repro.perfmodel.node import NodeSpec
+    from repro.serve import InferenceServer, ServeConfig, WorkloadSpec, build_requests
+
+    if args.sustained_gflops <= 0:
+        raise SystemExit("--sustained-gflops must be > 0")
+    model = CosmoFlowModel(_preset(args.preset), seed=args.seed)
+    node = NodeSpec(
+        name="serve-node",
+        sustained_flops=args.sustained_gflops * 1e9,
+        peak_flops=args.sustained_gflops * 1e10,
+    )
+    plan = FaultPlan.sample(
+        args.seed,
+        1,
+        0,
+        replica_crash_rate=args.crash_rate,
+        replica_slow_rate=args.slow_rate,
+        replica_slow_s=args.slow_ms / 1e3,
+        n_dispatches=2 * args.requests,
+    )
+    pinned = tuple(
+        FaultEvent(FaultKind.REPLICA_CRASH, step=d) for d in sorted(args.crash_at)
+    )
+    plan = FaultPlan(seed=plan.seed, events=tuple(plan.events) + pinned)
+    if not plan.empty:
+        print(plan.describe())
+    config = ServeConfig(
+        n_replicas=args.replicas,
+        n_spares=args.spares,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue=args.max_queue,
+        cache_capacity=args.cache_size,
+        hedge_budget_s=(
+            args.hedge_budget_ms / 1e3 if args.hedge_budget_ms is not None else None
+        ),
+    )
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    injector = FaultInjector(plan) if not plan.empty else None
+    server = InferenceServer(
+        model, config, node=node, seed=args.seed, injector=injector, tracer=tracer
+    )
+    spec = WorkloadSpec(
+        n_requests=args.requests,
+        rate_qps=args.rate,
+        deadline_slack_s=args.deadline_ms / 1e3,
+        n_unique=args.unique,
+    )
+    report = server.run(build_requests(spec, seed=args.seed))
+    print(report.describe())
+    print(f"breakers: {server.pool.breaker_states()}")
+    if injector is not None:
+        print(f"faults fired: {injector.summary() or 'none'}")
+    if args.report:
+        doc = {
+            "config": {
+                "replicas": args.replicas, "spares": args.spares,
+                "rate_qps": args.rate, "requests": args.requests,
+                "deadline_ms": args.deadline_ms, "seed": args.seed,
+            },
+            "report": report.as_dict(),
+            "latency_histogram": server.metrics.histogram("serve.latency_s").summary(),
+        }
+        with open(args.report, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"report: {args.report}")
+    if tracer is not None:
+        out = tracer.export(args.trace)
+        print(f"trace: {out} ({len(tracer.ordered())} events; "
+              f"`repro trace summarize {args.trace}` for the breakdown)")
+    failed = False
+    if report.dropped > 0:
+        print(f"FAILED: {report.dropped} admitted requests dropped")
+        failed = True
+    if (
+        args.p99_budget_ms is not None
+        and report.latency_p99_s * 1e3 > args.p99_budget_ms
+    ):
+        print(f"FAILED: served p99 {report.latency_p99_s * 1e3:.2f}ms exceeds "
+              f"budget {args.p99_budget_ms:.2f}ms")
+        failed = True
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(suppress=True)
@@ -476,6 +623,7 @@ def main(argv=None) -> int:
         "scaling": cmd_scaling,
         "faultsim": cmd_faultsim,
         "stage": cmd_stage,
+        "serve": cmd_serve,
         "trace": cmd_trace,
     }[args.command](args)
 

@@ -42,6 +42,7 @@ from repro.core.distributed import DistributedConfig, DistributedTrainer
 from repro.core.engine import ElasticBackend, TrainingEngine
 from repro.core.trainer import History
 from repro.faults import FaultInjector
+from repro.utils.retry import RetryPolicy
 
 __all__ = ["ElasticConfig", "ElasticTrainer", "run_elastic"]
 
@@ -63,6 +64,13 @@ class ElasticConfig:
     lasts; scheduled ``RANK_RECOVER``/``SPARE_JOIN`` fault events join
     through the same admission path.  ``keep_last`` bounds checkpoint
     retention (all but the newest N are pruned after each save).
+
+    ``restart_backoff`` optionally paces checkpoint restarts on a
+    jittered exponential schedule (shared
+    :func:`~repro.utils.retry.jittered_delay` semantics, seeded from
+    the run seed) so a fleet of simultaneously-restarting jobs does not
+    stampede the filesystem.  The default (``None``) restarts
+    immediately — the historical behaviour.
     """
 
     timeout_s: float = 30.0
@@ -75,8 +83,12 @@ class ElasticConfig:
     spares: int = 0
     auto_respawn: bool = True
     keep_last: Optional[int] = None
+    restart_backoff: Optional["RetryPolicy"] = None
+    restart_jitter: float = 0.25
 
     def __post_init__(self):
+        if not 0.0 <= self.restart_jitter <= 1.0:
+            raise ValueError("restart_jitter must be in [0, 1]")
         if self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
         if self.join_timeout_s is not None and self.join_timeout_s <= 0:

@@ -1061,6 +1061,26 @@ class ElasticBackend(ThreadedBackend):
                 if not can_restart:
                     raise
                 callbacks.on_restart(engine, self.restarts, exc)
+                backoff = getattr(el, "restart_backoff", None)
+                if backoff is not None:
+                    # Jittered restart pacing (shared helper, seeded from
+                    # the run seed) — replacement-node bring-up does not
+                    # stampede the checkpoint filesystem.
+                    from repro.utils.retry import jittered_delay
+                    from repro.utils.rng import derive_seed, new_rng
+
+                    delay = jittered_delay(
+                        backoff,
+                        self.restarts - 1,
+                        jitter=getattr(el, "restart_jitter", 0.0),
+                        rng=new_rng(
+                            derive_seed(
+                                engine.config.seed, "elastic-restart", self.restarts
+                            )
+                        ),
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
                 # Relaunch with the full rank count (replacement nodes).
                 # Already-consumed fault events do not re-fire.
 

@@ -60,6 +60,7 @@ class FaultInjector:
         self._reads = 0
         self._stages = 0  # stage-in operations (STAGE_FAIL domain)
         self._staged_reads = 0  # staged reads (TARGET_SLOW/BB_EVICT domain)
+        self._dispatches = 0  # serving dispatches (REPLICA_* domain)
         self._local = threading.local()  # per-thread current read index
         self._rank_step: Dict[int, int] = {}  # rank -> current training step
         self.fired: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
@@ -256,6 +257,28 @@ class FaultInjector:
         evict = self._take(FaultKind.BB_EVICT, None, read_index) is not None
         e = self._take(FaultKind.TARGET_SLOW, target, read_index)
         return (e.delay_s if e is not None else 0.0), evict
+
+    # -- serving hooks (called by repro.serve's replica pool) -------------------
+
+    def on_dispatch(self, replica: int):
+        """Injection point for one inference-batch dispatch.
+
+        Advances the serving-dispatch counter ``REPLICA_CRASH`` /
+        ``REPLICA_SLOW`` events key on and returns ``(crash, slow_s)``:
+        whether this dispatch's replica dies mid-batch, and any extra
+        straggle seconds to add to its modeled service time.  An event
+        whose ``rank`` slot pins a different replica leaves this
+        dispatch alone (the counter still advances — the event domain
+        is dispatches, not matches).
+        """
+        if self.empty:
+            return False, 0.0
+        with self._lock:
+            index = self._dispatches
+            self._dispatches += 1
+        crash = self._take(FaultKind.REPLICA_CRASH, replica, index) is not None
+        e = self._take(FaultKind.REPLICA_SLOW, replica, index)
+        return crash, (e.delay_s if e is not None else 0.0)
 
     def read_hook(self, base_hook=None):
         """Wrap (or create) a ``RecordDataset.read_hook`` that injects

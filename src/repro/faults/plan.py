@@ -66,6 +66,19 @@ class FaultKind(enum.Enum):
     #: ``rank`` pins which one (``None`` = the lowest dead rank).
     #: Consumes one slot from the group's spare pool.
     SPARE_JOIN = "spare_join"
+    #: An inference replica dies mid-batch (serving-node crash).  The
+    #: batch it was computing never completes; the pool redrains its
+    #: in-flight requests and (if available) brings up a warm spare.
+    #: ``step`` is the pool's dispatch ordinal; ``rank`` optionally
+    #: pins the replica id (``None`` = whichever replica takes that
+    #: dispatch).
+    REPLICA_CRASH = "replica_crash"
+    #: An inference replica straggles: one dispatched batch takes an
+    #: extra ``delay_s`` (GC pause, noisy neighbor, thermal throttle).
+    #: Hedged dispatch races a duplicate past the latency budget, and
+    #: repeated stalls trip the replica's circuit breaker.  Keyed like
+    #: ``REPLICA_CRASH``.
+    REPLICA_SLOW = "replica_slow"
 
 
 @dataclass(frozen=True)
@@ -91,7 +104,10 @@ class FaultEvent:
       keep failing across retries);
     * ``TARGET_SLOW``/``BB_EVICT`` match on ``step`` = the injector's
       staged-read counter; ``TARGET_SLOW`` may additionally pin a
-      burst-buffer target via the ``rank`` slot (``None`` = any).
+      burst-buffer target via the ``rank`` slot (``None`` = any);
+    * ``REPLICA_CRASH``/``REPLICA_SLOW`` match on ``step`` = the
+      injector's serving-dispatch counter, with the ``rank`` slot
+      optionally pinning a replica id (``None`` = any).
 
     ``repeats`` lets a read error persist for several attempts so the
     retry path is genuinely exercised (default: transient, one attempt).
@@ -165,6 +181,50 @@ class FaultPlan:
     def empty(self) -> bool:
         return not self.events
 
+    def validate(self, n_ranks: int, n_steps: Optional[int] = None) -> List[str]:
+        """Sanity-check the plan against a run's geometry.
+
+        Returns one human-readable problem string per infeasible event
+        (empty list = plan is feasible):
+
+        * a rank-keyed event referencing a rank outside
+          ``[0, n_ranks)`` — it would never fire, silently;
+        * with ``n_steps`` given, a recovery event
+          (``RANK_RECOVER``/``SPARE_JOIN``) scheduled at or past the
+          run's last step — the rejoin could never be admitted.
+
+        The ``faultsim`` CLI turns a non-empty return into a nonzero
+        exit instead of quietly training through a plan that cannot do
+        what was asked.
+        """
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        rank_keyed = (
+            FaultKind.RANK_CRASH,
+            FaultKind.RANK_HANG,
+            FaultKind.MESSAGE_CORRUPT,
+            FaultKind.RANK_RECOVER,
+            FaultKind.SPARE_JOIN,
+        )
+        problems: List[str] = []
+        for e in self.events:
+            if e.kind in rank_keyed and e.rank is not None and not 0 <= e.rank < n_ranks:
+                problems.append(
+                    f"{e.kind.value} at step {e.step} references rank {e.rank}, "
+                    f"but the run has ranks 0..{n_ranks - 1}"
+                )
+            if (
+                n_steps is not None
+                and e.kind in (FaultKind.RANK_RECOVER, FaultKind.SPARE_JOIN)
+                and e.step >= n_steps
+            ):
+                problems.append(
+                    f"{e.kind.value} of rank {e.rank} scheduled at step {e.step}, "
+                    f"past the run's last step boundary ({n_steps - 1}) — "
+                    f"it would never be admitted"
+                )
+        return problems
+
     def describe(self) -> str:
         """One line per event, for logs and benchmark reports."""
         if self.empty:
@@ -198,14 +258,19 @@ class FaultPlan:
         target_slow_s: float = 0.05,
         bb_evict_rate: float = 0.0,
         n_staged_reads: int = 0,
+        replica_crash_rate: float = 0.0,
+        replica_slow_rate: float = 0.0,
+        replica_slow_s: float = 0.05,
+        n_dispatches: int = 0,
     ) -> "FaultPlan":
         """Draw a plan from per-(rank, step) Bernoulli rates.
 
         ``crash_rate`` etc. are probabilities per rank per step (per
         read for the I/O kinds, over ``n_reads`` read operations; per
         stage-in over ``n_stage_ops``; per staged read over
-        ``n_staged_reads`` for the burst-buffer kinds).  The draw is
-        fully determined by ``seed``.
+        ``n_staged_reads`` for the burst-buffer kinds; per serving
+        dispatch over ``n_dispatches`` for the replica kinds).  The
+        draw is fully determined by ``seed``.
         """
         if n_ranks < 1 or n_steps < 0:
             raise ValueError("need n_ranks >= 1 and n_steps >= 0")
@@ -218,6 +283,8 @@ class FaultPlan:
             ("stage_fail_rate", stage_fail_rate),
             ("target_slow_rate", target_slow_rate),
             ("bb_evict_rate", bb_evict_rate),
+            ("replica_crash_rate", replica_crash_rate),
+            ("replica_slow_rate", replica_slow_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
@@ -263,4 +330,13 @@ class FaultPlan:
                 )
             if bb_evict_rate and rng.random() < bb_evict_rate:
                 events.append(FaultEvent(FaultKind.BB_EVICT, step=read))
+        for dispatch in range(n_dispatches):
+            if replica_crash_rate and rng.random() < replica_crash_rate:
+                events.append(FaultEvent(FaultKind.REPLICA_CRASH, step=dispatch))
+            if replica_slow_rate and rng.random() < replica_slow_rate:
+                events.append(
+                    FaultEvent(
+                        FaultKind.REPLICA_SLOW, step=dispatch, delay_s=replica_slow_s
+                    )
+                )
         return cls(seed=seed, events=tuple(events))

@@ -57,7 +57,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.obs.tracer import NULL_TRACER
 from repro.utils.logging import get_logger
-from repro.utils.retry import RetryPolicy
+from repro.utils.retry import RetryPolicy, jittered_delay
 from repro.utils.rng import derive_seed, new_rng
 
 __all__ = [
@@ -410,11 +410,11 @@ class StagingManager:
                         _log.warning("stage-in of %s failed terminally: %s", source, exc)
                         return False
                     self.stats.stage_retries += 1
-                    backoff = policy.delay(attempt)
-                    jitter = self.config.retry_jitter
-                    if jitter:
-                        backoff *= 1.0 + jitter * float(rng.uniform(-1.0, 1.0))
-                    self._advance(backoff)
+                    self._advance(
+                        jittered_delay(
+                            policy, attempt, jitter=self.config.retry_jitter, rng=rng
+                        )
+                    )
                 else:
                     self._event("stage", source.name)
                     self.breaker(target).record_success()

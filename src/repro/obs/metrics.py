@@ -70,13 +70,17 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of an observed distribution.
+    """Summary of an observed distribution with quantile extraction.
 
-    Keeps count/sum/min/max — enough for mean latencies and tail spot
-    checks without unbounded storage.
+    Keeps count/sum/min/max plus the raw samples, so arbitrary
+    quantiles — the serving tier's p50/p99 latency reporting — are
+    exact rather than bucket-approximated.  Sample storage is bounded
+    by the number of observations; the instruments here observe per
+    step / per request, so a run's histograms stay small (thousands of
+    floats, not billions).
     """
 
-    __slots__ = ("name", "_lock", "count", "total", "min", "max")
+    __slots__ = ("name", "_lock", "count", "total", "min", "max", "_samples")
 
     def __init__(self, name: str, lock: threading.Lock):
         self.name = name
@@ -85,12 +89,14 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: list = []
 
     def observe(self, value) -> None:
         value = float(value)
         with self._lock:
             self.count += 1
             self.total += value
+            self._samples.append(value)
             if value < self.min:
                 self.min = value
             if value > self.max:
@@ -100,15 +106,49 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of everything observed so far.
+
+        Linear interpolation between order statistics (numpy's default
+        convention), so ``quantile(0.5)`` of ``[1, 2]`` is 1.5.  An
+        empty histogram reports 0.0 — quantiles of nothing are a
+        reporting concern, not an error — and a single sample is every
+        quantile of itself.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
     def summary(self) -> Dict[str, float]:
         if not self.count:
-            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+            return {
+                "count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p99": 0.0,
+            }
         return {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -177,7 +217,8 @@ class MetricsRegistry:
             if isinstance(value, dict):
                 value = (
                     f"n={value['count']} mean={value['mean']:.6g} "
-                    f"min={value['min']:.6g} max={value['max']:.6g}"
+                    f"min={value['min']:.6g} max={value['max']:.6g} "
+                    f"p50={value['p50']:.6g} p99={value['p99']:.6g}"
                 )
             lines.append(f"  {name} = {value}")
         return "\n".join(lines)

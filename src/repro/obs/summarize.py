@@ -43,6 +43,12 @@ class TraceSummary:
     comm: Dict[str, _Agg] = field(default_factory=dict)
     #: instant-event name -> occurrence count (restarts, hedges, ...).
     instants: Dict[str, int] = field(default_factory=dict)
+    #: track label -> instant name -> count.  Tracks may be
+    #: *instant-only* (no duration spans at all) — the serving tier's
+    #: admit/shed/redrain decision stream is exactly that — so instants
+    #: keep their track attribution instead of collapsing into the
+    #: global counts.
+    per_track_instants: Dict[str, Dict[str, int]] = field(default_factory=dict)
     n_events: int = 0
 
     def stage_total_s(self, name: str) -> float:
@@ -51,6 +57,11 @@ class TraceSummary:
 
     def total_s(self) -> float:
         return sum(a.total_s for a in self.stages.values())
+
+    def tracks(self) -> List[str]:
+        """Every track seen, whether it recorded spans, instants, or
+        both — never assume a track has durations."""
+        return sorted(set(self.per_track) | set(self.per_track_instants))
 
 
 def load_trace(path) -> List[Dict[str, Any]]:
@@ -77,6 +88,9 @@ def summarize_trace(events: List[Dict[str, Any]]) -> TraceSummary:
         name = e.get("name", "?")
         if ph == "i":
             summary.instants[name] = summary.instants.get(name, 0) + 1
+            track = names.get(e.get("tid", 0), str(e.get("tid", 0)))
+            per = summary.per_track_instants.setdefault(track, {})
+            per[name] = per.get(name, 0) + 1
             continue
         if ph != "X":
             continue
@@ -110,23 +124,40 @@ def _stage_rows(stages: Dict[str, _Agg]) -> List[str]:
     return rows
 
 
+def _instant_rows(instants: Dict[str, int]) -> List[str]:
+    return [f"  {name}: {instants[name]}" for name in sorted(instants)]
+
+
 def format_summary(summary: TraceSummary, per_rank: bool = True) -> str:
-    """Render the Figure-3-style breakdown table."""
+    """Render the Figure-3-style breakdown table.
+
+    A track may carry duration spans, instant events, or both —
+    instant-only tracks (the serving tier's decision stream, the
+    staging tier's event log) render their per-track event counts
+    instead of an empty stage table.
+    """
     lines = ["stage breakdown (all ranks)"]
     if summary.stages:
         lines += _stage_rows(summary.stages)
         lines.append(f"  {'total':<8}  {format_duration(summary.total_s()):>10}")
     else:
         lines.append("  (no engine stage spans in trace)")
-    if per_rank and len(summary.per_track) > 1:
-        for track in sorted(summary.per_track):
+    tracks = summary.tracks()
+    if per_rank and len(tracks) > 1:
+        for track in tracks:
             lines.append(f"track: {track}")
-            lines += _stage_rows(summary.per_track[track])
+            stages = summary.per_track.get(track)
+            if stages:
+                lines += _stage_rows(stages)
+            instants = summary.per_track_instants.get(track)
+            if instants:
+                lines += _instant_rows(instants)
+            if not stages and not instants:  # pragma: no cover - defensive
+                lines.append("  (no events)")
     if summary.comm:
         lines.append("comm spans")
         lines += _stage_rows(summary.comm)
     if summary.instants:
         lines.append("events")
-        for name in sorted(summary.instants):
-            lines.append(f"  {name}: {summary.instants[name]}")
+        lines += _instant_rows(summary.instants)
     return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Content-hash result cache — the serving tier's degraded-mode floor.
+
+Inference is deterministic (every replica holds bitwise-identical
+weights), so a result keyed by the input volume's content hash never
+goes stale.  That makes the cache safe to serve from even when the
+replica pool is entirely dead: a cached answer is exactly the answer a
+healthy replica would have produced.  Bounded LRU keeps the footprint
+predictable under adversarial (all-unique) workloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU cache of ``payload hash -> prediction``.
+
+    ``capacity`` is an entry count (predictions for one model are all
+    the same small size, so entries — not bytes — are the natural
+    unit).  ``capacity == 0`` disables the cache: every lookup misses
+    and nothing is stored.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inserts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, payload: str) -> bool:
+        return payload in self._entries
+
+    def get(self, payload: str) -> Optional[Any]:
+        """The cached prediction, refreshing recency; ``None`` on miss.
+
+        A stored ``None`` is indistinguishable from a miss by design —
+        the serving tier stores a sentinel ``True`` when it runs in
+        pure-simulation mode (no real inference), never ``None``.
+        """
+        if payload in self._entries:
+            self._entries.move_to_end(payload)
+            self.hits += 1
+            return self._entries[payload]
+        self.misses += 1
+        return None
+
+    def put(self, payload: str, result: Any) -> None:
+        """Insert (or refresh) one result, evicting LRU on overflow."""
+        if self.capacity == 0:
+            return
+        if payload in self._entries:
+            self._entries.move_to_end(payload)
+            self._entries[payload] = result
+            return
+        self._entries[payload] = result
+        self.inserts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+        }

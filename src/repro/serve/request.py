@@ -1,0 +1,90 @@
+"""Inference requests and their lifecycle outcomes.
+
+A request is one input volume (identified by its content hash) plus a
+virtual-time arrival and an absolute deadline.  The serving tier never
+mutates a request after it reaches a terminal outcome — hedged twins
+race to resolve the same request objects, so :meth:`InferenceRequest.
+resolve` is idempotent-by-refusal and the first completion wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = ["Outcome", "InferenceRequest"]
+
+
+class Outcome(Enum):
+    """Terminal disposition of one request.
+
+    The admission ladder rejects before queueing (``SHED_*``), the
+    cache resolves without compute (``CACHE_HIT``), the pool resolves
+    with compute (``COMPLETED``), and ``DROPPED`` marks the only
+    lossy exit — an admitted request the pool could never serve
+    because every replica (and spare) died.  A healthy configuration
+    keeps ``DROPPED`` at exactly zero even across crashes.
+    """
+
+    PENDING = "pending"
+    COMPLETED = "completed"
+    CACHE_HIT = "cache_hit"
+    SHED_QUEUE_FULL = "shed_queue_full"
+    SHED_DEADLINE = "shed_deadline"
+    SHED_UNAVAILABLE = "shed_unavailable"
+    DROPPED = "dropped"
+
+
+@dataclass
+class InferenceRequest:
+    """One inference call against the serving tier.
+
+    ``payload`` is the content hash of the input volume — the result
+    cache keys on it, so two requests for the same volume are the same
+    work.  ``deadline_s`` is *absolute* virtual time; the workload
+    generator sets it to ``arrival_s + slack``.
+    """
+
+    rid: int
+    arrival_s: float
+    deadline_s: float
+    payload: str
+    n_samples: int = 1
+    outcome: Outcome = field(default=Outcome.PENDING)
+    finish_s: Optional[float] = None
+    redrains: int = 0  # times this request was pulled off a dead replica
+
+    def __post_init__(self):
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be >= 0")
+        if self.deadline_s < self.arrival_s:
+            raise ValueError("deadline_s must be >= arrival_s")
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+
+    @property
+    def resolved(self) -> bool:
+        return self.outcome is not Outcome.PENDING
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end latency, or ``None`` while pending / when shed."""
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.arrival_s
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether a served request finished inside its deadline."""
+        return self.finish_s is not None and self.finish_s <= self.deadline_s
+
+    def resolve(self, outcome: Outcome, now: Optional[float] = None) -> bool:
+        """Move to a terminal outcome; ``False`` if already resolved
+        (the losing side of a hedge race)."""
+        if self.resolved:
+            return False
+        self.outcome = outcome
+        if now is not None:
+            self.finish_s = now
+        return True

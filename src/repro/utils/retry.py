@@ -1,19 +1,27 @@
-"""Bounded retry with exponential backoff.
+"""Bounded retry with exponential backoff (optionally jittered).
 
 The I/O path uses this to survive transient filesystem errors (a Lustre
 OST dropping out, an injected :class:`~repro.faults.InjectedReadError`)
 without crashing the trainer: a fixed number of attempts, exponentially
-spaced, then the last error propagates.  Deterministic by design — no
-jitter — so fault-injection tests see identical schedules every run.
+spaced, then the last error propagates.  Deterministic by design — the
+bare schedule has no jitter, and :func:`jittered_delay` only randomizes
+when handed a *seeded* generator — so fault-injection tests see
+identical schedules every run.
+
+:func:`jittered_delay` is the one place backoff jitter lives: the
+staging tier's stage-in retries, the elastic driver's restart pacing,
+and the serving tier's replica-bring-up retries all spread their
+synchronized retry storms through it (same formula, same draw order),
+so a seed reproduces every backoff in the system.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Tuple, Type
+from typing import Callable, Optional, Tuple, Type
 
-__all__ = ["RetryPolicy", "call_with_retry"]
+__all__ = ["RetryPolicy", "call_with_retry", "jittered_delay"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +50,34 @@ class RetryPolicy:
         return min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
 
 
+def jittered_delay(
+    policy: RetryPolicy,
+    attempt: int,
+    jitter: float = 0.0,
+    rng=None,
+) -> float:
+    """The backoff before retry ``attempt + 1`` with multiplicative jitter.
+
+    ``jitter`` is the +/- fraction applied to the exponential schedule:
+    the returned delay is ``policy.delay(attempt) * (1 + jitter * u)``
+    with ``u ~ Uniform(-1, 1)`` drawn from ``rng``.  With ``jitter == 0``
+    or no generator the bare deterministic schedule comes back, so call
+    sites can thread the knob through unconditionally.
+
+    Passing a *seeded* :class:`numpy.random.Generator` keeps the jitter
+    reproducible: the same seed yields the same spread of delays (one
+    draw per call, in call order), which is what lets the staging tier's
+    decision logs — and the A8/A9 fault benchmarks built on them —
+    replay bitwise.
+    """
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be in [0, 1]")
+    delay = policy.delay(attempt)
+    if jitter and rng is not None:
+        delay *= 1.0 + jitter * float(rng.uniform(-1.0, 1.0))
+    return delay
+
+
 def call_with_retry(
     fn: Callable,
     policy: RetryPolicy,
@@ -49,6 +85,8 @@ def call_with_retry(
     non_retryable: Tuple[Type[BaseException], ...] = (),
     on_retry: Callable[[int, BaseException], None] = None,
     sleep: Callable[[float], None] = time.sleep,
+    jitter: float = 0.0,
+    rng: Optional[object] = None,
 ):
     """Call ``fn(attempt)`` up to ``policy.max_attempts`` times.
 
@@ -57,6 +95,7 @@ def call_with_retry(
     backoff (for counters/logging).  ``non_retryable`` wins over
     ``retryable`` — corruption errors subclass :class:`IOError` but
     retrying cannot fix them, so they propagate immediately.
+    ``jitter``/``rng`` spread the backoffs via :func:`jittered_delay`.
     """
     last: BaseException = None
     for attempt in range(policy.max_attempts):
@@ -70,7 +109,7 @@ def call_with_retry(
                 break
             if on_retry is not None:
                 on_retry(attempt, exc)
-            backoff = policy.delay(attempt)
+            backoff = jittered_delay(policy, attempt, jitter=jitter, rng=rng)
             if backoff > 0:
                 sleep(backoff)
     raise last

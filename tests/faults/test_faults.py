@@ -201,3 +201,90 @@ class TestInjector:
         reader = RecordReader(path, strict=False)
         assert len(list(reader)) == 2
         assert reader.records_skipped == 1
+
+
+class TestPlanValidation:
+    """Feasibility checks the faultsim CLI runs before launching."""
+
+    def test_feasible_plan_has_no_problems(self):
+        plan = FaultPlan(events=[
+            FaultEvent(FaultKind.RANK_CRASH, rank=1, step=3),
+            FaultEvent(FaultKind.RANK_RECOVER, rank=1, step=6),
+        ])
+        assert plan.validate(n_ranks=4, n_steps=10) == []
+
+    def test_rank_out_of_range(self):
+        plan = FaultPlan(events=[FaultEvent(FaultKind.RANK_CRASH, rank=4, step=0)])
+        (problem,) = plan.validate(n_ranks=4)
+        assert "rank 4" in problem and "0..3" in problem
+
+    def test_recovery_past_end_of_run(self):
+        plan = FaultPlan(events=[
+            FaultEvent(FaultKind.RANK_CRASH, rank=0, step=2),
+            FaultEvent(FaultKind.SPARE_JOIN, rank=0, step=50),
+        ])
+        (problem,) = plan.validate(n_ranks=2, n_steps=10)
+        assert "never be admitted" in problem
+
+    def test_no_step_bound_skips_schedule_check(self):
+        plan = FaultPlan(events=[FaultEvent(FaultKind.RANK_RECOVER, rank=0, step=50)])
+        assert plan.validate(n_ranks=1) == []
+
+    def test_unkeyed_kinds_ignore_rank_bound(self):
+        # READ_ERROR's step is a read ordinal, not a rank — never flagged.
+        plan = FaultPlan(events=[FaultEvent(FaultKind.READ_ERROR, step=999)])
+        assert plan.validate(n_ranks=1, n_steps=1) == []
+
+    def test_bad_n_ranks_rejected(self):
+        with pytest.raises(ValueError, match="n_ranks"):
+            FaultPlan().validate(n_ranks=0)
+
+
+class TestReplicaFaults:
+    """REPLICA_CRASH / REPLICA_SLOW — the serving tier's fault domain."""
+
+    def test_sample_replica_rates_deterministic(self):
+        kwargs = dict(
+            n_ranks=1, n_steps=1,
+            replica_crash_rate=0.1, replica_slow_rate=0.2,
+            replica_slow_s=0.07, n_dispatches=100,
+        )
+        a = FaultPlan.sample(seed=5, **kwargs)
+        b = FaultPlan.sample(seed=5, **kwargs)
+        assert a.events == b.events
+        crashes = a.of_kind(FaultKind.REPLICA_CRASH)
+        slows = a.of_kind(FaultKind.REPLICA_SLOW)
+        assert crashes and slows
+        assert all(e.delay_s == 0.07 for e in slows)
+
+    def test_sample_replica_rate_validation(self):
+        with pytest.raises(ValueError, match="replica_crash_rate"):
+            FaultPlan.sample(seed=0, n_ranks=1, n_steps=1,
+                             replica_crash_rate=2.0, n_dispatches=5)
+
+    def test_on_dispatch_consumes_at_ordinal(self):
+        plan = FaultPlan(events=[
+            FaultEvent(FaultKind.REPLICA_CRASH, step=1),
+            FaultEvent(FaultKind.REPLICA_SLOW, step=2, delay_s=0.5),
+        ])
+        inj = FaultInjector(plan)
+        assert inj.on_dispatch(0) == (False, 0.0)   # dispatch 0: clean
+        assert inj.on_dispatch(1) == (True, 0.0)    # dispatch 1: crash
+        assert inj.on_dispatch(1) == (False, 0.5)   # dispatch 2: slow
+        assert inj.on_dispatch(0) == (False, 0.0)
+        assert inj.fired[FaultKind.REPLICA_CRASH] == 1
+        assert inj.fired[FaultKind.REPLICA_SLOW] == 1
+
+    def test_on_dispatch_pinned_replica(self):
+        plan = FaultPlan(events=[
+            FaultEvent(FaultKind.REPLICA_CRASH, rank=2, step=0),
+        ])
+        inj = FaultInjector(plan)
+        # Dispatch 0 goes to replica 1 — pinned event doesn't match, and
+        # the dispatch counter still advances past its ordinal.
+        assert inj.on_dispatch(1) == (False, 0.0)
+        assert inj.on_dispatch(2) == (False, 0.0)
+        assert inj.fired_total() == 0
+
+    def test_on_dispatch_empty_plan_noop(self):
+        assert FaultInjector().on_dispatch(0) == (False, 0.0)

@@ -14,7 +14,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("simulate", "train", "predict", "topology", "scaling",
-                    "faultsim", "stage"):
+                    "faultsim", "stage", "serve"):
             args = {
                 "simulate": ["simulate", "--out", "x"],
                 "train": ["train", "--data", "x"],
@@ -23,6 +23,7 @@ class TestParser:
                 "scaling": ["scaling"],
                 "faultsim": ["faultsim"],
                 "stage": ["stage", "--data", "x", "--bb-dir", "y"],
+                "serve": ["serve"],
             }[cmd]
             parsed = parser.parse_args(args)
             assert parsed.command == cmd
@@ -178,6 +179,76 @@ class TestFaultsimExitCodes:
         out = capsys.readouterr().out
         assert "FAILED: unrecovered quorum loss" in out
         assert "--checkpoint-dir" in out
+
+    def test_infeasible_recovery_schedule_exits_two(self, capsys):
+        # --recover-after pushing every rejoin past the run's last step
+        # is a plan that can never do what was asked: refuse to run.
+        rc = main([
+            "faultsim", "--ranks", "2", "--epochs", "1", "--samples", "8",
+            "--crash-rate", "0.3", "--seed", "3", "--recover-after", "50",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "infeasible fault plan" in err
+        assert "never be admitted" in err
+
+    def test_feasible_recovery_schedule_runs(self, capsys):
+        rc = main([
+            "faultsim", "--ranks", "4", "--epochs", "1", "--samples", "16",
+            "--crash-rate", "0.15", "--seed", "1", "--recover-after", "1",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "rejoins: [2, 3]" in captured.out
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "faultsim", "--ranks", "2", "--epochs", "1", "--samples", "4",
+                "--spares", "-1",
+            ])
+
+
+class TestServeCommand:
+    BASE = [
+        "serve", "--replicas", "2", "--spares", "1", "--requests", "80",
+        "--rate", "200", "--unique", "1000", "--seed", "7",
+    ]
+
+    def test_clean_serve_exits_zero(self, capsys):
+        rc = main(self.BASE)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving tier:" in out and "dropped 0" in out
+
+    def test_crash_failover_zero_dropped(self, tmp_path, capsys):
+        report = tmp_path / "serve.json"
+        rc = main(self.BASE + [
+            "--crash-at", "3", "--report", str(report),
+            "--p99-budget-ms", "500",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crashes: 1" in out
+        import json
+
+        doc = json.loads(report.read_text())
+        assert doc["report"]["dropped"] == 0
+        assert doc["report"]["crashes"] == 1
+        assert doc["latency_histogram"]["p99"] > 0
+
+    def test_p99_budget_violation_exits_nonzero(self, capsys):
+        rc = main(self.BASE + ["--p99-budget-ms", "0.000001"])
+        assert rc == 1
+        assert "FAILED: served p99" in capsys.readouterr().out
+
+    def test_trace_roundtrips_through_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "serve_trace.json"
+        assert main(self.BASE + ["--trace", str(trace)]) == 0
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "admit" in out
 
 
 class TestCommandsSlow:

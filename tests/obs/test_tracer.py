@@ -141,6 +141,54 @@ class TestChromeExport:
             load_trace(p)
 
 
+class TestInstantOnlyTracks:
+    """Serving traces are instant-heavy: whole tracks may carry no
+    duration spans at all, and the summary must not assume otherwise."""
+
+    def test_instant_only_trace_summarizes_cleanly(self, tmp_path):
+        tr = Tracer()
+        for _ in range(3):
+            tr.instant("admit", cat="serve", track="serve")
+        tr.instant("shed", cat="serve", track="serve")
+        path = tr.export(tmp_path / "serve.json")
+        summary = summarize_trace(load_trace(path))
+        assert summary.stages == {}
+        assert summary.instants == {"admit": 3, "shed": 1}
+        assert summary.per_track_instants == {"serve": {"admit": 3, "shed": 1}}
+        text = format_summary(summary)
+        assert "no engine stage spans" in text
+        assert "admit: 3" in text
+
+    def test_mixed_trace_keeps_instant_track_attribution(self, tmp_path):
+        tr = Tracer()
+        with tr.span("compute", cat="engine", track=0):
+            pass
+        with tr.span("compute", cat="engine", track=1):
+            pass
+        tr.instant("redrain", cat="serve", track="serve")
+        tr.instant("hedge", cat="serve", track="serve")
+        tr.instant("hedge", cat="serve", track="serve")
+        path = tr.export(tmp_path / "mixed.json")
+        summary = summarize_trace(load_trace(path))
+        # The instant-only track shows up alongside the span tracks.
+        assert "serve" in summary.tracks()
+        assert summary.per_track_instants["serve"] == {"redrain": 1, "hedge": 2}
+        assert "serve" not in summary.per_track  # no durations there
+        text = format_summary(summary)
+        assert "track: serve" in text
+        assert "hedge: 2" in text
+
+    def test_cli_exits_zero_on_instant_only_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        tr = Tracer()
+        tr.instant("evict", cat="serve", track="serve")
+        path = tr.export(tmp_path / "only.json")
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "evict: 1" in out
+
+
 class TestNullTracer:
     def test_disabled_and_records_nothing(self):
         nt = NullTracer()

@@ -1,0 +1,174 @@
+"""Unit tests for the serving tier's building blocks."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.cache import ResultCache
+from repro.serve.request import InferenceRequest, Outcome
+from repro.serve.workload import WorkloadSpec, build_requests, payload_volume
+
+
+def req(rid=0, arrival=0.0, deadline=1.0, payload="vol-0000"):
+    return InferenceRequest(rid=rid, arrival_s=arrival, deadline_s=deadline, payload=payload)
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="deadline"):
+            InferenceRequest(rid=0, arrival_s=1.0, deadline_s=0.5, payload="x")
+        with pytest.raises(ValueError, match="n_samples"):
+            InferenceRequest(rid=0, arrival_s=0.0, deadline_s=1.0, payload="x", n_samples=0)
+
+    def test_resolve_is_first_wins(self):
+        r = req()
+        assert r.resolve(Outcome.COMPLETED, 0.5) is True
+        # The hedge twin arriving later must not overwrite the result.
+        assert r.resolve(Outcome.COMPLETED, 0.9) is False
+        assert r.finish_s == 0.5 and r.latency_s == 0.5
+
+    def test_deadline_accounting(self):
+        r = req(deadline=1.0)
+        r.resolve(Outcome.COMPLETED, 1.5)
+        assert not r.met_deadline
+        assert req(deadline=1.0).met_deadline is False  # pending -> not met
+
+    def test_shed_request_has_no_latency(self):
+        r = req()
+        r.resolve(Outcome.SHED_DEADLINE)
+        assert r.latency_s is None and r.resolved
+
+
+class TestResultCache:
+    def test_hit_miss_and_lru_eviction(self):
+        c = ResultCache(capacity=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1  # refreshes "a"
+        c.put("c", 3)  # evicts "b", the LRU entry
+        assert c.get("b") is None
+        assert c.get("a") == 1 and c.get("c") == 3
+        assert c.evictions == 1
+        assert c.stats()["hits"] == 3 and c.stats()["misses"] == 1
+
+    def test_zero_capacity_disables(self):
+        c = ResultCache(capacity=0)
+        c.put("a", 1)
+        assert c.get("a") is None and len(c) == 0
+
+    def test_refresh_does_not_duplicate(self):
+        c = ResultCache(capacity=4)
+        c.put("a", 1)
+        c.put("a", 2)
+        assert len(c) == 1 and c.get("a") == 2 and c.inserts == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+
+class TestAdmission:
+    def make(self, max_queue=4, max_batch=2, service=0.1, **kw):
+        return AdmissionController(
+            max_queue=max_queue, max_batch=max_batch, batch_service_s=service, **kw
+        )
+
+    def test_queue_full_sheds(self):
+        adm = self.make(max_queue=2)
+        for i in range(2):
+            adm.push(req(rid=i))
+        d = adm.decide(req(rid=9), 0.0, n_serving=1, n_warming=0, n_spares=0, in_flight=0)
+        assert d is AdmissionDecision.SHED_QUEUE_FULL
+
+    def test_infeasible_deadline_sheds(self):
+        adm = self.make(max_queue=64, max_batch=1, service=1.0)
+        for i in range(3):
+            adm.push(req(rid=i))
+        tight = InferenceRequest(rid=9, arrival_s=0.0, deadline_s=0.5, payload="x")
+        d = adm.decide(tight, 0.0, n_serving=1, n_warming=0, n_spares=0, in_flight=0)
+        assert d is AdmissionDecision.SHED_DEADLINE
+        loose = InferenceRequest(rid=10, arrival_s=0.0, deadline_s=10.0, payload="x")
+        assert (
+            adm.decide(loose, 0.0, n_serving=1, n_warming=0, n_spares=0, in_flight=0)
+            is AdmissionDecision.ADMIT
+        )
+
+    def test_dead_pool_sheds_unavailable(self):
+        adm = self.make()
+        d = adm.decide(req(), 0.0, n_serving=0, n_warming=0, n_spares=0, in_flight=0)
+        assert d is AdmissionDecision.SHED_UNAVAILABLE
+        # A warming spare keeps the door open.
+        d = adm.decide(req(), 0.0, n_serving=0, n_warming=1, n_spares=0, in_flight=0)
+        assert d is not AdmissionDecision.SHED_UNAVAILABLE
+
+    def test_more_replicas_admit_more(self):
+        adm = self.make(max_queue=64, max_batch=1, service=1.0)
+        for i in range(4):
+            adm.push(req(rid=i))
+        r = InferenceRequest(rid=9, arrival_s=0.0, deadline_s=2.5, payload="x")
+        assert (
+            adm.decide(r, 0.0, n_serving=1, n_warming=0, n_spares=0, in_flight=0)
+            is AdmissionDecision.SHED_DEADLINE
+        )
+        assert (
+            adm.decide(r, 0.0, n_serving=4, n_warming=0, n_spares=0, in_flight=0)
+            is AdmissionDecision.ADMIT
+        )
+
+    def test_redrain_goes_to_front_in_order(self):
+        adm = self.make(max_queue=8, max_batch=4)
+        adm.push(req(rid=5))
+        n = adm.redrain([req(rid=1), req(rid=2)])
+        assert n == 2
+        assert [r.rid for r in adm.queue] == [1, 2, 5]
+        assert all(r.redrains == 1 for r in list(adm.queue)[:2])
+
+    def test_batch_ready_and_take(self):
+        adm = self.make(max_queue=8, max_batch=2)
+        adm.push(req(rid=0, arrival=0.0))
+        assert not adm.batch_ready(now=0.001, max_wait_s=0.01)  # young, underfull
+        assert adm.batch_ready(now=0.02, max_wait_s=0.01)  # aged out
+        adm.push(req(rid=1, arrival=0.0))
+        adm.push(req(rid=2, arrival=0.0))
+        assert adm.batch_ready(now=0.001, max_wait_s=0.01)  # full batch
+        assert [r.rid for r in adm.take_batch()] == [0, 1]
+        assert [r.rid for r in adm.take_batch()] == [2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(max_queue=0)
+        with pytest.raises(ValueError):
+            self.make(service=0.0)
+
+
+class TestWorkload:
+    def test_deterministic_and_sorted(self):
+        spec = WorkloadSpec(n_requests=50, rate_qps=200.0, n_unique=8)
+        a = build_requests(spec, seed=4)
+        b = build_requests(spec, seed=4)
+        assert [(r.arrival_s, r.payload) for r in a] == [
+            (r.arrival_s, r.payload) for r in b
+        ]
+        assert all(x.arrival_s <= y.arrival_s for x, y in zip(a, a[1:]))
+        assert all(r.deadline_s == pytest.approx(r.arrival_s + 0.25) for r in a)
+        c = build_requests(spec, seed=5)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in c]
+
+    def test_payloads_bounded_by_n_unique(self):
+        spec = WorkloadSpec(n_requests=100, rate_qps=100.0, n_unique=3)
+        payloads = {r.payload for r in build_requests(spec, seed=0)}
+        assert payloads <= {"vol-0000", "vol-0001", "vol-0002"}
+
+    def test_payload_volume_deterministic(self):
+        import numpy as np
+
+        a = payload_volume("vol-0001", 16, seed=2)
+        b = payload_volume("vol-0001", 16, seed=2)
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (16, 16, 16) and a.dtype == np.float32
+        assert not np.array_equal(a, payload_volume("vol-0002", 16, seed=2))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_requests=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(rate_qps=0.0)

@@ -1,0 +1,144 @@
+"""Tests for the consolidated retry/backoff helper.
+
+The jittered schedule is shared by the staging tier, the elastic
+restart loop, and the serving tier's replica bring-up, so its
+determinism contract — same seed, same delays, in draw order — is
+load-bearing for every fault benchmark's bitwise-replay assertion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils.retry import RetryPolicy, call_with_retry, jittered_delay
+from repro.utils.rng import new_rng
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule(self):
+        p = RetryPolicy(max_attempts=5, base_delay_s=0.01, multiplier=2.0, max_delay_s=1.0)
+        assert [p.delay(a) for a in range(4)] == [0.01, 0.02, 0.04, 0.08]
+
+    def test_cap(self):
+        p = RetryPolicy(base_delay_s=0.5, multiplier=10.0, max_delay_s=1.0)
+        assert p.delay(3) == 1.0
+
+
+class TestJitteredDelay:
+    POLICY = RetryPolicy(max_attempts=6, base_delay_s=0.1, multiplier=2.0, max_delay_s=10.0)
+
+    def test_no_jitter_is_bare_schedule(self):
+        for attempt in range(5):
+            assert jittered_delay(self.POLICY, attempt) == self.POLICY.delay(attempt)
+
+    def test_no_rng_is_bare_schedule(self):
+        # A jitter fraction without a generator cannot randomize.
+        assert jittered_delay(self.POLICY, 2, jitter=0.5) == self.POLICY.delay(2)
+
+    def test_seeded_jitter_is_deterministic(self):
+        a = [jittered_delay(self.POLICY, i, jitter=0.25, rng=new_rng(7)) for i in range(6)]
+        b = [jittered_delay(self.POLICY, i, jitter=0.25, rng=new_rng(7)) for i in range(6)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [jittered_delay(self.POLICY, i, jitter=0.25, rng=new_rng(7)) for i in range(6)]
+        c = [jittered_delay(self.POLICY, i, jitter=0.25, rng=new_rng(8)) for i in range(6)]
+        assert a != c
+
+    def test_jitter_bounds(self):
+        rng = new_rng(3)
+        for attempt in range(50):
+            base = self.POLICY.delay(attempt % 6)
+            d = jittered_delay(self.POLICY, attempt % 6, jitter=0.25, rng=rng)
+            assert 0.75 * base <= d <= 1.25 * base
+
+    def test_one_draw_per_call(self):
+        # The helper consumes exactly one uniform per call, so shared
+        # generators stay in lockstep with the historical inline code.
+        rng = new_rng(11)
+        jittered_delay(self.POLICY, 0, jitter=0.25, rng=rng)
+        ref = new_rng(11)
+        ref.uniform(-1.0, 1.0)
+        assert rng.uniform() == ref.uniform()
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            jittered_delay(self.POLICY, 0, jitter=1.5, rng=new_rng(0))
+
+    def test_matches_staging_inline_formula(self):
+        # The formula the staging tier used before consolidation.
+        rng_new = new_rng(5)
+        rng_old = new_rng(5)
+        for attempt in range(4):
+            got = jittered_delay(self.POLICY, attempt, jitter=0.25, rng=rng_new)
+            want = self.POLICY.delay(attempt) * (
+                1.0 + 0.25 * float(rng_old.uniform(-1.0, 1.0))
+            )
+            assert got == want
+
+
+class TestCallWithRetryJitter:
+    def test_sleeps_are_jittered_and_seeded(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.01)
+
+        def run(seed):
+            slept = []
+            calls = []
+
+            def fn(attempt):
+                calls.append(attempt)
+                if attempt < 3:
+                    raise IOError("transient")
+                return "ok"
+
+            out = call_with_retry(
+                fn,
+                policy,
+                sleep=slept.append,
+                jitter=0.25,
+                rng=new_rng(seed),
+            )
+            assert out == "ok"
+            assert calls == [0, 1, 2, 3]
+            return slept
+
+        a, b, c = run(1), run(1), run(2)
+        assert a == b
+        assert a != c
+        assert len(a) == 3
+        for attempt, d in enumerate(a):
+            base = policy.delay(attempt)
+            assert 0.75 * base <= d <= 1.25 * base
+
+    def test_default_unjittered_path_unchanged(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01)
+        slept = []
+
+        def fn(attempt):
+            raise IOError("always")
+
+        with pytest.raises(IOError):
+            call_with_retry(fn, policy, sleep=slept.append)
+        assert slept == [policy.delay(0), policy.delay(1)]
+
+
+class TestElasticRestartBackoffConfig:
+    def test_config_accepts_policy(self):
+        from repro.core.elastic import ElasticConfig
+
+        cfg = ElasticConfig(
+            restart_backoff=RetryPolicy(base_delay_s=0.0), restart_jitter=0.5
+        )
+        assert cfg.restart_backoff.base_delay_s == 0.0
+
+    def test_invalid_restart_jitter_rejected(self):
+        from repro.core.elastic import ElasticConfig
+
+        with pytest.raises(ValueError):
+            ElasticConfig(restart_jitter=2.0)
+
+
+def test_numpy_interop():
+    # The helper accepts any object with .uniform — numpy Generators in
+    # practice — and returns a builtin float either way.
+    d = jittered_delay(RetryPolicy(), 0, jitter=0.1, rng=np.random.default_rng(0))
+    assert isinstance(d, float)
