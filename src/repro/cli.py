@@ -20,11 +20,55 @@ Commands
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CliInterrupted", "interruptible"]
+
+
+class CliInterrupted(Exception):
+    """A long-running command was stopped by SIGINT or SIGTERM.
+
+    Commands catch this, flush whatever artifacts they were asked to
+    produce (trace, metrics, report) so a killed run still leaves
+    evidence behind, and exit with the conventional ``128 + signum``
+    code (130 for SIGINT, 143 for SIGTERM) so wrappers can tell an
+    interrupted run from a failed one.
+    """
+
+    def __init__(self, signum: int):
+        self.signum = signum
+        self.signal_name = signal.Signals(signum).name
+        self.exit_code = 128 + signum
+        super().__init__(f"interrupted by {self.signal_name}")
+
+
+@contextlib.contextmanager
+def interruptible():
+    """Convert SIGINT/SIGTERM into :class:`CliInterrupted` for the body.
+
+    Previous handlers are restored on exit, so only the command's
+    long-running section gets the flush-and-exit treatment; a second
+    signal during the flush itself kills the process normally.
+    """
+
+    def _raise(signum, frame):
+        raise CliInterrupted(signum)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _raise)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        yield
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,9 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, help="write model checkpoint here")
     p.add_argument(
         "--mode",
-        choices=("local", "stepped", "threaded", "elastic"),
+        choices=("local", "stepped", "threaded", "process", "elastic"),
         default="local",
-        help="training-engine execution backend",
+        help="training-engine execution backend (`process` runs each "
+        "rank as a real OS process under supervision)",
     )
     p.add_argument("--ranks", type=int, default=2,
                    help="data-parallel ranks for non-local modes")
@@ -106,6 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spares", type=int, default=0,
                    help="warm-spare pool size: evicted ranks are auto-"
                    "replaced at the next step boundary while spares last")
+    p.add_argument("--backend", choices=("threaded", "process"),
+                   default="threaded",
+                   help="run ranks as threads (simulated faults) or real "
+                   "supervised OS processes (real SIGKILLs)")
+    p.add_argument("--plan-file", default=None, metavar="PLAN.json",
+                   help="replay a saved fault plan instead of sampling "
+                   "one (see --save-plan)")
+    p.add_argument("--save-plan", default=None, metavar="OUT.json",
+                   help="write the fault plan (sampled or loaded) as "
+                   "JSON before running, for later --plan-file replay")
 
     p = sub.add_parser(
         "stage",
@@ -278,7 +333,19 @@ def cmd_train(args) -> int:
             ),
             tracer=tracer, metrics=metrics,
         )
-    history = trainer.run()
+    try:
+        with interruptible():
+            history = trainer.run()
+    except CliInterrupted as exc:
+        # A killed training run should still leave its observability
+        # artifacts behind: whatever the tracer and registry saw up to
+        # the signal is flushed before exiting 128+signum.
+        print(f"interrupted by {exc.signal_name}; flushing partial artifacts")
+        if tracer is not None:
+            out = tracer.export(args.trace)
+            print(f"trace: {out} ({len(tracer.ordered())} events, partial)")
+            print(metrics.report())
+        return exc.exit_code
     for e, (tl, vl) in enumerate(zip(history.train_loss, history.val_loss), 1):
         print(f"epoch {e}: train {tl:.4f}  val {vl:.4f}")
     if args.mode == "local":
@@ -380,19 +447,27 @@ def cmd_faultsim(args) -> int:
     x = rng.standard_normal((args.samples, 1, 16, 16, 16)).astype(np.float32)
     y = rng.uniform(0.2, 0.8, size=(args.samples, 3)).astype(np.float32)
     steps = (args.samples // args.ranks) * args.epochs
-    plan = FaultPlan.sample(
-        args.seed,
-        args.ranks,
-        steps,
-        crash_rate=args.crash_rate,
-        hang_rate=args.hang_rate,
-        hang_delay_s=args.hang_delay,
-        corrupt_rate=args.corrupt_rate,
-    )
+    if args.plan_file:
+        try:
+            plan = FaultPlan.load(args.plan_file)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load fault plan {args.plan_file}: {exc}")
+    else:
+        plan = FaultPlan.sample(
+            args.seed,
+            args.ranks,
+            steps,
+            crash_rate=args.crash_rate,
+            hang_rate=args.hang_rate,
+            hang_delay_s=args.hang_delay,
+            corrupt_rate=args.corrupt_rate,
+        )
     if args.spares < 0:
         raise SystemExit("--spares must be >= 0")
     if args.recover_after is not None:
         plan = plan.with_recovery(args.recover_after)
+    if args.save_plan:
+        print(f"fault plan: {plan.save(args.save_plan)}")
     # The run's rank space includes warm spares (they join with ids
     # past the primaries); a plan referencing anything else, or a
     # rejoin scheduled after the last step, cannot do what was asked.
@@ -416,6 +491,7 @@ def cmd_faultsim(args) -> int:
             spares=args.spares,
         ),
         injector=FaultInjector(plan),
+        backend=args.backend,
     )
     try:
         hist = trainer.run()
@@ -495,15 +571,23 @@ def cmd_stage(args) -> int:
         seed=args.seed,
         injector=injector,
     )
-    staged = manager.stage_all(paths)
-    print(f"staged {staged}/{len(paths)} shards "
-          f"({manager.staged_bytes / 1e6:.1f} MB in burst buffer)")
-
     try:
-        dataset = RecordDataset(paths, strict=args.strict, staging=manager)
-        delivered = sum(
-            len(x) for x, _ in dataset.batches(1, rng=np.random.default_rng(args.seed))
-        )
+        with interruptible():
+            staged = manager.stage_all(paths)
+            print(f"staged {staged}/{len(paths)} shards "
+                  f"({manager.staged_bytes / 1e6:.1f} MB in burst buffer)")
+            dataset = RecordDataset(paths, strict=args.strict, staging=manager)
+            delivered = sum(
+                len(x)
+                for x, _ in dataset.batches(1, rng=np.random.default_rng(args.seed))
+            )
+    except CliInterrupted as exc:
+        # Flush the staging ledger before dying: a half-staged burst
+        # buffer with no record of what landed is the worst outcome.
+        print(manager.stats.describe())
+        print(f"faults fired: {injector.summary() or 'none'}")
+        print(f"interrupted by {exc.signal_name}; staging stats flushed")
+        return exc.exit_code
     except (RecordCorruptionError, OSError) as exc:
         print(manager.stats.describe())
         print(f"FAILED: verification read pass died: {exc}")
@@ -576,7 +660,25 @@ def cmd_serve(args) -> int:
         deadline_slack_s=args.deadline_ms / 1e3,
         n_unique=args.unique,
     )
-    report = server.run(build_requests(spec, seed=args.seed))
+    try:
+        with interruptible():
+            report = server.run(build_requests(spec, seed=args.seed))
+    except CliInterrupted as exc:
+        print(f"interrupted by {exc.signal_name}; flushing partial artifacts")
+        if args.report:
+            doc = {
+                "interrupted": exc.signal_name,
+                "latency_histogram": server.metrics.histogram(
+                    "serve.latency_s"
+                ).summary(),
+            }
+            with open(args.report, "w") as fh:
+                json.dump(doc, fh, indent=2)
+            print(f"report: {args.report} (partial)")
+        if tracer is not None:
+            out = tracer.export(args.trace)
+            print(f"trace: {out} ({len(tracer.ordered())} events, partial)")
+        return exc.exit_code
     print(report.describe())
     print(f"breakers: {server.pool.breaker_states()}")
     if injector is not None:

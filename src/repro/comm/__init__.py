@@ -31,6 +31,11 @@ This subpackage reproduces that stack in-process:
 * :mod:`repro.comm.elastic` — :class:`ElasticThreadedGroup`, the
   fault-tolerant threaded backend whose collectives shrink and continue
   over surviving ranks.
+* :mod:`repro.comm.process` — :class:`ProcessComm` +
+  :class:`RankSupervisor`, the real-process backend: ranks as spawned
+  OS processes over crash-safe shared-memory collectives, with
+  parent-side crash detection, heartbeat eviction, and guaranteed
+  segment cleanup.
 """
 
 from repro.comm.communicator import Communicator, ReduceOp
@@ -38,6 +43,7 @@ from repro.comm.errors import (
     CommError,
     CommTimeoutError,
     MessageCorruptError,
+    ProcessCrashError,
     QuorumLostError,
     RankEvictedError,
     RankFailedError,
@@ -45,6 +51,7 @@ from repro.comm.errors import (
 from repro.comm.serial import SerialCommunicator, SteppedGroup
 from repro.comm.threaded import ThreadedGroup
 from repro.comm.elastic import ElasticComm, ElasticThreadedGroup
+from repro.comm.process import ProcessComm, RankSupervisor, sweep_stale_segments
 from repro.comm.algorithms import (
     ring_allreduce_schedule,
     halving_doubling_schedule,
@@ -64,9 +71,13 @@ __all__ = [
     "ThreadedGroup",
     "ElasticComm",
     "ElasticThreadedGroup",
+    "ProcessComm",
+    "RankSupervisor",
+    "sweep_stale_segments",
     "CommError",
     "CommTimeoutError",
     "RankFailedError",
+    "ProcessCrashError",
     "RankEvictedError",
     "MessageCorruptError",
     "QuorumLostError",

@@ -27,6 +27,7 @@ __all__ = [
     "CommError",
     "CommTimeoutError",
     "RankFailedError",
+    "ProcessCrashError",
     "RankEvictedError",
     "MessageCorruptError",
     "QuorumLostError",
@@ -51,6 +52,29 @@ class RankFailedError(CommError):
     def __init__(self, message: str, failed_ranks: Sequence[int] = ()):
         super().__init__(message)
         self.failed_ranks: Tuple[int, ...] = tuple(failed_ranks)
+
+
+class ProcessCrashError(RankFailedError):
+    """A rank's worker *process* died (real-process backend).
+
+    Carries how the OS reported the death: ``exitcode`` as seen by the
+    supervisor (negative = killed by a signal, following the
+    ``multiprocessing`` convention) and, for signal deaths, the signal
+    name (``"SIGKILL"``, ``"SIGSEGV"``, ...).  Subclasses
+    :class:`RankFailedError` so elastic recovery treats a SIGKILLed
+    process exactly like a crashed thread — shrink and continue.
+    """
+
+    def __init__(self, rank: int, exitcode: Optional[int], signal_name: Optional[str] = None):
+        how = (
+            f"killed by {signal_name}"
+            if signal_name
+            else f"exited with code {exitcode}"
+        )
+        super().__init__(f"rank {rank}'s worker process {how}", failed_ranks=[rank])
+        self.rank = rank
+        self.exitcode = exitcode
+        self.signal_name = signal_name
 
 
 class RankEvictedError(CommError):

@@ -1,0 +1,1004 @@
+"""Real-process rank group over crash-safe shared memory.
+
+The threaded backends prove the *semantics* of elastic synchronous
+SGD; this module proves them against the failure modes the paper's
+8192-node runs actually face: a rank is an **OS process** that can be
+SIGKILLed mid-step, leak its buffers, or orphan its children.  The
+pieces:
+
+* a **shared-memory collective arena** — one control segment of int64
+  protocol words plus one data segment of per-rank payload slots —
+  through which spawned rank processes run the same rank-ordered,
+  bitwise-deterministic collectives as every other backend
+  (:func:`~repro.comm.communicator.reduce_arrays` does the arithmetic);
+* :class:`ProcessComm`, the per-worker :class:`Communicator`: elastic
+  semantics (shrink-and-continue, eviction by timeout, quorum,
+  generation-fenced admission) ported from
+  :class:`~repro.comm.elastic.ElasticComm` onto lock-free polling —
+  a SIGKILLed peer can never deadlock a survivor, because no rank ever
+  blocks on a lock a corpse might hold;
+* :class:`RankSupervisor`, the parent-side monitor: exit-code/signal
+  crash classification onto the typed :class:`CommError` hierarchy,
+  heartbeat liveness with SIGTERM-then-SIGKILL escalation, joiner
+  spawning for step-boundary rejoins, and guaranteed teardown;
+* a **segment registry** (:func:`register_segment` /
+  :func:`sweep_stale_segments`): every created segment is recorded in
+  a per-owner JSON file, so even a supervisor that dies by SIGKILL
+  leaves enough on disk for the *next* run to reap its ``/dev/shm``
+  debris.
+
+Crash-safety of the protocol rests on publication ordering, not mutual
+exclusion: a writer fills its payload slot, then stores the generation
+number into its ``ARRIVE`` word last; the reducer publishes result
+bytes and metadata, then stores ``RESULT_GEN`` last.  A rank killed
+mid-write is invisible (its ``ARRIVE``/``RESULT_GEN`` store never
+happened) and its half-written buffer is never consumed.  The result
+slot is safely single-buffered because a rank can only overwrite it
+for generation ``g+1`` after every active rank arrived at ``g+1`` —
+which implies they all consumed ``g``.  (Word-aligned int64 loads and
+stores are atomic on the platforms this repo targets; the ordering
+argument assumes x86-TSO-like total store order.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.communicator import Communicator, ReduceOp, reduce_arrays
+from repro.comm.errors import (
+    ProcessCrashError,
+    QuorumLostError,
+    RankEvictedError,
+    RankFailedError,
+)
+from repro.faults.plan import FaultKind
+from repro.utils.logging import get_logger
+from repro.utils.procs import pid_alive
+
+__all__ = [
+    "ShmLayout",
+    "ProcessComm",
+    "RankSupervisor",
+    "register_segment",
+    "unregister_segment",
+    "sweep_stale_segments",
+    "attach_segment",
+    "create_segment",
+    "EXIT_OK",
+    "EXIT_CRASH",
+    "EXIT_QUORUM_LOST",
+    "EXIT_EVICTED",
+    "EXIT_INTERRUPTED",
+    "MAX_WORLD",
+]
+
+_log = get_logger("comm.process")
+
+# Worker exit codes: the supervisor's crash classifier keys on these.
+EXIT_OK = 0
+EXIT_CRASH = 1
+EXIT_QUORUM_LOST = 3
+EXIT_EVICTED = 4
+EXIT_INTERRUPTED = 5
+
+#: Membership is a bitmask in one int64 word.
+MAX_WORLD = 63
+
+# Rank status values.
+_ACTIVE = 0
+_DEAD = 1
+_DONE = 2
+
+# Global control words.
+_G_MAGIC = 0
+_G_WORLD = 1
+_G_QUORUM = 2
+_G_QUORUM_LOST = 3
+_G_RESULT_GEN = 4
+_G_RESULT_MEMBERS = 5
+_G_ERROR_CODE = 6
+_G_ERROR_ARG = 7
+_G_REDUCTIONS = 8
+_G_BYTES_REDUCED = 9
+_G_SPARES_LEFT = 10
+_G_RESYNC_BYTES = 11
+_G_RESYNCS = 12
+_NG = 16  # padded
+
+# Per-rank control arrays, in layout order.
+_FIELDS = (
+    "status",       # _ACTIVE / _DEAD / _DONE
+    "arrive",       # generation of the rank's latest contribution (-1 = none)
+    "heartbeat",    # liveness counter, bumped in every poll iteration
+    "incarnation",  # admission fencing: bumped on every readmission
+    "admit_gen",    # first generation this incarnation participates in
+    "join_req",     # incarnation the supervisor should spawn (0 = none)
+    "join_spare",   # whether the pending join consumes a spare slot
+    "resync_crc",   # CRC32 of the joiner's resync payload file
+    "evicted",      # the rank was evicted by a peer or the supervisor
+    "respawn",      # a spare is reserved; donor admits at next boundary
+    "begun",        # last global step whose top this rank reached (-1)
+)
+
+_MAGIC = 0x5245_5052  # "REPR"
+
+# Result error codes (per-collective, written by the reducer).
+_ERR_NONE = 0
+_ERR_BCAST_ROOT_DEAD = 1
+
+#: dtypes a payload may carry across the wire (closed, ordered table).
+_DTYPES = (
+    np.dtype(np.float64),
+    np.dtype(np.float32),
+    np.dtype(np.int64),
+    np.dtype(np.int32),
+    np.dtype(np.uint8),
+    np.dtype(np.bool_),
+)
+
+_MAX_NDIM = 8
+_HDR_WORDS = 2 + _MAX_NDIM  # dtype_code, ndim, shape[8]
+_HDR_BYTES = _HDR_WORDS * 8
+
+
+def _dtype_code(dtype: np.dtype) -> int:
+    for i, d in enumerate(_DTYPES):
+        if d == dtype:
+            return i
+    raise TypeError(f"unsupported payload dtype {dtype} for the process backend")
+
+
+# ---------------------------------------------------------------------------
+# Segment registry: crash-proof shared-memory accounting
+# ---------------------------------------------------------------------------
+
+
+def _registry_dir() -> Path:
+    root = os.environ.get("REPRO_SHM_REGISTRY")
+    if root:
+        return Path(root)
+    import tempfile
+
+    return Path(tempfile.gettempdir()) / "repro-shm-registry"
+
+
+def register_segment(name: str) -> Path:
+    """Record that this process owns shared-memory segment ``name``.
+
+    The record outlives the process — that is the point.  If the owner
+    dies without unlinking (SIGKILL takes no prisoners), the segment's
+    name and owner pid survive on disk and the next run's
+    :func:`sweep_stale_segments` reclaims it.
+    """
+    directory = _registry_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps({"name": name, "pid": os.getpid()}))
+    return path
+
+
+def unregister_segment(name: str) -> None:
+    try:
+        (_registry_dir() / f"{name}.json").unlink()
+    except OSError:
+        pass
+
+
+def sweep_stale_segments() -> List[str]:
+    """Unlink segments whose registered owner process is dead.
+
+    Returns the names reclaimed.  Segments of live owners are left
+    untouched, as are records we cannot parse (another tool's files).
+    """
+    directory = _registry_dir()
+    if not directory.is_dir():
+        return []
+    reclaimed: List[str] = []
+    for record in sorted(directory.glob("*.json")):
+        try:
+            doc = json.loads(record.read_text())
+            name, pid = doc["name"], int(doc["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        if pid_alive(pid):
+            continue
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            pass  # the owner did unlink before dying
+        else:
+            seg.close()
+            seg.unlink()
+            _log.warning(
+                "reclaimed orphaned shared-memory segment %s (dead owner pid %d)",
+                name, pid,
+            )
+            reclaimed.append(name)
+        try:
+            record.unlink()
+        except OSError:
+            pass
+    return reclaimed
+
+
+def create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create an anonymous-named segment and register it to this pid."""
+    seg = shared_memory.SharedMemory(create=True, size=size)
+    register_segment(seg.name)
+    return seg
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    Workers attach; only the supervisor owns.  Python's per-process
+    ``resource_tracker`` would otherwise unlink the segment when *any*
+    attaching process exits, turning one worker death into group-wide
+    buffer loss — exactly the failure this backend exists to survive.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass  # Python < 3.13: no track parameter
+    # Pre-3.13 workaround: attach registers with the resource tracker
+    # exactly like create does, and since sibling workers share one
+    # tracker process, N attach/unregister pairs for the same name
+    # corrupt its refcount-free cache.  Suppress registration for the
+    # duration of the attach instead.
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip(name_, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(name_, rtype)
+
+    resource_tracker.register = _skip
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def destroy_segment(seg: shared_memory.SharedMemory) -> None:
+    """Close, unlink, and unregister an owned segment (idempotent)."""
+    name = seg.name
+    try:
+        seg.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+    try:
+        seg.unlink()
+    except OSError:
+        pass
+    unregister_segment(name)
+
+
+# ---------------------------------------------------------------------------
+# Layout
+# ---------------------------------------------------------------------------
+
+
+class ShmLayout:
+    """Geometry of the two segments for a ``world``-rank group.
+
+    The data segment holds ``world + 1`` payload slots (one per rank
+    plus the result slot), each a small shape/dtype header followed by
+    ``payload_bytes`` of raw tensor bytes.
+    """
+
+    def __init__(self, world: int, payload_bytes: int):
+        if not 1 <= world <= MAX_WORLD:
+            raise ValueError(f"world must be in [1, {MAX_WORLD}], got {world}")
+        self.world = world
+        self.payload_bytes = int(payload_bytes)
+        self.slot_bytes = _HDR_BYTES + self.payload_bytes
+        self.ctrl_words = _NG + len(_FIELDS) * world
+        self.ctrl_bytes = self.ctrl_words * 8
+        self.data_bytes = (world + 1) * self.slot_bytes
+
+    def ctrl_view(self, buf) -> np.ndarray:
+        return np.ndarray((self.ctrl_words,), dtype=np.int64, buffer=buf)
+
+    def field(self, ctrl: np.ndarray, name: str) -> np.ndarray:
+        i = _FIELDS.index(name)
+        lo = _NG + i * self.world
+        return ctrl[lo : lo + self.world]
+
+    def init_ctrl(self, ctrl: np.ndarray, quorum: int, spares: int) -> None:
+        ctrl[:] = 0
+        ctrl[_G_MAGIC] = _MAGIC
+        ctrl[_G_WORLD] = self.world
+        ctrl[_G_QUORUM] = quorum
+        ctrl[_G_RESULT_GEN] = -1
+        ctrl[_G_SPARES_LEFT] = spares
+        self.field(ctrl, "arrive")[:] = -1
+        self.field(ctrl, "begun")[:] = -1
+
+    # -- data slots ---------------------------------------------------------
+
+    def _slot(self, data_buf, index: int) -> memoryview:
+        lo = index * self.slot_bytes
+        return memoryview(data_buf)[lo : lo + self.slot_bytes]
+
+    def write_slot(self, data_buf, index: int, array: Optional[np.ndarray]) -> int:
+        """Serialize ``array`` into a slot; returns its payload nbytes.
+
+        The caller publishes the slot afterwards (``ARRIVE`` or
+        ``RESULT_GEN`` store) — this function only moves bytes.
+        """
+        slot = self._slot(data_buf, index)
+        hdr = np.ndarray((_HDR_WORDS,), dtype=np.int64, buffer=slot)
+        if array is None:
+            hdr[0] = -1
+            return 0
+        arr = np.ascontiguousarray(array)
+        code = _dtype_code(arr.dtype)
+        if arr.ndim > _MAX_NDIM:
+            raise ValueError(f"payload ndim {arr.ndim} exceeds {_MAX_NDIM}")
+        if arr.nbytes > self.payload_bytes:
+            raise ValueError(
+                f"payload of {arr.nbytes} bytes exceeds the {self.payload_bytes}-byte slot"
+            )
+        hdr[1] = arr.ndim
+        hdr[2 : 2 + arr.ndim] = arr.shape
+        slot[_HDR_BYTES : _HDR_BYTES + arr.nbytes] = arr.tobytes()
+        hdr[0] = code
+        return int(arr.nbytes)
+
+    def read_slot(self, data_buf, index: int) -> Optional[np.ndarray]:
+        """Deserialize a published slot into a fresh (owned) array."""
+        slot = self._slot(data_buf, index)
+        hdr = np.ndarray((_HDR_WORDS,), dtype=np.int64, buffer=slot)
+        code = int(hdr[0])
+        if code < 0:
+            return None
+        dtype = _DTYPES[code]
+        ndim = int(hdr[1])
+        shape = tuple(int(s) for s in hdr[2 : 2 + ndim])
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if ndim else dtype.itemsize
+        raw = bytes(slot[_HDR_BYTES : _HDR_BYTES + nbytes])
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+# ---------------------------------------------------------------------------
+# The per-worker communicator
+# ---------------------------------------------------------------------------
+
+
+class ProcessComm(Communicator):
+    """One worker process's handle to the shared-memory group.
+
+    Mirrors :class:`~repro.comm.elastic.ElasticComm`'s API — including
+    the grow-back verbs the elastic rank context drives
+    (``joins_due`` / ``admit`` / ``await_admission`` /
+    ``has_pending_respawns``) — so the same training loop runs
+    unchanged on real processes.  Two deliberate differences:
+
+    * admissions are serviced only by the **lowest active rank** (the
+      deterministic donor): fault injectors are per-process replicas
+      here, so without that rule every rank would consume the same
+      recovery event and race to admit;
+    * resync payloads travel through CRC-stamped files under
+      ``run_dir`` rather than in-memory tickets (they exceed the
+      collective slot and must survive the donor).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        layout: ShmLayout,
+        ctrl: np.ndarray,
+        data_buf,
+        timeout_s: float,
+        run_dir,
+        incarnation: int = 0,
+        poll_s: float = 0.0005,
+    ):
+        self._rank = rank
+        self.layout = layout
+        self.ctrl = ctrl
+        self.data = data_buf
+        self.timeout_s = timeout_s
+        self.run_dir = Path(run_dir)
+        self._incarnation = incarnation
+        self.poll_s = poll_s
+        self._status = layout.field(ctrl, "status")
+        self._arrive = layout.field(ctrl, "arrive")
+        self._beat = layout.field(ctrl, "heartbeat")
+        self._inc = layout.field(ctrl, "incarnation")
+        self._admit_gen = layout.field(ctrl, "admit_gen")
+        self._join_req = layout.field(ctrl, "join_req")
+        self._join_spare = layout.field(ctrl, "join_spare")
+        self._resync_crc = layout.field(ctrl, "resync_crc")
+        self._evicted = layout.field(ctrl, "evicted")
+        self._respawn = layout.field(ctrl, "respawn")
+        self._begun = layout.field(ctrl, "begun")
+        self._gen = int(self._admit_gen[rank]) if incarnation > 0 else 0
+        self._wait_start: Optional[float] = None
+        self._parent = os.getppid()
+        self.last_members: Optional[frozenset] = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self.layout.world
+
+    @property
+    def incarnation(self) -> int:
+        return self._incarnation
+
+    @property
+    def active_ranks(self) -> List[int]:
+        return [r for r in range(self.size) if self._status[r] == _ACTIVE]
+
+    @property
+    def n_active(self) -> int:
+        return len(self.active_ranks)
+
+    # -- liveness / bookkeeping -------------------------------------------
+
+    def note_step(self, global_step: int) -> None:
+        """Record the top-of-step watermark the restart filter reads."""
+        self._begun[self._rank] = global_step
+        self._beat[self._rank] += 1
+
+    def mark_done(self) -> None:
+        """This rank finished its loop; collectives stop waiting for it."""
+        self._status[self._rank] = _DONE
+
+    def mark_dead(self) -> None:
+        """Best-effort self-report on the way down (incarnation-fenced)."""
+        if self._inc[self._rank] == self._incarnation:
+            self._status[self._rank] = _DEAD
+
+    def _check_alive(self) -> None:
+        if self.ctrl[_G_QUORUM_LOST]:
+            raise QuorumLostError(
+                f"group below quorum {int(self.ctrl[_G_QUORUM])}",
+                survivors=self.active_ranks,
+            )
+        if (
+            self._inc[self._rank] != self._incarnation
+            or self._status[self._rank] == _DEAD
+        ):
+            raise RankEvictedError(self._rank)
+        if os.getppid() != self._parent:
+            # The supervisor died; we are an orphan.  Exit rather than
+            # spin forever against a group nobody is watching.
+            raise RankFailedError(
+                f"rank {self._rank} orphaned: supervisor process is gone"
+            )
+
+    def _mark_peer_dead(self, r: int, why: str) -> None:
+        self._status[r] = _DEAD
+        self._evicted[r] = 1
+        self._arrive[r] = -1
+        _log.warning("rank %d %s; %d survivors", r, why, self.n_active)
+        self._check_quorum()
+
+    def _check_quorum(self) -> None:
+        if not self.ctrl[_G_QUORUM_LOST] and self.n_active < self.ctrl[_G_QUORUM]:
+            self.ctrl[_G_QUORUM_LOST] = 1
+            _log.warning(
+                "quorum lost: %d survivors < quorum %d",
+                self.n_active, int(self.ctrl[_G_QUORUM]),
+            )
+
+    # -- the collective engine --------------------------------------------
+
+    def _participants(self, gen: int) -> List[int]:
+        return [
+            r
+            for r in range(self.size)
+            if self._status[r] == _ACTIVE and self._admit_gen[r] <= gen
+        ]
+
+    def _collective(self, kind: str, arg, array: Optional[np.ndarray]):
+        me = self._rank
+        gen = self._gen
+        self._check_alive()
+        # Contribute: payload bytes first, ARRIVE store last (the
+        # publication fence — a SIGKILL anywhere in between leaves this
+        # rank unArrived and its half-written slot unread forever).
+        self.layout.write_slot(self.data, me, array)
+        self._arrive[me] = gen
+        self._beat[me] += 1
+        self._wait_start = None
+        while True:
+            if self.ctrl[_G_RESULT_GEN] >= gen:
+                return self._consume(gen)
+            self._check_alive()
+            participants = self._participants(gen)
+            if participants and me == participants[0]:
+                done = self._reduce_if_ready(kind, arg, gen, participants)
+                if done:
+                    return self._consume(gen)
+            self._beat[me] += 1
+            time.sleep(self.poll_s)
+
+    def _reduce_if_ready(self, kind: str, arg, gen: int, participants: List[int]) -> bool:
+        """Reducer duties for the lowest active rank (with takeover).
+
+        Waits for every participant's ``ARRIVE`` to reach ``gen``;
+        after ``timeout_s`` the missing ranks are presumed dead and
+        evicted (arriving at a collective is the heartbeat, exactly as
+        in the threaded elastic group).  Returns True once the result
+        is published.
+        """
+        missing = [r for r in participants if self._arrive[r] != gen]
+        if missing:
+            now = time.monotonic()
+            if self._wait_start is None:
+                self._wait_start = now
+            if now - self._wait_start > self.timeout_s:
+                for r in missing:
+                    self._mark_peer_dead(
+                        r, f"evicted after {self.timeout_s:.1f}s without arriving"
+                    )
+                self._wait_start = None
+                if self.ctrl[_G_QUORUM_LOST]:
+                    raise QuorumLostError(
+                        f"group below quorum {int(self.ctrl[_G_QUORUM])}",
+                        survivors=self.active_ranks,
+                    )
+            return False
+        # Completion below quorum is forbidden, exactly as in the
+        # threaded elastic group: without this check, a survivor could
+        # complete a collective solo in the window between the
+        # supervisor marking the last corpse dead and the quorum flag
+        # landing — and then train (and checkpoint!) alone past the
+        # point the restart should resume from.
+        if len(participants) < int(self.ctrl[_G_QUORUM]):
+            self.ctrl[_G_QUORUM_LOST] = 1
+            raise QuorumLostError(
+                f"group below quorum {int(self.ctrl[_G_QUORUM])}",
+                survivors=self.active_ranks,
+            )
+        contributors = sorted(participants)
+        arrays = {r: self.layout.read_slot(self.data, r) for r in contributors}
+        error_code, error_arg = _ERR_NONE, 0
+        result: Optional[np.ndarray] = None
+        if kind == "allreduce":
+            vals = [arrays[r] for r in contributors]
+            result = reduce_arrays(vals, arg)
+            self.ctrl[_G_REDUCTIONS] += 1
+            self.ctrl[_G_BYTES_REDUCED] += result.nbytes * len(vals)
+        elif kind == "bcast":
+            root = arg
+            if root not in contributors or arrays[root] is None:
+                error_code, error_arg = _ERR_BCAST_ROOT_DEAD, root
+            else:
+                result = arrays[root]
+        elif kind == "gather":
+            result = np.stack([arrays[r] for r in contributors])
+        elif kind == "barrier":
+            result = None
+        else:  # pragma: no cover - closed set
+            raise RuntimeError(f"unknown collective {kind!r}")
+        # Publish: result bytes, then metadata, then RESULT_GEN last.
+        self.layout.write_slot(self.data, self.size, result)
+        mask = 0
+        for r in range(self.size):
+            if self._status[r] == _ACTIVE:
+                mask |= 1 << r
+        self.ctrl[_G_RESULT_MEMBERS] = mask
+        self.ctrl[_G_ERROR_CODE] = error_code
+        self.ctrl[_G_ERROR_ARG] = error_arg
+        self.ctrl[_G_RESULT_GEN] = gen
+        return True
+
+    def _consume(self, gen: int):
+        if self.ctrl[_G_RESULT_GEN] != gen:
+            # The group can only have advanced past our generation by
+            # removing us from the membership — we were evicted while
+            # waiting and the result slot has been recycled.
+            raise RankEvictedError(self._rank)
+        code = int(self.ctrl[_G_ERROR_CODE])
+        mask = int(self.ctrl[_G_RESULT_MEMBERS])
+        members = frozenset(r for r in range(self.size) if mask >> r & 1)
+        payload = self.layout.read_slot(self.data, self.size)
+        self._gen = gen + 1
+        if code == _ERR_BCAST_ROOT_DEAD:
+            raise RankFailedError(
+                f"bcast root {int(self.ctrl[_G_ERROR_ARG])} died before contributing",
+                failed_ranks=[int(self.ctrl[_G_ERROR_ARG])],
+            )
+        self.last_members = members
+        return payload, members
+
+    # -- Communicator API ---------------------------------------------------
+
+    def allreduce(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        payload, _ = self._collective("allreduce", op, np.asarray(array))
+        return payload
+
+    def bcast(self, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+        self._check_root(root)
+        if self._rank == root and array is None:
+            raise ValueError("root rank must supply an array to bcast")
+        payload, _ = self._collective(
+            "bcast", root, np.asarray(array) if self._rank == root else None
+        )
+        return payload
+
+    def barrier(self) -> None:
+        self._collective("barrier", None, None)
+
+    def gather(self, array: np.ndarray, root: int = 0) -> Optional[List[np.ndarray]]:
+        self._check_root(root)
+        payload, _ = self._collective("gather", root, np.asarray(array))
+        if self._rank != root:
+            return None
+        return [payload[i] for i in range(payload.shape[0])]
+
+    # -- grow-back protocol -------------------------------------------------
+
+    def resync_path(self, rank: int, incarnation: int) -> Path:
+        return self.run_dir / f"resync-r{rank}-i{incarnation}.npz"
+
+    @property
+    def has_pending_respawns(self) -> bool:
+        return bool(np.any(self._respawn[: self.size] == 1))
+
+    def joins_due(self, events: Sequence = ()) -> List[Tuple[int, bool]]:
+        """Resolve admissions due now — donor (lowest active rank) only.
+
+        Non-donor ranks return an empty list unconditionally: their
+        injector replicas hand them the same recovery events, and a
+        single deterministic donor is what keeps one admission (and one
+        resync file) per event.
+        """
+        participants = self.active_ranks
+        if not participants or self._rank != participants[0]:
+            return []
+        if self.ctrl[_G_QUORUM_LOST]:
+            return []
+        out: List[Tuple[int, bool]] = []
+        taken: set = set()
+
+        def usable(r: Optional[int]) -> bool:
+            return (
+                r is not None
+                and 0 <= r < self.size
+                and self._status[r] == _DEAD
+                and self._join_req[r] == 0
+                and r not in taken
+            )
+
+        for ev in events:
+            if ev.kind is FaultKind.RANK_RECOVER:
+                r = ev.rank
+                if usable(r):
+                    out.append((r, False))
+                    taken.add(r)
+                    if self._respawn[r] == 1:
+                        self._respawn[r] = 0
+                        self.ctrl[_G_SPARES_LEFT] += 1
+            elif ev.kind is FaultKind.SPARE_JOIN:
+                if self.ctrl[_G_SPARES_LEFT] <= 0:
+                    continue
+                r = ev.rank
+                if r is None:
+                    dead = sorted(x for x in range(self.size) if usable(x))
+                    r = dead[0] if dead else None
+                if usable(r):
+                    self.ctrl[_G_SPARES_LEFT] -= 1
+                    out.append((r, True))
+                    taken.add(r)
+        for r in range(self.size):
+            if self._respawn[r] == 1:
+                self._respawn[r] = 0
+                if usable(r):
+                    out.append((r, True))
+                    taken.add(r)
+                else:
+                    self.ctrl[_G_SPARES_LEFT] += 1
+        return out
+
+    def admit(self, rank: int, payload: Dict[str, np.ndarray], spare: bool = False) -> bool:
+        """Admit a dead rank: write its CRC-stamped resync, request a
+        respawn, and add it to the membership of the current generation.
+
+        Ordering is the crash-safety story again: the payload file and
+        its CRC land before ``status`` flips to ACTIVE, and the
+        supervisor only spawns after ``join_req`` is stored — a donor
+        killed anywhere in between leaves a dead rank dead, never a
+        live rank with half a resync.
+        """
+        from repro.comm.elastic import _resync_crc
+
+        if (
+            self.ctrl[_G_QUORUM_LOST]
+            or not 0 <= rank < self.size
+            or self._status[rank] != _DEAD
+            or self._join_req[rank] != 0
+        ):
+            return False
+        incarnation = int(self._inc[rank]) + 1
+        path = self.resync_path(rank, incarnation)
+        arrays = {k: np.asarray(v) for k, v in payload.items()}
+        np.savez(path, **arrays)
+        nbytes = sum(int(a.nbytes) for a in arrays.values())
+        self._resync_crc[rank] = _resync_crc(arrays)
+        self._admit_gen[rank] = self._gen
+        self._inc[rank] = incarnation
+        self._evicted[rank] = 0
+        self._arrive[rank] = -1
+        self._begun[rank] = -1
+        self._join_spare[rank] = int(spare)
+        self._status[rank] = _ACTIVE
+        self._join_req[rank] = incarnation
+        self.ctrl[_G_RESYNCS] += 1
+        self.ctrl[_G_RESYNC_BYTES] += nbytes
+        _log.info(
+            "rank %d admitted (%s, incarnation %d) at generation %d; resync %d bytes",
+            rank, "spare" if spare else "recovered", incarnation, self._gen, nbytes,
+        )
+        return True
+
+    def await_admission(self) -> Dict[str, np.ndarray]:
+        """Claim this joiner's CRC-verified resync payload (joiner only)."""
+        from repro.comm.elastic import _resync_crc
+        from repro.comm.errors import MessageCorruptError
+
+        if self.ctrl[_G_QUORUM_LOST]:
+            raise QuorumLostError(
+                f"group below quorum {int(self.ctrl[_G_QUORUM])}",
+                survivors=self.active_ranks,
+            )
+        if self._inc[self._rank] != self._incarnation:
+            raise RankEvictedError(self._rank)
+        path = self.resync_path(self._rank, self._incarnation)
+        with np.load(path) as data:
+            payload = {k: np.array(data[k]) for k in data.files}
+        if _resync_crc(payload) != int(self._resync_crc[self._rank]):
+            raise MessageCorruptError(
+                f"resync payload for rank {self._rank} failed CRC verification"
+            )
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Parent-side supervision
+# ---------------------------------------------------------------------------
+
+
+class _WorkerRecord:
+    __slots__ = ("proc", "incarnation", "last_beat", "beat_seen_at", "term_at")
+
+    def __init__(self, proc, incarnation: int):
+        self.proc = proc
+        self.incarnation = incarnation
+        self.last_beat = -1
+        self.beat_seen_at = time.monotonic()
+        self.term_at: Optional[float] = None
+
+
+class RankSupervisor:
+    """The parent's view of the worker fleet.
+
+    Owns process lifecycle, never the numerics: detects deaths by
+    ``exitcode`` (negative → signal → :class:`ProcessCrashError`),
+    detects hangs by heartbeat stall (SIGTERM, then SIGKILL after
+    ``term_grace_s``), marks corpses ``DEAD`` in the control segment so
+    the survivors' collectives shrink past them, spawns joiner
+    processes when a donor requests one, and tears everything down —
+    escalating politely — in :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        layout: ShmLayout,
+        ctrl: np.ndarray,
+        spawn,
+        timeout_s: float,
+        heartbeat_timeout_s: Optional[float] = None,
+        term_grace_s: float = 5.0,
+        auto_respawn: bool = True,
+    ):
+        self.layout = layout
+        self.ctrl = ctrl
+        self.spawn = spawn  # (rank, incarnation) -> multiprocessing.Process
+        self.timeout_s = timeout_s
+        self.heartbeat_timeout_s = (
+            heartbeat_timeout_s if heartbeat_timeout_s is not None else 4 * timeout_s
+        )
+        self.term_grace_s = term_grace_s
+        self.auto_respawn = auto_respawn
+        self.workers: Dict[int, _WorkerRecord] = {}
+        self.failures: Dict[int, BaseException] = {}
+        self.exit_codes: Dict[Tuple[int, int], int] = {}
+        self.kill_counts: Dict[str, int] = {}
+        self._status = layout.field(ctrl, "status")
+        self._beat = layout.field(ctrl, "heartbeat")
+        self._inc = layout.field(ctrl, "incarnation")
+        self._join_req = layout.field(ctrl, "join_req")
+        self._respawn = layout.field(ctrl, "respawn")
+        self._evicted = layout.field(ctrl, "evicted")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def launch(self, ranks: Sequence[int]) -> None:
+        for r in ranks:
+            self.workers[r] = _WorkerRecord(self.spawn(r, 0), 0)
+
+    def live_count(self) -> int:
+        return sum(1 for w in self.workers.values() if w.proc.exitcode is None)
+
+    def finished(self) -> bool:
+        if self.live_count() > 0:
+            return False
+        # A join request filed by a donor just before it finished still
+        # deserves a spawn — unless the group is already lost.
+        if not self.ctrl[_G_QUORUM_LOST]:
+            for r in range(self.layout.world):
+                w = self.workers.get(r)
+                spawned = w.incarnation if w is not None else 0
+                if self._join_req[r] > spawned:
+                    return False
+        return True
+
+    def poll(self) -> None:
+        """One supervision pass: reap, classify, evict hangs, spawn joins."""
+        now = time.monotonic()
+        for rank, w in list(self.workers.items()):
+            code = w.proc.exitcode
+            if code is not None:
+                if (rank, w.incarnation) not in self.exit_codes:
+                    self.exit_codes[(rank, w.incarnation)] = code
+                    self._classify_exit(rank, w, code)
+                continue
+            beat = int(self._beat[rank])
+            if beat != w.last_beat:
+                w.last_beat = beat
+                w.beat_seen_at = now
+            elif (
+                w.last_beat >= 0
+                and self._status[rank] == _ACTIVE
+                and now - w.beat_seen_at > self.heartbeat_timeout_s
+            ):
+                self._evict_hung(rank, w, now)
+            if w.term_at is not None and now - w.term_at > self.term_grace_s:
+                _log.warning("rank %d ignored SIGTERM; escalating to SIGKILL", rank)
+                w.proc.kill()
+                w.term_at = None
+        self._service_join_requests()
+
+    def _classify_exit(self, rank: int, w: _WorkerRecord, code: int) -> None:
+        done = self._status[rank] == _DONE
+        if code == EXIT_OK and done:
+            return
+        if code < 0:
+            name = signal.Signals(-code).name if -code in signal.Signals._value2member_map_ else str(-code)
+            exc: BaseException = ProcessCrashError(rank, code, signal_name=name)
+            self.kill_counts[name] = self.kill_counts.get(name, 0) + 1
+        elif code == EXIT_EVICTED:
+            # An orderly eviction exit; the eviction itself is already
+            # recorded in the control segment.
+            return
+        elif code == EXIT_QUORUM_LOST:
+            return
+        elif code == EXIT_INTERRUPTED:
+            exc = RankFailedError(f"rank {rank} interrupted", failed_ranks=[rank])
+        else:
+            exc = ProcessCrashError(rank, code)
+        self.failures[rank] = exc
+        if self._inc[rank] == w.incarnation and self._status[rank] != _DONE:
+            self._status[rank] = _DEAD
+            _log.warning("%s; %d survivors", exc, self._active_count())
+            self._check_quorum()
+            self._reserve_spare(rank)
+
+    def _evict_hung(self, rank: int, w: _WorkerRecord, now: float) -> None:
+        _log.warning(
+            "rank %d heartbeat stalled for %.1fs; evicting (SIGTERM, then SIGKILL)",
+            rank, now - w.beat_seen_at,
+        )
+        self._status[rank] = _DEAD
+        self._evicted[rank] = 1
+        self.failures[rank] = ProcessCrashError(rank, None, signal_name="heartbeat-stall")
+        w.proc.terminate()
+        w.term_at = now
+        self._check_quorum()
+        self._reserve_spare(rank)
+
+    def _reserve_spare(self, rank: int) -> None:
+        if (
+            self.auto_respawn
+            and self.ctrl[_G_SPARES_LEFT] > 0
+            and not self.ctrl[_G_QUORUM_LOST]
+            and self._respawn[rank] == 0
+            and self._join_req[rank] <= (self.workers[rank].incarnation if rank in self.workers else 0)
+        ):
+            self.ctrl[_G_SPARES_LEFT] -= 1
+            self._respawn[rank] = 1
+            _log.info(
+                "spare reserved for dead rank %d (%d left)",
+                rank, int(self.ctrl[_G_SPARES_LEFT]),
+            )
+
+    def _service_join_requests(self) -> None:
+        if self.ctrl[_G_QUORUM_LOST]:
+            return
+        for r in range(self.layout.world):
+            req = int(self._join_req[r])
+            if req == 0:
+                continue
+            w = self.workers.get(r)
+            if w is not None and w.incarnation >= req:
+                continue
+            if w is not None and w.proc.exitcode is None:
+                continue  # predecessor still unwinding; spawn next pass
+            _log.info("spawning joiner process for rank %d (incarnation %d)", r, req)
+            self.workers[r] = _WorkerRecord(self.spawn(r, req), req)
+
+    def _active_count(self) -> int:
+        return int(np.sum(self._status[: self.layout.world] == _ACTIVE))
+
+    def _check_quorum(self) -> None:
+        if not self.ctrl[_G_QUORUM_LOST] and self._active_count() < self.ctrl[_G_QUORUM]:
+            self.ctrl[_G_QUORUM_LOST] = 1
+            _log.warning(
+                "quorum lost: %d survivors < quorum %d",
+                self._active_count(), int(self.ctrl[_G_QUORUM]),
+            )
+
+    # -- teardown -----------------------------------------------------------
+
+    def shutdown(self, deadline_s: float = 10.0) -> None:
+        """Graceful stop: SIGTERM everyone, wait, SIGKILL stragglers."""
+        live = [w for w in self.workers.values() if w.proc.exitcode is None]
+        for w in live:
+            try:
+                w.proc.terminate()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        deadline = time.monotonic() + deadline_s
+        for w in live:
+            w.proc.join(max(0.0, deadline - time.monotonic()))
+        for w in live:
+            if w.proc.exitcode is None:
+                _log.warning("worker pid %s survived SIGTERM; SIGKILL", w.proc.pid)
+                w.proc.kill()
+                w.proc.join(5.0)
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        world = self.layout.world
+        return {
+            "survivors": [r for r in range(world) if self._status[r] != _DEAD],
+            "failed_ranks": sorted(self.failures),
+            "evicted_ranks": [r for r in range(world) if self._evicted[r] == 1],
+            "rejoins": [r for r in range(world) if self._inc[r] > 0],
+            "reductions": int(self.ctrl[_G_REDUCTIONS]),
+            "bytes_reduced": int(self.ctrl[_G_BYTES_REDUCED]),
+            "resyncs": int(self.ctrl[_G_RESYNCS]),
+            "resync_bytes": int(self.ctrl[_G_RESYNC_BYTES]),
+            "spares_left": int(self.ctrl[_G_SPARES_LEFT]),
+            "exit_codes": {f"{r}.{i}": c for (r, i), c in sorted(self.exit_codes.items())},
+            "signal_kills": dict(self.kill_counts),
+        }
+
+    @property
+    def quorum_lost(self) -> bool:
+        return bool(self.ctrl[_G_QUORUM_LOST])
+
+    def begun_steps(self) -> Dict[int, int]:
+        """Per-rank top-of-step watermarks (the restart replay filter)."""
+        begun = self.layout.field(self.ctrl, "begun")
+        return {r: int(begun[r]) for r in range(self.layout.world)}

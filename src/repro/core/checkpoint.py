@@ -22,6 +22,7 @@ Two resilience guarantees:
 from __future__ import annotations
 
 import os
+import re
 import threading
 import zlib
 from pathlib import Path
@@ -33,6 +34,7 @@ from repro.core.engine import History
 from repro.core.model import CosmoFlowModel
 from repro.core.optimizer import CosmoFlowOptimizer
 from repro.utils.logging import get_logger
+from repro.utils.procs import pid_alive
 
 __all__ = [
     "CheckpointError",
@@ -43,6 +45,7 @@ __all__ = [
     "latest_checkpoint",
     "load_latest_checkpoint",
     "prune_checkpoints",
+    "sweep_stale_tmp",
 ]
 
 _log = get_logger("core.checkpoint")
@@ -235,6 +238,39 @@ def latest_checkpoint(directory, pattern: str = "*.npz") -> Optional[Path]:
     return candidates[-1] if candidates else None
 
 
+#: Temp names embed the writer: ``<ckpt>.npz.<pid>-<tid>.tmp``.
+_TMP_RE = re.compile(r"\.(\d+)-(\d+)\.tmp$")
+
+
+def sweep_stale_tmp(directory) -> List[Path]:
+    """Remove ``*.tmp`` debris whose writer process is dead.
+
+    :func:`save_checkpoint` unlinks its temp file on any in-process
+    failure, but a SIGKILL between the temp write and the atomic rename
+    leaves the orphan behind — and a worker that dies *while* another
+    is mid-save must not have its debris confused with the live temp
+    file.  The pid embedded in the temp name disambiguates: only files
+    whose writer no longer exists are reclaimed.  Temp files without a
+    parseable pid (foreign debris) are left alone.  Returns the paths
+    removed.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    removed: List[Path] = []
+    for path in sorted(directory.glob("*.tmp")):
+        match = _TMP_RE.search(path.name)
+        if match is None or pid_alive(int(match.group(1))):
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue  # a concurrent sweeper got there first
+        _log.warning("removed orphaned checkpoint temp file %s", path.name)
+        removed.append(path)
+    return removed
+
+
 def load_latest_checkpoint(
     directory,
     model: CosmoFlowModel,
@@ -256,6 +292,9 @@ def load_latest_checkpoint(
     directory = Path(directory)
     if not directory.is_dir():
         return None
+    # Recovery is the natural moment to reap crash debris: any ``.tmp``
+    # whose writer is dead can never be renamed into place.
+    sweep_stale_tmp(directory)
     candidates: List[Path] = sorted(
         (p for p in directory.glob("*.npz") if not p.name.endswith(".tmp")),
         reverse=True,

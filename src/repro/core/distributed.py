@@ -29,7 +29,10 @@ Two execution modes, numerically identical (both reduce through
 A third mode, ``elastic`` (see :mod:`repro.core.elastic`), runs the
 threaded loop over a fault-tolerant group that survives rank crashes,
 stragglers, and message corruption — bitwise identical to ``threaded``
-when no faults fire.
+when no faults fire.  A fourth, ``process`` (see
+:mod:`repro.core.process_backend`), runs each rank as a real spawned
+OS process over crash-safe shared-memory collectives — same numerics,
+real SIGKILL-able failure domain.
 
 All three now execute through :class:`repro.core.engine.TrainingEngine`
 (:class:`~repro.core.engine.SteppedBackend`,
@@ -76,7 +79,7 @@ class DistributedConfig:
 
     n_ranks: int
     epochs: int = 10
-    mode: str = "stepped"  # "stepped" | "threaded" | "elastic"
+    mode: str = "stepped"  # "stepped" | "threaded" | "elastic" | "process"
     seed: int = 0
     validate: bool = True
     plugin: Optional[PluginConfig] = None
@@ -85,7 +88,7 @@ class DistributedConfig:
     def __post_init__(self):
         if self.n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
-        if self.mode not in ("stepped", "threaded", "elastic"):
+        if self.mode not in ("stepped", "threaded", "elastic", "process"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.divergence_threshold < 0:
             raise ValueError("divergence_threshold must be >= 0")
@@ -148,7 +151,16 @@ class DistributedTrainer:
 
     def _build_backend(self) -> ExecutionBackend:
         cfg = self.config
-        cls = SteppedBackend if cfg.mode == "stepped" else ThreadedBackend
+        if cfg.mode == "process":
+            # Lazy import: the process backend pulls in multiprocessing
+            # machinery most runs never need.
+            from repro.core.process_backend import ProcessBackend
+
+            cls: type = ProcessBackend
+        elif cfg.mode == "stepped":
+            cls = SteppedBackend
+        else:
+            cls = ThreadedBackend
         return cls(
             self.model_config,
             self.train_data,

@@ -117,26 +117,50 @@ def run_elastic(
     trainer: DistributedTrainer,
     elastic: Optional[ElasticConfig] = None,
     injector: Optional[FaultInjector] = None,
+    backend: str = "threaded",
 ) -> History:
     """Run ``trainer``'s SSGD loop elastically; see the module docstring.
 
     Populates ``trainer.history``, ``trainer.group_stats`` and
     ``trainer._final_model`` exactly like the built-in modes.
+
+    ``backend`` picks the failure domain: ``"threaded"`` (default)
+    injects cooperative faults into rank threads; ``"process"`` runs
+    each rank as a real supervised OS process where ``proc_kill``
+    events are genuine SIGKILLs (see
+    :mod:`repro.core.process_backend`).  Both replay the same seeded
+    plan with bitwise-identical surviving numerics.
     """
     elastic = elastic or ElasticConfig()
     injector = injector or FaultInjector()
-    backend = ElasticBackend(
-        trainer.model_config,
-        trainer.train_data,
-        val_data=trainer.val_data,
-        optimizer_config=trainer.optimizer_config,
-        n_ranks=trainer.config.n_ranks,
-        plugin_config=trainer.config.plugin,
-        elastic=elastic,
-        injector=injector,
-    )
+    if backend == "process":
+        from repro.core.process_backend import ProcessBackend
+
+        exec_backend = ProcessBackend(
+            trainer.model_config,
+            trainer.train_data,
+            val_data=trainer.val_data,
+            optimizer_config=trainer.optimizer_config,
+            n_ranks=trainer.config.n_ranks,
+            plugin_config=trainer.config.plugin,
+            elastic=elastic,
+            plan=injector.plan,
+        )
+    elif backend == "threaded":
+        exec_backend = ElasticBackend(
+            trainer.model_config,
+            trainer.train_data,
+            val_data=trainer.val_data,
+            optimizer_config=trainer.optimizer_config,
+            n_ranks=trainer.config.n_ranks,
+            plugin_config=trainer.config.plugin,
+            elastic=elastic,
+            injector=injector,
+        )
+    else:
+        raise ValueError(f"unknown elastic backend {backend!r}")
     engine = TrainingEngine(
-        backend,
+        exec_backend,
         config=trainer.engine_config(),
         tracer=getattr(trainer, "tracer", None),
         metrics=getattr(trainer, "metrics", None),
@@ -165,6 +189,7 @@ class ElasticTrainer(DistributedTrainer):
         injector: Optional[FaultInjector] = None,
         tracer=None,
         metrics=None,
+        backend: str = "threaded",
     ):
         super().__init__(
             model_config,
@@ -177,6 +202,7 @@ class ElasticTrainer(DistributedTrainer):
         )
         self.elastic = elastic or ElasticConfig()
         self.injector = injector or FaultInjector()
+        self.backend = backend
 
     def run(self) -> History:
-        return run_elastic(self, self.elastic, self.injector)
+        return run_elastic(self, self.elastic, self.injector, backend=self.backend)

@@ -884,6 +884,12 @@ class ElasticBackend(ThreadedBackend):
     same fields); ``injector`` a :class:`repro.faults.FaultInjector`.
     """
 
+    #: Context class used for both fresh and rejoin contexts.  The
+    #: real-process backend substitutes a subclass that adds real
+    #: SIGKILL injection and shared-memory step bookkeeping while
+    #: reusing this backend's construction and resync logic verbatim.
+    context_cls = _ElasticContext
+
     def __init__(self, *args, elastic=None, injector=None, **kwargs):
         super().__init__(*args, **kwargs)
         if elastic is None or injector is None:
@@ -929,7 +935,7 @@ class ElasticBackend(ThreadedBackend):
         aggregator = self._aggregator(comm)
         # After a restart the broadcast re-synchronizes any replica drift.
         aggregator.broadcast_parameters(model.parameter_arrays())
-        rc = _ElasticContext(
+        rc = self.context_cls(
             engine,
             injector=self.injector,
             model=model,
@@ -986,7 +992,7 @@ class ElasticBackend(ThreadedBackend):
         # steps it actually runs.
         self.injector.begin_step(comm.rank, -1)
         aggregator = self._aggregator(comm)
-        rc = _ElasticContext(
+        rc = self.context_cls(
             engine,
             injector=self.injector,
             model=model,

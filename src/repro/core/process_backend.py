@@ -1,0 +1,558 @@
+"""Real-process execution backend: ranks as supervised OS processes.
+
+:class:`ProcessBackend` runs the engine's rank loop in **spawned
+worker processes** that exchange gradients through the shared-memory
+collective arena of :mod:`repro.comm.process`, supervised by a
+parent-side :class:`~repro.comm.process.RankSupervisor`.  Everything
+the threaded elastic backend proves in-process — shrink-and-continue,
+timeout eviction, quorum-loss checkpoint restart, step-boundary
+grow-back with CRC-verified resync — holds here against *real* process
+deaths: a ``proc_kill`` fault event is an actual ``SIGKILL``, detected
+by exit code, with no cleanup handlers softening the blow.
+
+Determinism carries over: a fault-free run is bitwise identical to the
+``threaded`` (and hence ``local``/``stepped``) backends — same per-rank
+RNG streams, same rank-order reduction through
+:func:`~repro.comm.communicator.reduce_arrays`, with losses and
+parameters crossing the process boundary as exact float64 bytes.  A
+seeded fault plan is serialized to JSON and shipped to every worker,
+so injected crash+recovery schedules replay bitwise too.
+
+Worker-side observability is first-class: each worker runs its own
+:class:`~repro.obs.tracer.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`, dumps them to a per-rank
+report file on exit, and the parent merges them into the engine's
+sinks — N processes produce the same metrics a single shared registry
+would have seen.
+
+Caveats versus the threaded backends (documented, by design):
+
+* datasets and configs cross the ``spawn`` boundary by pickling, so
+  they must be picklable (the in-memory and record-backed datasets
+  are);
+* ``message_corrupt`` fault events need the elastic group's checksummed
+  retransmission path, which the shared-memory protocol does not
+  implement — they never fire under this backend;
+* per-rank metrics/traces of workers that die (or lose quorum) are
+  lost with the process; the merged artifacts cover workers that
+  completed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import signal
+import sys
+import tempfile
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.errors import QuorumLostError, RankEvictedError
+from repro.comm.process import (
+    EXIT_CRASH,
+    EXIT_EVICTED,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_QUORUM_LOST,
+    ProcessComm,
+    RankSupervisor,
+    ShmLayout,
+    attach_segment,
+    create_segment,
+    destroy_segment,
+    sweep_stale_segments,
+)
+from repro.core.engine import (
+    CallbackList,
+    ElasticBackend,
+    EngineResult,
+    History,
+    LRRecorder,
+    TrainingEngine,
+    _ElasticContext,
+    _GroupBackend,
+)
+from repro.core.model import CosmoFlowModel
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.obs.callback import TraceCallback
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.utils.logging import get_logger
+
+__all__ = ["ProcessBackend"]
+
+_log = get_logger("core.process_backend")
+
+#: Fault kinds consumed by the rank that begins the event's step.
+_RANK_KEYED = (
+    FaultKind.RANK_CRASH,
+    FaultKind.PROC_KILL,
+    FaultKind.RANK_HANG,
+    FaultKind.MESSAGE_CORRUPT,
+)
+_JOIN_KINDS = (FaultKind.RANK_RECOVER, FaultKind.SPARE_JOIN)
+
+
+class _ProcessContext(_ElasticContext):
+    """Elastic rank context with real-process injection points.
+
+    Identical to the threaded elastic context except at the top of each
+    step, where it (1) records the step watermark the restart replay
+    filter reads, and (2) gives ``proc_kill`` events their honest
+    realization — ``os.kill(getpid(), SIGKILL)`` — before the
+    cooperative crash hook runs.  Both fire before any of the step's
+    collectives, so survivor numerics are identical to the threaded
+    backend's for the same plan.
+    """
+
+    def fetch(self, step):
+        global_step = self.epoch * self.steps_per_epoch + step
+        self.comm.note_step(global_step)
+        self._service_rejoins(global_step)
+        self.injector.begin_step(self.rank, global_step)
+        self.injector.maybe_kill(self.rank, global_step)
+        self.injector.maybe_crash(self.rank, global_step)
+        stall = self.injector.hang_delay(self.rank, global_step)
+        if stall > 0:
+            time.sleep(stall)
+        return self._next_batch()
+
+
+class _WorkerBackend(ElasticBackend):
+    """In-worker :class:`ElasticBackend` reusing its context/resync
+    construction verbatim, with the process-aware context class."""
+
+    context_cls = _ProcessContext
+
+
+class _CheckpointPolicy:
+    """The slice of the elastic policy a worker's backend reads."""
+
+    def __init__(self, checkpoint_dir, checkpoint_every_epochs, keep_last):
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every_epochs = checkpoint_every_epochs
+        self.keep_last = keep_last
+
+
+def _sigterm_to_exit(signum, frame):  # pragma: no cover - signal path
+    raise SystemExit(EXIT_INTERRUPTED)
+
+
+def _worker_main(spec: Dict[str, Any], rank: int, incarnation: int) -> None:
+    """Entry point of one rank's worker process (``spawn`` target).
+
+    ``incarnation`` 0 is an original group member; higher incarnations
+    are joiner processes spawned by the supervisor after a donor
+    admitted this rank back.  Exit codes are the supervisor's crash
+    classification protocol (see :mod:`repro.comm.process`).
+    """
+    signal.signal(signal.SIGTERM, _sigterm_to_exit)
+    run_dir = Path(spec["run_dir"])
+    ctrl_seg = attach_segment(spec["ctrl_name"])
+    data_seg = attach_segment(spec["data_name"])
+    layout = ShmLayout(spec["world"], spec["payload_bytes"])
+    ctrl = layout.ctrl_view(ctrl_seg.buf)
+    comm = ProcessComm(
+        rank,
+        layout,
+        ctrl,
+        data_seg.buf,
+        timeout_s=spec["timeout_s"],
+        run_dir=run_dir,
+        incarnation=incarnation,
+    )
+    injector = FaultInjector(FaultPlan.from_json(spec["plan_json"]))
+    policy = _CheckpointPolicy(
+        spec["ckpt_dir"], spec["ckpt_every"], spec["keep_last"]
+    )
+    backend = _WorkerBackend(
+        spec["model_config"],
+        spec["train_data"],
+        val_data=spec["val_data"],
+        optimizer_config=spec["optimizer_config"],
+        n_ranks=spec["world"],
+        plugin_config=spec["plugin_config"],
+        elastic=policy,
+        injector=injector,
+    )
+    engine = TrainingEngine(
+        backend,
+        config=spec["engine_config"],
+        tracer=Tracer() if spec["trace"] else None,
+        metrics=MetricsRegistry(),
+    )
+    # Mirror the parent engine's per-rank hook order; driver-level hooks
+    # (GroupStatsCollector, user callbacks) stay in the parent.
+    callbacks = CallbackList(
+        [
+            LRRecorder(),
+            TraceCallback(engine.tracer, engine.metrics),
+            *backend.callbacks(),
+        ]
+    )
+    rc = None
+    try:
+        if incarnation == 0:
+            rc = backend._make_context(engine, comm, callbacks)
+        else:
+            payload = comm.await_admission()
+            rc = backend._make_rejoin_context(engine, comm, callbacks, payload)
+            callbacks.on_rejoin(rc)
+        engine.rank_loop(rc, epochs=spec["epochs"])
+    except QuorumLostError:
+        sys.exit(EXIT_QUORUM_LOST)
+    except RankEvictedError:
+        sys.exit(EXIT_EVICTED)
+    except SystemExit:
+        raise
+    except BaseException as exc:
+        traceback.print_exc()
+        try:
+            (run_dir / f"error-r{rank}-i{incarnation}.json").write_text(
+                json.dumps({"type": type(exc).__name__, "message": str(exc)})
+            )
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
+        comm.mark_dead()
+        sys.exit(EXIT_CRASH)
+    # Success: publish DONE before exiting so a zero exit code is
+    # unambiguous to the supervisor's classifier, then persist this
+    # rank's results and observability artifacts for the parent.
+    comm.mark_done()
+    result_arrays: Dict[str, np.ndarray] = {
+        "flat_parameters": rc.model.get_flat_parameters(),
+    }
+    for key, values in rc.history.as_dict().items():
+        result_arrays[f"hist_{key}"] = np.asarray(values, dtype=np.float64)
+    np.savez(run_dir / f"result-r{rank}-i{incarnation}.npz", **result_arrays)
+    report = {
+        "rank": rank,
+        "incarnation": incarnation,
+        "rejoined": rc.rejoined,
+        "divergence": rc.divergence,
+        "samples_seen": rc.samples_seen,
+        "metrics": engine.metrics.dump(),
+        "trace": engine.tracer.dump() if spec["trace"] else [],
+        "faults": injector.summary(),
+    }
+    (run_dir / f"worker-r{rank}-i{incarnation}.json").write_text(json.dumps(report))
+    sys.exit(EXIT_OK)
+
+
+class ProcessBackend(_GroupBackend):
+    """Ranks as real, supervised OS processes over shared memory.
+
+    Without an elastic policy this is a plain multi-process SSGD group
+    (quorum = world size: any death fails the run, like MPI).  With
+    ``elastic`` (an :class:`~repro.core.elastic.ElasticConfig`) and a
+    ``plan`` (:class:`~repro.faults.plan.FaultPlan`), the full elastic
+    protocol applies — shrink-and-continue on SIGKILL, warm-spare
+    grow-back, checkpoint restart on quorum loss — with the plan
+    shipped to workers as JSON so seeded schedules replay bitwise.
+
+    The parent engine's user callbacks fire only for driver hooks
+    (``on_restart``/``on_run_end``); per-rank hooks run inside the
+    workers with worker-local callback instances.
+    """
+
+    def __init__(
+        self,
+        *args,
+        elastic=None,
+        plan: Optional[FaultPlan] = None,
+        run_dir=None,
+        timeout_s: Optional[float] = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.elastic = elastic
+        self.plan = plan or FaultPlan()
+        self.run_dir = run_dir
+        self.timeout_s = timeout_s
+        self.restarts = 0
+
+    def callbacks(self):
+        # Rank-side hooks (divergence check, checkpointing) are
+        # installed inside each worker, not in the parent.
+        return []
+
+    # -- restart replay filter ---------------------------------------------
+
+    def _surviving_events(self, consumed: Dict[int, int]) -> FaultPlan:
+        """Drop plan events already consumed by a previous attempt.
+
+        The threaded elastic backend keeps one injector across restarts,
+        so fired events never re-fire; worker processes get a *fresh*
+        injector each attempt, so the parent filters instead, using the
+        per-rank top-of-step watermarks from the control segment: a
+        rank-keyed event whose rank began its step already fired (the
+        hooks run at the top of the step, before anything else), and a
+        join event fired once any rank passed its step boundary.
+        """
+        max_begun = max(consumed.values(), default=-1)
+        kept = []
+        for e in self.plan.events:
+            if e.kind in _RANK_KEYED and e.rank is not None:
+                if consumed.get(e.rank, -1) >= e.step:
+                    continue
+            elif e.kind in _JOIN_KINDS:
+                if max_begun >= e.step:
+                    continue
+            kept.append(e)
+        return FaultPlan(seed=self.plan.seed, events=tuple(kept))
+
+    # -- the driver ---------------------------------------------------------
+
+    def execute(self, engine, callbacks, epochs=None):
+        cfg = engine.config
+        epochs = cfg.epochs if epochs is None else epochs
+        el = self.elastic
+        world = self.n_ranks
+        quorum = el.resolve_quorum(world) if el is not None else world
+        spares = getattr(el, "spares", 0) if el is not None else 0
+        auto_respawn = bool(getattr(el, "auto_respawn", True)) if el is not None else False
+        timeout_s = self.timeout_s
+        if timeout_s is None:
+            timeout_s = el.timeout_s if el is not None else 30.0
+        max_restarts = el.max_restarts if el is not None else 0
+        ckpt_dir = (
+            Path(el.checkpoint_dir)
+            if el is not None and el.checkpoint_dir is not None
+            else None
+        )
+        if ckpt_dir is not None:
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
+
+        # Slot capacity: the largest payload any collective moves is the
+        # full float64 flat parameter vector (the divergence check's
+        # allreduce); gradients travel in chunks of at most that size.
+        probe = CosmoFlowModel(self.model_config, seed=cfg.seed)
+        payload_bytes = 8 * probe.num_parameters + 4096
+
+        own_run_dir = self.run_dir is None
+        run_root = (
+            Path(tempfile.mkdtemp(prefix="repro-proc-"))
+            if own_run_dir
+            else Path(self.run_dir)
+        )
+        run_root.mkdir(parents=True, exist_ok=True)
+
+        mp = multiprocessing.get_context("spawn")
+        self.restarts = 0
+        consumed: Dict[int, int] = {r: -1 for r in range(world)}
+        signal_kills: Dict[str, int] = {}
+        all_exit_codes: Dict[str, int] = {}
+
+        opt_config = self._opt_config(engine)
+        base_spec = {
+            "world": world,
+            "payload_bytes": payload_bytes,
+            "timeout_s": timeout_s,
+            "engine_config": cfg,
+            "epochs": epochs,
+            "model_config": self.model_config,
+            "train_data": self.train_data,
+            "val_data": self.val_data,
+            "optimizer_config": opt_config,
+            "plugin_config": self.plugin_config,
+            "ckpt_dir": str(ckpt_dir) if ckpt_dir is not None else None,
+            "ckpt_every": el.checkpoint_every_epochs if el is not None else 1,
+            "keep_last": getattr(el, "keep_last", None) if el is not None else None,
+            "trace": engine.tracer.enabled,
+        }
+
+        try:
+            while True:
+                # Reap /dev/shm debris a previous (possibly SIGKILLed)
+                # supervisor left behind before allocating our own.
+                sweep_stale_segments()
+                layout = ShmLayout(world, payload_bytes)
+                ctrl_seg = create_segment(layout.ctrl_bytes)
+                data_seg = create_segment(layout.data_bytes)
+                ctrl = layout.ctrl_view(ctrl_seg.buf)
+                layout.init_ctrl(ctrl, quorum, spares)
+                attempt_dir = run_root / f"attempt-{self.restarts}"
+                attempt_dir.mkdir(parents=True, exist_ok=True)
+                spec = dict(
+                    base_spec,
+                    ctrl_name=ctrl_seg.name,
+                    data_name=data_seg.name,
+                    run_dir=str(attempt_dir),
+                    plan_json=self._surviving_events(consumed).to_json(),
+                )
+
+                def spawn(rank, incarnation, _spec=spec):
+                    p = mp.Process(
+                        target=_worker_main, args=(_spec, rank, incarnation)
+                    )
+                    p.start()
+                    return p
+
+                supervisor = RankSupervisor(
+                    layout,
+                    ctrl,
+                    spawn,
+                    timeout_s=timeout_s,
+                    auto_respawn=auto_respawn,
+                )
+                try:
+                    supervisor.launch(range(world))
+                    while not supervisor.finished():
+                        supervisor.poll()
+                        time.sleep(0.005)
+                    supervisor.poll()  # classify the final exits
+                    quorum_lost = supervisor.quorum_lost
+                    begun = supervisor.begun_steps()
+                    shm_stats = supervisor.stats()
+                    failures = dict(supervisor.failures)
+                    final_inc = {
+                        r: w.incarnation for r, w in supervisor.workers.items()
+                    }
+                finally:
+                    supervisor.shutdown()
+                    destroy_segment(ctrl_seg)
+                    destroy_segment(data_seg)
+
+                for r, s in begun.items():
+                    consumed[r] = max(consumed[r], s)
+                for name, n in shm_stats["signal_kills"].items():
+                    signal_kills[name] = signal_kills.get(name, 0) + n
+                all_exit_codes.update(shm_stats["exit_codes"])
+
+                if not quorum_lost:
+                    break
+                self.restarts += 1
+                can_restart = ckpt_dir is not None and self.restarts <= max_restarts
+                _log.warning(
+                    "quorum lost (%d survivors); %s",
+                    len(shm_stats["survivors"]),
+                    f"restart {self.restarts}/{max_restarts} from checkpoint"
+                    if can_restart
+                    else "giving up",
+                )
+                exc = QuorumLostError(
+                    f"group below quorum {quorum}",
+                    survivors=shm_stats["survivors"],
+                )
+                if failures:
+                    exc.__cause__ = failures[min(failures)]
+                if not can_restart:
+                    raise exc
+                callbacks.on_restart(engine, self.restarts, exc)
+                backoff = getattr(el, "restart_backoff", None)
+                if backoff is not None:
+                    from repro.utils.retry import jittered_delay
+                    from repro.utils.rng import derive_seed, new_rng
+
+                    delay = jittered_delay(
+                        backoff,
+                        self.restarts - 1,
+                        jitter=getattr(el, "restart_jitter", 0.0),
+                        rng=new_rng(
+                            derive_seed(cfg.seed, "elastic-restart", self.restarts)
+                        ),
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+
+            result = self._collect(
+                engine, attempt_dir, final_inc, shm_stats, signal_kills,
+                all_exit_codes, spares,
+            )
+        finally:
+            if own_run_dir:
+                shutil.rmtree(run_root, ignore_errors=True)
+        return result
+
+    # -- result assembly ----------------------------------------------------
+
+    def _collect(
+        self,
+        engine,
+        attempt_dir: Path,
+        final_inc: Dict[int, int],
+        shm_stats: Dict[str, Any],
+        signal_kills: Dict[str, int],
+        exit_codes: Dict[str, int],
+        spares: int,
+    ) -> EngineResult:
+        reports: Dict[int, Dict[str, Any]] = {}
+        for r, inc in sorted(final_inc.items()):
+            path = attempt_dir / f"worker-r{r}-i{inc}.json"
+            if path.exists():
+                reports[r] = json.loads(path.read_text())
+        if not reports:
+            raise RuntimeError(
+                "no worker produced a result (all ranks failed without "
+                "tripping quorum detection)"
+            )
+        # Mirror the threaded elastic keeper rule: prefer a
+        # continuously-active rank's curves over a resync-reconstructed
+        # History.
+        keeper = min(
+            (r for r, rep in reports.items() if not rep["rejoined"]),
+            default=min(reports),
+        )
+        with np.load(attempt_dir / f"result-r{keeper}-i{final_inc[keeper]}.npz") as data:
+            flat = np.array(data["flat_parameters"])
+            history = History()
+            for key, values in history.as_dict().items():
+                if f"hist_{key}" in data.files:
+                    values[:] = [float(v) for v in data[f"hist_{key}"]]
+        model = CosmoFlowModel(self.model_config, seed=engine.config.seed)
+        model.set_flat_parameters(flat)
+        divergence = reports[keeper]["divergence"]
+
+        # Fold every completing worker's observability into the parent's
+        # sinks — rank order, so merged artifacts are deterministic.
+        faults: Dict[str, int] = {}
+        join_kinds = {k.value for k in _JOIN_KINDS}
+        for r in sorted(reports):
+            rep = reports[r]
+            engine.metrics.merge(rep["metrics"])
+            if engine.tracer.enabled and rep["trace"]:
+                engine.tracer.absorb(rep["trace"])
+            for kind, n in rep["faults"].items():
+                if kind in join_kinds:
+                    # Every worker's injector replica consumes its own
+                    # copy of each join event; the most-progressed
+                    # worker's count is the true number fired.
+                    faults[kind] = max(faults.get(kind, 0), n)
+                else:
+                    faults[kind] = faults.get(kind, 0) + n
+        # A SIGKILLed worker can't report the proc_kill it consumed; the
+        # supervisor's death classification stands in for it.
+        if any(e.kind is FaultKind.PROC_KILL for e in self.plan.events):
+            n = signal_kills.get("SIGKILL", 0)
+            if n:
+                faults["proc_kill"] = faults.get("proc_kill", 0) + n
+
+        stats = {
+            "backend": "process",
+            "reductions": shm_stats["reductions"],
+            "bytes_reduced": shm_stats["bytes_reduced"],
+            "max_param_divergence": divergence,
+            "survivors": shm_stats["survivors"],
+            "failed_ranks": shm_stats["failed_ranks"],
+            "evicted_ranks": shm_stats["evicted_ranks"],
+            "retransmits": 0,
+            "restarts": self.restarts,
+            "rejoins": shm_stats["rejoins"],
+            "resyncs": shm_stats["resyncs"],
+            "resync_bytes": shm_stats["resync_bytes"],
+            "spares_used": spares - shm_stats["spares_left"],
+            "faults_injected": faults,
+            "exit_codes": exit_codes,
+            "signal_kills": signal_kills,
+        }
+        return EngineResult(
+            history=history, model=model, stats=stats, divergence=divergence
+        )

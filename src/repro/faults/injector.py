@@ -108,11 +108,46 @@ class FaultInjector:
             self._rank_step[rank] = step
 
     def maybe_crash(self, rank: int, step: int) -> None:
-        """Raise :class:`InjectedCrash` if a crash is scheduled here."""
+        """Raise :class:`InjectedCrash` if a crash is scheduled here.
+
+        ``PROC_KILL`` events also fire here as ordinary crashes — on a
+        thread-backed group a SIGKILL cannot be delivered to one rank
+        without taking the whole interpreter, so the nearest honest
+        realization is the same in-thread death ``RANK_CRASH`` gets.
+        The real-process backend intercepts ``PROC_KILL`` first via
+        :meth:`maybe_kill`, so there it is a genuine SIGKILL.
+        """
         if self.empty:
             return
         if self._take(FaultKind.RANK_CRASH, rank, step) is not None:
             raise InjectedCrash(f"injected crash of rank {rank} at step {step}")
+        if self._take(FaultKind.PROC_KILL, rank, step) is not None:
+            raise InjectedCrash(
+                f"injected crash of rank {rank} at step {step} (proc_kill on a "
+                f"thread-backed group)"
+            )
+
+    def maybe_kill(self, rank: int, step: int) -> bool:
+        """SIGKILL the calling process if a ``PROC_KILL`` is scheduled here.
+
+        Called by real-process workers at the top of each step, *before*
+        :meth:`maybe_crash`.  The kill is ``os.kill(os.getpid(),
+        SIGKILL)`` — no exception propagation, no cleanup handlers, no
+        atexit — so the supervisor's crash detection and the group's
+        generation fencing are exercised against an actual uncleaned
+        process death at a deterministic step boundary.  Returns False
+        when nothing fires (the True return exists for tests that stub
+        the kill).
+        """
+        if self.empty:
+            return False
+        if self._take(FaultKind.PROC_KILL, rank, step) is None:
+            return False
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+        return True  # pragma: no cover - unreachable after a real SIGKILL
 
     def hang_delay(self, rank: int, step: int) -> float:
         """Seconds this rank should stall at this step (0 = no fault)."""

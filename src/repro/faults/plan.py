@@ -20,19 +20,36 @@ replaces the dead rank.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan", "PLAN_SCHEMA_VERSION"]
+
+#: Version of the JSON wire format produced by :meth:`FaultPlan.to_json`.
+#: Bump it when the schema changes shape; :meth:`FaultPlan.from_json`
+#: rejects documents from a future version instead of misreading them.
+PLAN_SCHEMA_VERSION = 1
 
 
 class FaultKind(enum.Enum):
     """The failure modes the injection framework can produce."""
 
-    #: A rank dies at the top of a training step (process crash).
+    #: A rank dies at the top of a training step (process crash).  In
+    #: the threaded backends this raises
+    #: :class:`~repro.faults.injector.InjectedCrash` inside the rank; in
+    #: the real-process backend the worker process exits with a
+    #: traceback — a genuine process death either way.
     RANK_CRASH = "rank_crash"
+    #: A rank is SIGKILLed at the top of a training step — no cleanup,
+    #: no exception handlers, no atexit: the hardest death the OS can
+    #: deliver.  Only meaningful on the real-process backend (a thread
+    #: cannot be SIGKILLed without taking the interpreter with it);
+    #: thread-backed runs treat it like ``RANK_CRASH``.
+    PROC_KILL = "proc_kill"
     #: A rank sleeps ``delay_s`` at the top of a step (hang / straggler).
     RANK_HANG = "rank_hang"
     #: One rank's contribution to one collective is bit-flipped in
@@ -128,6 +145,7 @@ class FaultEvent:
             raise ValueError("repeats must be >= 1")
         needs_rank = self.kind in (
             FaultKind.RANK_CRASH,
+            FaultKind.PROC_KILL,
             FaultKind.RANK_HANG,
             FaultKind.MESSAGE_CORRUPT,
             FaultKind.RANK_RECOVER,
@@ -173,7 +191,8 @@ class FaultPlan:
         derived = [
             FaultEvent(FaultKind.RANK_RECOVER, rank=e.rank, step=e.step + after_steps)
             for e in self.events
-            if e.kind is FaultKind.RANK_CRASH and e.rank not in recovered
+            if e.kind in (FaultKind.RANK_CRASH, FaultKind.PROC_KILL)
+            and e.rank not in recovered
         ]
         return FaultPlan(seed=self.seed, events=tuple(self.events) + tuple(derived))
 
@@ -201,6 +220,7 @@ class FaultPlan:
             raise ValueError("n_ranks must be >= 1")
         rank_keyed = (
             FaultKind.RANK_CRASH,
+            FaultKind.PROC_KILL,
             FaultKind.RANK_HANG,
             FaultKind.MESSAGE_CORRUPT,
             FaultKind.RANK_RECOVER,
@@ -224,6 +244,86 @@ class FaultPlan:
                     f"it would never be admitted"
                 )
         return problems
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """The plan as a JSON document (see :data:`PLAN_SCHEMA_VERSION`).
+
+        This is how seeded fault schedules ship to worker *processes*:
+        the real-process backend serializes the plan once in the parent
+        and every spawned rank rebuilds an identical injector from it,
+        so a schedule replays bitwise across process boundaries.  Only
+        JSON-native types appear in the document — no pickle, so a plan
+        file is inspectable and diffable.
+        """
+        doc = {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "seed": int(self.seed),
+            "events": [
+                {
+                    "kind": e.kind.value,
+                    "rank": e.rank,
+                    "step": int(e.step),
+                    "delay_s": float(e.delay_s),
+                    "repeats": int(e.repeats),
+                }
+                for e in self.events
+            ],
+        }
+        return json.dumps(doc, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Rebuild a plan written by :meth:`to_json`.
+
+        Raises :class:`ValueError` on a malformed document, an unknown
+        fault kind, or a ``schema_version`` newer than this build
+        understands (fail loudly rather than replay the wrong faults).
+        """
+        try:
+            doc: Dict[str, Any] = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ValueError("fault plan document must be a JSON object")
+        version = doc.get("schema_version")
+        if not isinstance(version, int):
+            raise ValueError("fault plan document lacks an integer schema_version")
+        if version > PLAN_SCHEMA_VERSION:
+            raise ValueError(
+                f"fault plan schema_version {version} is newer than the "
+                f"supported version {PLAN_SCHEMA_VERSION}"
+            )
+        kinds = {k.value: k for k in FaultKind}
+        events: List[FaultEvent] = []
+        for entry in doc.get("events", []):
+            kind = entry.get("kind")
+            if kind not in kinds:
+                raise ValueError(f"unknown fault kind {kind!r} in plan document")
+            events.append(
+                FaultEvent(
+                    kinds[kind],
+                    rank=entry.get("rank"),
+                    step=int(entry.get("step", 0)),
+                    delay_s=float(entry.get("delay_s", 0.0)),
+                    repeats=int(entry.get("repeats", 1)),
+                )
+            )
+        return cls(seed=int(doc.get("seed", 0)), events=tuple(events))
+
+    def save(self, path) -> Path:
+        """Write :meth:`to_json` to ``path``; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan file written by :meth:`save` (the ``faultsim
+        --plan-file`` loader)."""
+        return cls.from_json(Path(path).read_text())
 
     def describe(self) -> str:
         """One line per event, for logs and benchmark reports."""

@@ -210,6 +210,54 @@ class MetricsRegistry:
             out[name] = inst.summary() if isinstance(inst, Histogram) else inst.value
         return out
 
+    def dump(self) -> Dict[str, Dict[str, Any]]:
+        """Every instrument as a kind-tagged, JSON-able record.
+
+        Unlike :meth:`snapshot` (a reporting view), a dump is lossless
+        for merging: histograms carry their raw samples, so a registry
+        rebuilt via :meth:`merge` answers ``quantile()`` exactly as the
+        original would.  This is the wire format per-rank worker
+        processes ship their metrics home in.
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(instruments):
+            inst = instruments[name]
+            if isinstance(inst, Counter):
+                out[name] = {"kind": "counter", "value": inst.value}
+            elif isinstance(inst, Gauge):
+                out[name] = {"kind": "gauge", "value": inst.value}
+            else:
+                with inst._lock:
+                    samples = list(inst._samples)
+                out[name] = {"kind": "histogram", "samples": samples}
+        return out
+
+    def merge(self, dump: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold one :meth:`dump` into this registry, additively.
+
+        Counters add, gauges add (every gauge in the engine's namespace
+        is an accumulated total — stage seconds, queue depths summed at
+        absorb time — so addition is the semantics that makes N child
+        registries equal one shared registry), and histograms re-observe
+        the child's raw samples, keeping quantiles exact after the
+        merge.  A name bound to a different instrument kind here raises
+        ``TypeError`` (same rule as first use).
+        """
+        for name, rec in dump.items():
+            kind = rec.get("kind")
+            if kind == "counter":
+                self.counter(name).add(rec["value"])
+            elif kind == "gauge":
+                self.gauge(name).add(rec["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                for sample in rec["samples"]:
+                    hist.observe(sample)
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r} for {name!r}")
+
     def report(self, title: str = "metrics") -> str:
         """Human-readable dump, one instrument per line."""
         lines = [title]

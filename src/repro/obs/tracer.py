@@ -168,6 +168,50 @@ class Tracer:
             self.events.clear()
             self._seq.clear()
 
+    # -- cross-process merge ------------------------------------------------
+
+    def dump(self) -> List[Dict[str, Any]]:
+        """Raw events as JSON-able dicts (the per-rank wire format).
+
+        Unlike :meth:`to_chrome` this is lossless: a tracer rebuilt by
+        :meth:`absorb` reports the same :meth:`ordered` and
+        :meth:`sequence` as the original, which is what lets a parent
+        process merge worker-process traces and still pass the golden
+        sequence comparisons.
+        """
+        with self._lock:
+            events = list(self.events)
+        return [
+            {
+                "name": e.name, "cat": e.cat, "ph": e.ph, "track": e.track,
+                "seq": e.seq, "ts_s": e.ts_s, "dur_s": e.dur_s, "args": e.args,
+            }
+            for e in events
+        ]
+
+    def absorb(self, dumped: List[Dict[str, Any]]) -> int:
+        """Import events written by another tracer's :meth:`dump`.
+
+        Recorded per-track sequence numbers are preserved (they encode
+        the child's deterministic event order); this tracer's own
+        counters jump past them so later local appends never collide.
+        Worker-process ranks occupy disjoint integer tracks, so merging
+        N rank dumps plus the parent's driver track yields one coherent
+        timeline.  Returns the number of events imported.
+        """
+        with self._lock:
+            for rec in dumped:
+                event = TraceEvent(
+                    rec["name"], rec["cat"], rec["ph"], rec["track"],
+                    int(rec["seq"]), float(rec["ts_s"]), float(rec.get("dur_s", 0.0)),
+                    dict(rec.get("args", {})),
+                )
+                self.events.append(event)
+                nxt = self._seq.get(event.track, 0)
+                if event.seq >= nxt:
+                    self._seq[event.track] = event.seq + 1
+        return len(dumped)
+
     # -- export ------------------------------------------------------------
 
     def to_chrome(self) -> Dict[str, Any]:

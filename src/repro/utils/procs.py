@@ -1,0 +1,42 @@
+"""Small OS-process helpers shared by the process backend and sweepers.
+
+The real-process execution backend (``repro.comm.process``) and the
+crash-debris sweepers (stale checkpoint temp files, orphaned shared
+memory segments) all need one primitive: "is the process that created
+this still alive?".  Centralising it here keeps the liveness convention
+identical everywhere — signal 0 probes, with EPERM counted as alive
+(the pid exists but belongs to someone else, so its debris is not ours
+to reap).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+__all__ = ["pid_alive"]
+
+
+def pid_alive(pid: int) -> bool:
+    """True when a process with this pid currently exists.
+
+    ``kill(pid, 0)`` performs the permission checks and existence test
+    without delivering a signal.  ``EPERM`` means the pid exists under
+    another uid — alive for our purposes.  Pids ``<= 0`` are never
+    "a process we are tracking" (0/negatives address process groups),
+    so they report dead rather than probing the whole group.
+
+    A live answer can still be a recycled pid (the original writer died
+    and the OS reused its number).  Sweepers therefore treat "alive" as
+    "do not touch", never as proof the artifact is in active use —
+    erring on the side of leaving debris for a later sweep.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except OSError as exc:
+        if exc.errno == errno.EPERM:
+            return True
+        return False
+    return True

@@ -1,10 +1,14 @@
 """Crash-safety and integrity guarantees of the checkpoint layer."""
 
 import os
+import subprocess
+import sys
+import textwrap
 
 import numpy as np
 import pytest
 
+import repro
 from repro.core.checkpoint import (
     CheckpointCorruptError,
     CheckpointError,
@@ -13,6 +17,7 @@ from repro.core.checkpoint import (
     load_latest_checkpoint,
     prune_checkpoints,
     save_checkpoint,
+    sweep_stale_tmp,
 )
 from repro.core.model import CosmoFlowModel
 from repro.core.optimizer import CosmoFlowOptimizer
@@ -178,6 +183,81 @@ class TestSelfHealingLoad:
         model, _ = make_model()
         assert load_latest_checkpoint(tmp_path, model) is None
         assert load_latest_checkpoint(tmp_path / "nope", model) is None
+
+
+def _kill_between_write_and_rename(directory, name):
+    """Run a real saver process SIGKILLed between tmp write and rename.
+
+    ``os.replace`` is swapped for a self-SIGKILL inside the child, so
+    the temp file is fully written and fsync'd but never moved into
+    place — the exact crash window atomic saves protect against.
+    Returns the child's pid.
+    """
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    script = textwrap.dedent(
+        """
+        import os, signal, sys
+        from repro.core.checkpoint import save_checkpoint
+        from repro.core.model import CosmoFlowModel
+        from repro.core.topology import ConvSpec, CosmoFlowConfig
+
+        cfg = CosmoFlowConfig(
+            name="micro4ckpt", input_size=4,
+            conv_layers=(ConvSpec(16, 2),), fc_sizes=(8,), n_outputs=3,
+        )
+        model = CosmoFlowModel(cfg, seed=0)
+        os.replace = lambda a, b: os.kill(os.getpid(), signal.SIGKILL)
+        save_checkpoint(sys.argv[1], model)
+        """
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(directory / name)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == -9, proc.stderr  # died to SIGKILL, not an error
+    return proc
+
+
+class TestCrashWindow:
+    """A writer SIGKILLed between tmp write and rename leaves only debris."""
+
+    def test_orphan_tmp_never_shadows_previous_checkpoint(self, tmp_path):
+        model, opt = make_model()
+        good = model.get_flat_parameters().copy()
+        save_checkpoint(tmp_path / "ckpt-000001", model, opt)
+
+        _kill_between_write_and_rename(tmp_path, "ckpt-000002")
+        orphans = list(tmp_path.glob("*.tmp"))
+        assert len(orphans) == 1  # the crash really left debris behind
+        assert not (tmp_path / "ckpt-000002.npz").exists()
+
+        fresh, fopt = make_model()
+        loaded = load_latest_checkpoint(tmp_path, fresh, fopt)
+        assert loaded is not None and loaded.name == "ckpt-000001.npz"
+        np.testing.assert_array_equal(fresh.get_flat_parameters(), good)
+        # Recovery swept the dead writer's temp file.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_sweep_removes_only_dead_writers_debris(self, tmp_path):
+        _kill_between_write_and_rename(tmp_path, "ckpt-000001")
+        # A live writer's temp file (ours) must survive the sweep.
+        live = tmp_path / f"ckpt-000009.npz.{os.getpid()}-1.tmp"
+        live.write_bytes(b"in-flight save")
+        # Foreign debris without a parseable pid is not ours to judge.
+        foreign = tmp_path / "ckpt-000008.npz.tmp"
+        foreign.write_bytes(b"unknown writer")
+
+        removed = sweep_stale_tmp(tmp_path)
+        assert len(removed) == 1 and "-" in removed[0].name
+        assert live.exists()
+        assert foreign.exists()
+
+    def test_sweep_missing_directory_is_noop(self, tmp_path):
+        assert sweep_stale_tmp(tmp_path / "nope") == []
 
 
 class TestRetention:

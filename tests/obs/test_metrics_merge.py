@@ -1,0 +1,117 @@
+"""Merging per-process metrics dumps into one registry.
+
+The real-process backend runs one :class:`MetricsRegistry` per worker
+process and folds the dumps into the parent's registry after the run.
+The contract these tests pin: N child registries merged into a fresh
+parent are indistinguishable from one shared registry that observed
+everything — including exact histogram quantiles, which requires the
+dump format to carry raw samples rather than summaries.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def observe_shard(registry, shard):
+    """One worker's worth of activity, parameterized by shard id."""
+    registry.counter("engine.steps").add(10 + shard)
+    registry.counter("comm.bytes_reduced").add(1000 * (shard + 1))
+    registry.gauge("engine.stage.io.seconds").add(0.5 * (shard + 1))
+    hist = registry.histogram("serve.latency_s")
+    for i in range(20):
+        # Dyadic values keep float summation exact regardless of order.
+        hist.observe((shard * 20 + i) / 1024)
+
+
+class TestMergeEqualsSingleRegistry:
+    N = 4
+
+    def build(self):
+        single = MetricsRegistry()
+        merged = MetricsRegistry()
+        for shard in range(self.N):
+            observe_shard(single, shard)
+            child = MetricsRegistry()
+            observe_shard(child, shard)
+            merged.merge(child.dump())
+        return single, merged
+
+    def test_snapshots_identical(self):
+        single, merged = self.build()
+        assert merged.snapshot() == single.snapshot()
+
+    def test_histogram_quantiles_exact(self):
+        single, merged = self.build()
+        h1 = single.histogram("serve.latency_s")
+        h2 = merged.histogram("serve.latency_s")
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert h2.quantile(q) == h1.quantile(q)
+        assert (h2.count, h2.total, h2.min, h2.max) == (
+            h1.count, h1.total, h1.min, h1.max,
+        )
+
+    def test_merge_order_does_not_matter(self):
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        dumps = []
+        for shard in range(self.N):
+            child = MetricsRegistry()
+            observe_shard(child, shard)
+            dumps.append(child.dump())
+        for d in dumps:
+            forward.merge(d)
+        for d in reversed(dumps):
+            backward.merge(d)
+        assert forward.snapshot() == backward.snapshot()
+
+
+class TestDumpFormat:
+    def test_dump_is_json_serializable(self):
+        reg = MetricsRegistry()
+        observe_shard(reg, 0)
+        rebuilt = MetricsRegistry()
+        rebuilt.merge(json.loads(json.dumps(reg.dump())))
+        assert rebuilt.snapshot() == reg.snapshot()
+
+    def test_dump_tags_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(1)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(3.0)
+        dump = reg.dump()
+        assert dump["c"] == {"kind": "counter", "value": 1}
+        assert dump["g"] == {"kind": "gauge", "value": 2.0}
+        assert dump["h"] == {"kind": "histogram", "samples": [3.0]}
+
+    def test_empty_registry_dump(self):
+        reg = MetricsRegistry()
+        assert reg.dump() == {}
+        target = MetricsRegistry()
+        target.merge(reg.dump())
+        assert target.names() == []
+
+
+class TestMergeSafety:
+    def test_merge_into_nonempty_adds(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.steps").add(5)
+        child = MetricsRegistry()
+        child.counter("engine.steps").add(7)
+        reg.merge(child.dump())
+        assert reg.value("engine.steps") == 12
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge("x").set(1.0)
+        child = MetricsRegistry()
+        child.counter("x").add(1)
+        with pytest.raises(TypeError):
+            reg.merge(child.dump())
+
+    def test_unknown_kind_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            reg.merge({"x": {"kind": "sparkline", "value": 1}})
