@@ -107,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="OUT.json",
                    help="record a Chrome trace (open in chrome://tracing "
                         "or Perfetto) and print the metrics registry")
+    p.add_argument(
+        "--conv-impl",
+        choices=("gemm", "im2col", "direct", "blocked", "auto"),
+        default=None,
+        help="conv kernel implementation: 'blocked' runs the conv stack "
+             "in the 16-channel-blocked layout end to end; 'auto' picks "
+             "per shape from the persisted tuning cache (see `repro tune`)",
+    )
 
     p = sub.add_parser("predict", help="evaluate a checkpoint on a dataset's test split")
     p.add_argument("--data", required=True)
@@ -243,6 +251,29 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("trace_file", help="Chrome trace JSON from `train --trace`")
     ps.add_argument("--no-per-rank", action="store_true",
                     help="omit the per-rank-track breakdown")
+
+    p = sub.add_parser("tune", help="warm/inspect/clear the conv-kernel tuning cache")
+    tune_sub = p.add_subparsers(dest="tune_command", required=True)
+    pw = tune_sub.add_parser(
+        "warm",
+        help="autotune every conv shape of a preset into the cache "
+             "(the only timed phase; later runs replay deterministically)",
+    )
+    pw.add_argument("--preset", default="tiny_16", help="topology preset name")
+    pw.add_argument("--batch", type=int, default=1, help="tuning batch size")
+    pw.add_argument("--max-size", type=int, default=None,
+                    help="cap input volumes at this extent (cheap smoke "
+                         "warms; capped keys only match capped runs)")
+    pw.add_argument("--seed", type=int, default=0)
+    pw.add_argument("--repeats", type=int, default=2,
+                    help="timed runs per candidate (best-of)")
+    pw.add_argument("--cache", default=None, metavar="PATH",
+                    help="tuning-cache file (default: $REPRO_AUTOTUNE_CACHE "
+                         "or ~/.cache/repro/autotune.json)")
+    ps2 = tune_sub.add_parser("show", help="print the persisted tuning decisions")
+    ps2.add_argument("--cache", default=None, metavar="PATH")
+    pc = tune_sub.add_parser("clear", help="delete the tuning cache")
+    pc.add_argument("--cache", default=None, metavar="PATH")
     return parser
 
 
@@ -299,73 +330,88 @@ def cmd_train(args) -> int:
         tracer = Tracer()
         metrics = MetricsRegistry()
 
-    if args.mode == "local":
-        model = CosmoFlowModel(preset, seed=args.seed)
-        optimizer = CosmoFlowOptimizer(
-            model.parameter_arrays(),
-            OptimizerConfig(eta0=args.eta0, decay_steps=max(1, args.epochs * len(train))),
-        )
-        trainer = Trainer(
-            model, train, val_data=val, optimizer=optimizer,
-            config=TrainerConfig(epochs=args.epochs, seed=args.seed + 1),
-            tracer=tracer, metrics=metrics,
-        )
-    else:
-        from repro.core.distributed import DistributedConfig, DistributedTrainer
-        from repro.core.elastic import ElasticTrainer
+    from repro.primitives import registry as conv_registry
 
-        if len(train) < args.ranks:
-            raise SystemExit(
-                f"dataset of {len(train)} samples cannot feed {args.ranks} ranks"
-            )
-        steps = len(train) // args.ranks
-        cls = ElasticTrainer if args.mode == "elastic" else DistributedTrainer
-        trainer = cls(
-            preset,
-            train,
-            val_data=val,
-            config=DistributedConfig(
-                n_ranks=args.ranks, epochs=args.epochs, mode=args.mode,
-                seed=args.seed + 1,
-            ),
-            optimizer_config=OptimizerConfig(
-                eta0=args.eta0, decay_steps=max(1, args.epochs * steps)
-            ),
-            tracer=tracer, metrics=metrics,
-        )
+    prev_impl = conv_registry.get_default_impl()
+    if args.conv_impl:
+        conv_registry.set_default_impl(args.conv_impl)
+    if metrics is not None:
+        # Conv kernels count calls/flops/reorders into the same registry
+        # the tracer prints, so `train --trace` surfaces layout traffic.
+        conv_registry.set_metrics(metrics)
+
     try:
-        with interruptible():
-            history = trainer.run()
-    except CliInterrupted as exc:
-        # A killed training run should still leave its observability
-        # artifacts behind: whatever the tracer and registry saw up to
-        # the signal is flushed before exiting 128+signum.
-        print(f"interrupted by {exc.signal_name}; flushing partial artifacts")
+        if args.mode == "local":
+            model = CosmoFlowModel(preset, seed=args.seed)
+            optimizer = CosmoFlowOptimizer(
+                model.parameter_arrays(),
+                OptimizerConfig(eta0=args.eta0, decay_steps=max(1, args.epochs * len(train))),
+            )
+            trainer = Trainer(
+                model, train, val_data=val, optimizer=optimizer,
+                config=TrainerConfig(epochs=args.epochs, seed=args.seed + 1),
+                tracer=tracer, metrics=metrics,
+            )
+        else:
+            from repro.core.distributed import DistributedConfig, DistributedTrainer
+            from repro.core.elastic import ElasticTrainer
+
+            if len(train) < args.ranks:
+                raise SystemExit(
+                    f"dataset of {len(train)} samples cannot feed {args.ranks} ranks"
+                )
+            steps = len(train) // args.ranks
+            cls = ElasticTrainer if args.mode == "elastic" else DistributedTrainer
+            trainer = cls(
+                preset,
+                train,
+                val_data=val,
+                config=DistributedConfig(
+                    n_ranks=args.ranks, epochs=args.epochs, mode=args.mode,
+                    seed=args.seed + 1,
+                ),
+                optimizer_config=OptimizerConfig(
+                    eta0=args.eta0, decay_steps=max(1, args.epochs * steps)
+                ),
+                tracer=tracer, metrics=metrics,
+            )
+        try:
+            with interruptible():
+                history = trainer.run()
+        except CliInterrupted as exc:
+            # A killed training run should still leave its observability
+            # artifacts behind: whatever the tracer and registry saw up to
+            # the signal is flushed before exiting 128+signum.
+            print(f"interrupted by {exc.signal_name}; flushing partial artifacts")
+            if tracer is not None:
+                out = tracer.export(args.trace)
+                print(f"trace: {out} ({len(tracer.ordered())} events, partial)")
+                print(metrics.report())
+            return exc.exit_code
+        for e, (tl, vl) in enumerate(zip(history.train_loss, history.val_loss), 1):
+            print(f"epoch {e}: train {tl:.4f}  val {vl:.4f}")
+        if args.mode == "local":
+            tp = trainer.throughput()
+            print(f"throughput: {tp['samples_per_sec']:.1f} samples/s "
+                  f"({tp['flops_per_sec'] / 1e9:.2f} Gflop/s)")
+            model, optimizer = trainer.model, trainer.optimizer
+        else:
+            print(f"mode: {args.mode}  ranks: {args.ranks}  "
+                  f"reductions: {trainer.group_stats.get('reductions', 0)}")
+            model, optimizer = trainer.final_model, None
+        if args.checkpoint:
+            path = save_checkpoint(args.checkpoint, model, optimizer)
+            print(f"checkpoint: {path}")
         if tracer is not None:
             out = tracer.export(args.trace)
-            print(f"trace: {out} ({len(tracer.ordered())} events, partial)")
+            print(f"trace: {out} ({len(tracer.ordered())} events; "
+                  f"`repro trace summarize {args.trace}` for the stage table)")
             print(metrics.report())
-        return exc.exit_code
-    for e, (tl, vl) in enumerate(zip(history.train_loss, history.val_loss), 1):
-        print(f"epoch {e}: train {tl:.4f}  val {vl:.4f}")
-    if args.mode == "local":
-        tp = trainer.throughput()
-        print(f"throughput: {tp['samples_per_sec']:.1f} samples/s "
-              f"({tp['flops_per_sec'] / 1e9:.2f} Gflop/s)")
-        model, optimizer = trainer.model, trainer.optimizer
-    else:
-        print(f"mode: {args.mode}  ranks: {args.ranks}  "
-              f"reductions: {trainer.group_stats.get('reductions', 0)}")
-        model, optimizer = trainer.final_model, None
-    if args.checkpoint:
-        path = save_checkpoint(args.checkpoint, model, optimizer)
-        print(f"checkpoint: {path}")
-    if tracer is not None:
-        out = tracer.export(args.trace)
-        print(f"trace: {out} ({len(tracer.ordered())} events; "
-              f"`repro trace summarize {args.trace}` for the stage table)")
-        print(metrics.report())
-    return 0
+        return 0
+    finally:
+        conv_registry.set_default_impl(prev_impl)
+        if metrics is not None:
+            conv_registry.set_metrics(None)
 
 
 def cmd_trace(args) -> int:
@@ -382,6 +428,70 @@ def cmd_trace(args) -> int:
         import sys
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def _preset_conv_shapes(config, max_size=None):
+    """``(ic, oc, size, kernel, stride, padding)`` per conv layer of a preset.
+
+    Follows the preset's own spatial recurrence (valid conv, optional
+    pool).  ``max_size`` caps the input extent so smoke runs stay cheap;
+    capped keys only match equally capped shapes at dispatch time.
+    """
+    shapes = []
+    size = config.input_size
+    ic = config.input_channels
+    for spec in config.conv_layers:
+        extent = size if max_size is None else min(size, max_size)
+        extent = max(extent, spec.kernel)  # keep the conv output non-empty
+        shapes.append((ic, spec.out_channels, extent, spec.kernel, 1, 0))
+        size = size - spec.kernel + 1
+        if spec.pool:
+            size //= config.pool_kernel
+        ic = spec.out_channels
+    return shapes
+
+
+def cmd_tune(args) -> int:
+    from repro.primitives import autotune
+
+    cache = autotune.TuningCache(getattr(args, "cache", None))
+    if args.tune_command == "show":
+        entries = cache.entries()
+        if not entries:
+            print(f"tuning cache {cache.path}: empty")
+            return 0
+        print(f"tuning cache {cache.path}: {len(entries)} entries")
+        for key in sorted(entries):
+            rec = entries[key]
+            times = "  ".join(
+                f"{name}={ms:.3f}ms" for name, ms in sorted(rec["times_ms"].items())
+            )
+            print(f"  {rec['impl']:<8} {key}")
+            print(f"           {times}")
+        return 0
+    if args.tune_command == "clear":
+        n = len(cache)
+        cache.clear(delete_file=True)
+        print(f"cleared tuning cache {cache.path} ({n} entries)")
+        return 0
+
+    # warm: time candidates for every conv shape of the preset and
+    # persist the winners.  This is the only phase that measures wall
+    # time; training with --conv-impl auto replays the cached decisions
+    # deterministically.
+    preset = _preset(args.preset)
+    shapes = _preset_conv_shapes(preset, args.max_size)
+    tuner = autotune.Autotuner(cache, repeats=args.repeats)
+    decisions = autotune.warm_conv_shapes(
+        shapes, batch=args.batch, seed=args.seed, tuner=tuner
+    )
+    fresh = tuner.misses
+    print(f"warmed {len(decisions)} shape keys "
+          f"({fresh} timed, {len(decisions) - fresh} already cached) "
+          f"-> {cache.path}")
+    for key, impl in decisions:
+        print(f"  {impl:<8} {key}")
     return 0
 
 
@@ -727,6 +837,7 @@ def main(argv=None) -> int:
         "stage": cmd_stage,
         "serve": cmd_serve,
         "trace": cmd_trace,
+        "tune": cmd_tune,
     }[args.command](args)
 
 

@@ -1,0 +1,375 @@
+"""Blocked-**native** 3D conv and pooling kernels (Algorithm 1, end to end).
+
+:mod:`repro.primitives.direct` is the faithful per-call port of the
+paper's Algorithm 1: it repacks plain ``NCDHW`` arrays into the blocked
+layout on *every* kernel invocation.  This module provides the same
+loop nests operating **natively** on already-blocked arrays —
+activations ``(N, CB, D, H, W, 16)`` and weights
+``(OCB, ICB, KD, KH, KW, 16ic, 16oc)`` — so a conv -> pool -> conv chain
+can run blocked end-to-end with zero interior reorders (the oneDNN
+execution model the paper's single-node numbers rely on).
+
+Bitwise contract: every native kernel reproduces, element for element,
+the arithmetic of its :mod:`~repro.primitives.direct` counterpart —
+same loop order, same microkernel matmuls, same fp32 accumulators —
+because layout conversion is pure data movement.  The test suite holds
+``blocked(native) == direct(per-call repack)`` to **bitwise** equality
+(padding-0; the padded forward pads the blocked array spatially, which
+commutes exactly with blocking).
+
+Invariant: zero-padded channel lanes stay exactly zero through conv
+(zero weight columns), pooling and leaky-ReLU, so blocked arrays can
+flow through the stack without re-zeroing.
+
+The ``*_via_blocked`` wrappers keep the registry's plain array
+convention (reorder in, compute native, reorder out) — they are what
+the ``"blocked"`` registry impl and the autotuner call; the tensor
+layer calls the native kernels directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.conv3d import _triple, conv3d_output_shape
+from repro.primitives.direct import WIDTH_BLOCK, _width_blocks  # noqa: F401
+from repro.primitives.layout import (
+    BLOCK,
+    BLOCKED_BIAS16,
+    BLOCKED_NCDHW16C,
+    BLOCKED_OIDHW16I16O,
+    PLAIN_BIAS,
+    PLAIN_NCDHW,
+    PLAIN_OIDHW,
+    reorder,
+    reorder_cached,
+)
+from repro.primitives.pool3d import pool3d_output_shape
+
+__all__ = [
+    "conv3d_forward_blocked",
+    "conv3d_backward_data_blocked",
+    "conv3d_backward_weights_blocked",
+    "avg_pool3d_forward_blocked",
+    "avg_pool3d_backward_blocked",
+    "conv3d_forward_via_blocked",
+    "conv3d_backward_data_via_blocked",
+    "conv3d_backward_weights_via_blocked",
+]
+
+
+def _pad_blocked(xb: np.ndarray, padding) -> np.ndarray:
+    """Zero-pad the spatial axes of a blocked ``(N, CB, D, H, W, b)`` array.
+
+    Spatial padding commutes exactly with channel blocking, so padding
+    the blocked array equals blocking the padded array.
+    """
+    pd, ph, pw = padding
+    if pd == ph == pw == 0:
+        return xb
+    return np.pad(xb, ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw), (0, 0)))
+
+
+def conv3d_forward_blocked(
+    xb: np.ndarray,
+    wb: np.ndarray,
+    bias_b: np.ndarray | None = None,
+    stride=1,
+    padding=0,
+    width_block: int | None = None,
+    block: int = BLOCK,
+) -> np.ndarray:
+    """Algorithm-1 forward on blocked arrays, in and out.
+
+    Parameters
+    ----------
+    xb
+        Blocked activations ``(N, ICB, ID, IH, IW, block)``.
+    wb
+        Blocked weights ``(OCB, ICB, KD, KH, KW, bic, boc)``.
+    bias_b
+        Optional blocked bias ``(OCB, block)``.
+
+    Returns ``(N, OCB, OD, OH, OW, block)``, same dtype as ``xb``;
+    padded output-channel lanes are exactly zero (plus bias lanes, which
+    are zero-padded too).
+    """
+    stride = _triple(stride)
+    padding = _triple(padding)
+    xb = _pad_blocked(xb, padding)
+    n = xb.shape[0]
+    ocb_n, icb_n = wb.shape[0], wb.shape[1]
+    kd, kh, kw = wb.shape[2:5]
+    sd, sh, sw = stride
+    od, oh, ow = conv3d_output_shape(xb.shape[2:5], (kd, kh, kw), stride, 0)
+
+    out = np.empty((n, ocb_n, od, oh, ow, block), dtype=xb.dtype)
+    for sample in range(n):
+        src = xb[sample]
+        dst = np.zeros((ocb_n, od, oh, ow, block), dtype=np.float32)
+        for ocb in range(ocb_n):
+            for icb in range(icb_n):
+                for zd in range(kd):
+                    for zh in range(kh):
+                        for zw in range(kw):
+                            wblk = wb[ocb, icb, zd, zh, zw]  # (bic, boc)
+                            for w0, w1 in _width_blocks(ow, width_block):
+                                s = src[
+                                    icb,
+                                    zd : zd + sd * od : sd,
+                                    zh : zh + sh * oh : sh,
+                                    zw + sw * w0 : zw + sw * w1 : sw,
+                                    :,
+                                ]
+                                dst[ocb, :, :, w0:w1, :] += s @ wblk
+        out[sample] = dst
+    if bias_b is not None:
+        out = out + bias_b.reshape(1, ocb_n, 1, 1, 1, block).astype(out.dtype)
+    return out
+
+
+def conv3d_backward_data_blocked(
+    grad_out_b: np.ndarray,
+    wb: np.ndarray,
+    input_shape,
+    stride=1,
+    padding=0,
+    block: int = BLOCK,
+) -> np.ndarray:
+    """Backward-data on blocked arrays; ``input_shape`` is the unpadded
+    logical spatial shape ``(ID, IH, IW)`` of the forward input."""
+    stride = _triple(stride)
+    padding = _triple(padding)
+    n = grad_out_b.shape[0]
+    ocb_n, icb_n = wb.shape[0], wb.shape[1]
+    kd, kh, kw = wb.shape[2:5]
+    sd, sh, sw = stride
+    od, oh, ow = grad_out_b.shape[2:5]
+    pd, ph, pw = padding
+    padded_shape = tuple(s + 2 * p for s, p in zip(input_shape, padding))
+
+    grad_in = np.empty((n, icb_n) + tuple(input_shape) + (block,), dtype=grad_out_b.dtype)
+    for sample in range(n):
+        gout = grad_out_b[sample]
+        gin = np.zeros((icb_n,) + padded_shape + (block,), dtype=np.float32)
+        for icb in range(icb_n):
+            for ocb in range(ocb_n):
+                for zd in range(kd):
+                    for zh in range(kh):
+                        for zw in range(kw):
+                            wblk = wb[ocb, icb, zd, zh, zw]  # (bic, boc)
+                            # (OD, OH, OW, boc) x (boc, bic) -> (OD, OH, OW, bic)
+                            contrib = gout[ocb] @ wblk.T
+                            gin[
+                                icb,
+                                zd : zd + sd * od : sd,
+                                zh : zh + sh * oh : sh,
+                                zw : zw + sw * ow : sw,
+                                :,
+                            ] += contrib
+        if (pd, ph, pw) != (0, 0, 0):
+            gin = gin[
+                :,
+                pd : padded_shape[0] - pd,
+                ph : padded_shape[1] - ph,
+                pw : padded_shape[2] - pw,
+                :,
+            ]
+        grad_in[sample] = gin
+    return grad_in
+
+
+def conv3d_backward_weights_blocked(
+    xb: np.ndarray,
+    grad_out_b: np.ndarray,
+    kernel,
+    stride=1,
+    padding=0,
+    with_bias: bool = False,
+    *,
+    out_channels: int,
+    in_channels: int,
+    block: int = BLOCK,
+):
+    """Backward-weights from blocked activations/gradients.
+
+    The weight gradient feeds the optimizer, which owns **plain**
+    parameters — so the result is unblocked to ``(OC, IC, KD, KH, KW)``
+    here (a genuine layout boundary, counted as a reorder).  ``grad_b``
+    is computed from the plain contiguous view of ``grad_out_b`` so the
+    summation order is bit-identical to the plain path's
+    ``grad_out.sum(axis=(0, 2, 3, 4))``.
+    """
+    kernel = _triple(kernel)
+    stride = _triple(stride)
+    padding = _triple(padding)
+    xb = _pad_blocked(xb, padding)
+    n = xb.shape[0]
+    kd, kh, kw = kernel
+    sd, sh, sw = stride
+    od, oh, ow = grad_out_b.shape[2:5]
+    ocb_n = grad_out_b.shape[1]
+    icb_n = xb.shape[1]
+
+    # Per-"thread" scratch accumulators, reduced at the end (direct.py's
+    # serial analogue of the paper's per-thread weight reduction).
+    scratch = np.zeros((n, ocb_n, icb_n, kd, kh, kw, block, block), dtype=np.float32)
+    for sample in range(n):
+        src = xb[sample]
+        gout = grad_out_b[sample]
+        for ocb in range(ocb_n):
+            for icb in range(icb_n):
+                for zd in range(kd):
+                    for zh in range(kh):
+                        for zw in range(kw):
+                            s = src[
+                                icb,
+                                zd : zd + sd * od : sd,
+                                zh : zh + sh * oh : sh,
+                                zw : zw + sw * ow : sw,
+                                :,
+                            ]
+                            # (OD,OH,OW,bic) x (OD,OH,OW,boc) -> (bic,boc)
+                            scratch[sample, ocb, icb, zd, zh, zw] = np.tensordot(
+                                s, gout[ocb], axes=([0, 1, 2], [0, 1, 2])
+                            )
+    wb_sum = scratch.sum(axis=0)  # the parallel reduction
+    grad_w = reorder(
+        wb_sum,
+        BLOCKED_OIDHW16I16O,
+        PLAIN_OIDHW,
+        out_channels=out_channels,
+        in_channels=in_channels,
+    ).astype(grad_out_b.dtype, copy=False)
+    if with_bias:
+        g_plain = reorder(grad_out_b, BLOCKED_NCDHW16C, PLAIN_NCDHW, channels=out_channels)
+        return grad_w, g_plain.sum(axis=(0, 2, 3, 4))
+    return grad_w
+
+
+# ---------------------------------------------------------------------------
+# Blocked average pooling
+# ---------------------------------------------------------------------------
+
+
+def avg_pool3d_forward_blocked(xb: np.ndarray, kernel, stride=None) -> np.ndarray:
+    """Average-pool a blocked ``(N, CB, D, H, W, b)`` tensor.
+
+    Per-element arithmetic (same offsets, same fp64 accumulator, same
+    final scale) as :func:`repro.primitives.pool3d.avg_pool3d_forward`,
+    hence bitwise-equal through the layout; zero lanes stay zero.
+    """
+    if xb.ndim != 6:
+        raise ValueError(f"expected (N, CB, D, H, W, b) blocked input, got {xb.shape}")
+    kernel = _triple(kernel)
+    stride = kernel if stride is None else _triple(stride)
+    od, oh, ow = pool3d_output_shape(xb.shape[2:5], kernel, stride)
+    kd, kh, kw = kernel
+    sd, sh, sw = stride
+    acc = np.zeros(xb.shape[:2] + (od, oh, ow) + xb.shape[-1:], dtype=np.float64)
+    for zd in range(kd):
+        for zh in range(kh):
+            for zw in range(kw):
+                acc += xb[
+                    :,
+                    :,
+                    zd : zd + sd * od : sd,
+                    zh : zh + sh * oh : sh,
+                    zw : zw + sw * ow : sw,
+                    :,
+                ]
+    acc /= kd * kh * kw
+    return acc.astype(xb.dtype, copy=False)
+
+
+def avg_pool3d_backward_blocked(
+    grad_out_b: np.ndarray, input_shape, kernel, stride=None
+) -> np.ndarray:
+    """Gradient of blocked average pooling w.r.t. its blocked input."""
+    kernel = _triple(kernel)
+    stride = kernel if stride is None else _triple(stride)
+    n, cb, od, oh, ow, b = grad_out_b.shape
+    expected = pool3d_output_shape(input_shape, kernel, stride)
+    if expected != (od, oh, ow):
+        raise ValueError(
+            f"grad spatial shape {(od, oh, ow)} inconsistent with input {input_shape} "
+            f"(expected {expected})"
+        )
+    kd, kh, kw = kernel
+    sd, sh, sw = stride
+    scaled = grad_out_b / np.array(kd * kh * kw, dtype=grad_out_b.dtype)
+    grad_in = np.zeros((n, cb) + tuple(input_shape) + (b,), dtype=grad_out_b.dtype)
+    for zd in range(kd):
+        for zh in range(kh):
+            for zw in range(kw):
+                grad_in[
+                    :,
+                    :,
+                    zd : zd + sd * od : sd,
+                    zh : zh + sh * oh : sh,
+                    zw : zw + sw * ow : sw,
+                    :,
+                ] += scaled
+    return grad_in
+
+
+# ---------------------------------------------------------------------------
+# Plain-convention wrappers (registry / autotuner entry points)
+# ---------------------------------------------------------------------------
+
+
+def conv3d_forward_via_blocked(
+    x: np.ndarray,
+    w: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride=1,
+    padding=0,
+) -> np.ndarray:
+    """Plain-in/plain-out forward through the blocked-native kernel.
+
+    Weight/bias reorders are content-cached; activation reorders are
+    the per-call price this wrapper pays (the tensor layer avoids it by
+    staying blocked between ops).
+    """
+    oc = w.shape[0]
+    xb = reorder(x, PLAIN_NCDHW, BLOCKED_NCDHW16C)
+    wb = reorder_cached(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+    bb = None if bias is None else reorder_cached(bias, PLAIN_BIAS, BLOCKED_BIAS16)
+    out_b = conv3d_forward_blocked(xb, wb, bb, stride=stride, padding=padding)
+    return reorder(out_b, BLOCKED_NCDHW16C, PLAIN_NCDHW, channels=oc)
+
+
+def conv3d_backward_data_via_blocked(
+    grad_out: np.ndarray,
+    w: np.ndarray,
+    input_shape,
+    stride=1,
+    padding=0,
+) -> np.ndarray:
+    ic = w.shape[1]
+    gb = reorder(grad_out, PLAIN_NCDHW, BLOCKED_NCDHW16C)
+    wb = reorder_cached(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+    gxb = conv3d_backward_data_blocked(gb, wb, input_shape, stride=stride, padding=padding)
+    return reorder(gxb, BLOCKED_NCDHW16C, PLAIN_NCDHW, channels=ic)
+
+
+def conv3d_backward_weights_via_blocked(
+    x: np.ndarray,
+    grad_out: np.ndarray,
+    kernel,
+    stride=1,
+    padding=0,
+    with_bias: bool = False,
+):
+    xb = reorder(x, PLAIN_NCDHW, BLOCKED_NCDHW16C)
+    gb = reorder(grad_out, PLAIN_NCDHW, BLOCKED_NCDHW16C)
+    return conv3d_backward_weights_blocked(
+        xb,
+        gb,
+        kernel,
+        stride=stride,
+        padding=padding,
+        with_bias=with_bias,
+        out_channels=grad_out.shape[1],
+        in_channels=x.shape[1],
+    )

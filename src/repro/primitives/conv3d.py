@@ -36,6 +36,7 @@ import numpy as np
 __all__ = [
     "conv3d_output_shape",
     "conv3d_forward",
+    "conv3d_forward_im2col",
     "conv3d_backward_data",
     "conv3d_backward_weights",
 ]
@@ -122,6 +123,36 @@ def _forward_im2col(
                 w2 @ cur.reshape(ic * kd * kh * kw, (d1 - d0) * oh * ow)
             ).reshape(oc, d1 - d0, oh, ow)
     return out
+
+
+def conv3d_forward_im2col(
+    x: np.ndarray,
+    w: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride=1,
+    padding=0,
+) -> np.ndarray:
+    """Forward convolution that always takes the im2col-GEMM path.
+
+    :func:`conv3d_forward` picks im2col automatically for small
+    reduction dimensions; this entry point forces it regardless of
+    shape, so the autotuner can time im2col against the offset-loop and
+    blocked formulations on every layer.  Identical signature and
+    semantics to :func:`conv3d_forward`.
+    """
+    if x.ndim != 5:
+        raise ValueError(f"expected NCDHW input, got shape {x.shape}")
+    if w.ndim != 5:
+        raise ValueError(f"expected (OC, IC, KD, KH, KW) weights, got shape {w.shape}")
+    if x.shape[1] != w.shape[1]:
+        raise ValueError(f"input channels {x.shape[1]} != weight channels {w.shape[1]}")
+    stride = _triple(stride)
+    padding = _triple(padding)
+    od, oh, ow = conv3d_output_shape(x.shape[2:], w.shape[2:], stride, padding)
+    out = _forward_im2col(_pad_input(x, padding), w, stride, (od, oh, ow))
+    if bias is not None:
+        out += bias.reshape(1, -1, 1, 1, 1)
+    return np.ascontiguousarray(out.astype(x.dtype, copy=False))
 
 
 def conv3d_forward(

@@ -25,9 +25,11 @@ import numpy as np
 from repro.primitives.conv3d import _triple, conv3d_output_shape
 from repro.primitives.layout import (
     BLOCK,
-    from_blocked,
-    to_blocked,
-    to_blocked_weights,
+    BLOCKED_NCDHW16C,
+    BLOCKED_OIDHW16I16O,
+    PLAIN_NCDHW,
+    PLAIN_OIDHW,
+    reorder,
 )
 
 __all__ = [
@@ -79,12 +81,12 @@ def conv3d_forward_direct(
     sd, sh, sw = stride
     od, oh, ow = conv3d_output_shape(x.shape[2:], w.shape[2:], stride, 0)
 
-    wb = to_blocked_weights(w, block)  # (OCB, ICB, KD, KH, KW, bic, boc)
+    wb = reorder(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)  # (OCB, ICB, KD, KH, KW, bic, boc)
     ocb_n, icb_n = wb.shape[0], wb.shape[1]
     out = np.empty((n, oc, od, oh, ow), dtype=x.dtype)
 
     for sample in range(n):
-        src = to_blocked(x[sample], block)  # (ICB, ID, IH, IW, b)
+        src = reorder(x[sample], PLAIN_NCDHW, BLOCKED_NCDHW16C)  # (ICB, ID, IH, IW, b)
         dst = np.zeros((ocb_n, od, oh, ow, block), dtype=np.float32)
         for ocb in range(ocb_n):  # output channel block
             for icb in range(icb_n):  # input channel block
@@ -103,7 +105,7 @@ def conv3d_forward_direct(
                                 # 28x16x16 microkernel, vectorized:
                                 # (OD, OH, WB, bic) x (bic, boc) -> (OD, OH, WB, boc)
                                 dst[ocb, :, :, w0:w1, :] += s @ wblk
-        out[sample] = from_blocked(dst, oc, block)
+        out[sample] = reorder(dst, BLOCKED_NCDHW16C, PLAIN_NCDHW, channels=oc)
     if bias is not None:
         out = out + bias.reshape(1, -1, 1, 1, 1).astype(out.dtype)
     return out
@@ -125,12 +127,12 @@ def conv3d_backward_data_direct(
     sd, sh, sw = stride
     od, oh, ow = grad_out.shape[2:]
 
-    wb = to_blocked_weights(w, block)
+    wb = reorder(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
     ocb_n, icb_n = wb.shape[0], wb.shape[1]
     grad_in = np.empty((n, ic) + tuple(input_shape), dtype=grad_out.dtype)
 
     for sample in range(n):
-        gout = to_blocked(grad_out[sample], block)  # (OCB, OD, OH, OW, b)
+        gout = reorder(grad_out[sample], PLAIN_NCDHW, BLOCKED_NCDHW16C)  # (OCB, OD, OH, OW, b)
         gin = np.zeros((icb_n,) + tuple(input_shape) + (block,), dtype=np.float32)
         for icb in range(icb_n):
             for ocb in range(ocb_n):
@@ -147,7 +149,7 @@ def conv3d_backward_data_direct(
                                 zw : zw + sw * ow : sw,
                                 :,
                             ] += contrib
-        grad_in[sample] = from_blocked(gin, ic, block)
+        grad_in[sample] = reorder(gin, BLOCKED_NCDHW16C, PLAIN_NCDHW, channels=ic)
     return grad_in
 
 
@@ -182,8 +184,8 @@ def conv3d_backward_weights_direct(
     scratch = np.zeros((n, ocb_n, icb_n, kd, kh, kw, block, block), dtype=np.float32)
 
     for sample in range(n):
-        src = to_blocked(x[sample], block)
-        gout = to_blocked(grad_out[sample], block)
+        src = reorder(x[sample], PLAIN_NCDHW, BLOCKED_NCDHW16C)
+        gout = reorder(grad_out[sample], PLAIN_NCDHW, BLOCKED_NCDHW16C)
         for ocb in range(ocb_n):
             for icb in range(icb_n):
                 for zd in range(kd):
@@ -201,10 +203,9 @@ def conv3d_backward_weights_direct(
                                 s, gout[ocb], axes=([0, 1, 2], [0, 1, 2])
                             )
     wb = scratch.sum(axis=0)  # the parallel reduction
-    padded = wb.transpose(0, 6, 1, 5, 2, 3, 4).reshape(
-        ocb_n * block, icb_n * block, kd, kh, kw
-    )
-    grad_w = np.ascontiguousarray(padded[:oc, :ic]).astype(grad_out.dtype, copy=False)
+    grad_w = reorder(
+        wb, BLOCKED_OIDHW16I16O, PLAIN_OIDHW, out_channels=oc, in_channels=ic
+    ).astype(grad_out.dtype, copy=False)
     if with_bias:
         return grad_w, grad_out.sum(axis=(0, 2, 3, 4))
     return grad_w

@@ -12,23 +12,155 @@ paper sidesteps padding by choosing all channel counts as multiples of
 16 ("to allow for efficient vectorization over the channel dimension"),
 but the layout functions here handle ragged counts so the direct
 kernels stay general.
+
+Beyond the raw pack/unpack helpers, this module is the **layout
+registry** (oneDNN idiom: explicit memory descriptors + explicit
+reorder primitives):
+
+* :class:`Layout` — a named memory-format descriptor (``ncdhw``,
+  ``nCdhw16c``, ``oidhw``, ``OIdhw16i16o``, ``x``, ``X16x``) that
+  tensors and arrays can carry.
+* :func:`reorder` — the single counted entry point for every layout
+  conversion.  Each call increments ``primitives.reorder.calls`` /
+  ``.bytes`` on the metrics registry attached via
+  :func:`repro.primitives.registry.set_metrics`, which is what lets the
+  A1 ablation *assert* "reorder once, not per step" instead of implying
+  it.
+* :class:`ReorderCache` / :func:`reorder_cached` — content-addressed
+  caching for reorders of slow-changing arrays (weights, biases).  The
+  key includes a digest of the array bytes, so a cached blocked weight
+  is reused across forward/backward and across steps until the
+  optimizer actually changes the weight; hits/misses are counted as
+  ``primitives.reorder.cache.{hits,misses}``.
 """
 
 from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = [
     "BLOCK",
+    "Layout",
+    "PLAIN_NCDHW",
+    "BLOCKED_NCDHW16C",
+    "PLAIN_OIDHW",
+    "BLOCKED_OIDHW16I16O",
+    "PLAIN_BIAS",
+    "BLOCKED_BIAS16",
+    "register_layout",
+    "get_layout",
+    "available_layouts",
     "blocked_channels",
     "to_blocked",
     "from_blocked",
+    "to_blocked_batch",
+    "from_blocked_batch",
     "to_blocked_weights",
     "from_blocked_weights",
+    "to_blocked_bias",
+    "from_blocked_bias",
+    "reorder",
+    "ReorderCache",
+    "reorder_cached",
+    "default_reorder_cache",
+    "clear_reorder_cache",
 ]
 
 #: SIMD block size: 16 fp32 lanes = one AVX512 register, as in the paper.
 BLOCK = 16
+
+
+# ---------------------------------------------------------------------------
+# Layout descriptors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A named memory-format descriptor (a oneDNN "memory descriptor").
+
+    ``kind`` is what the array logically holds (``activation``,
+    ``weight``, or ``bias``); ``block`` is the channel block size for
+    blocked formats and ``None`` for plain ones.
+    """
+
+    name: str
+    kind: str
+    block: int | None = None
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.block is not None
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.name
+
+
+_LAYOUTS: dict[str, Layout] = {}
+
+
+def register_layout(layout: Layout) -> Layout:
+    """Register a :class:`Layout` descriptor under its name."""
+    if layout.kind not in ("activation", "weight", "bias"):
+        raise ValueError(f"unknown layout kind {layout.kind!r}")
+    _LAYOUTS[layout.name] = layout
+    return layout
+
+
+def get_layout(name: str | Layout) -> Layout:
+    """Look up a registered layout by name (idempotent on instances)."""
+    if isinstance(name, Layout):
+        return name
+    try:
+        return _LAYOUTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown layout {name!r}; registered: {sorted(_LAYOUTS)}"
+        ) from None
+
+
+def available_layouts() -> list[str]:
+    return sorted(_LAYOUTS)
+
+
+#: Plain activations ``(N, C, D, H, W)`` / per-sample ``(C, D, H, W)``.
+PLAIN_NCDHW = register_layout(Layout("ncdhw", "activation"))
+#: 16-channel-blocked activations ``(N, CB, D, H, W, 16)`` (Algorithm 1 SRC/DST).
+BLOCKED_NCDHW16C = register_layout(Layout("nCdhw16c", "activation", BLOCK))
+#: Plain conv weights ``(OC, IC, KD, KH, KW)``.
+PLAIN_OIDHW = register_layout(Layout("oidhw", "weight"))
+#: Double-blocked conv weights ``(OCB, ICB, KD, KH, KW, 16ic, 16oc)``.
+BLOCKED_OIDHW16I16O = register_layout(Layout("OIdhw16i16o", "weight", BLOCK))
+#: Plain bias ``(C,)``.
+PLAIN_BIAS = register_layout(Layout("x", "bias"))
+#: Blocked bias ``(CB, 16)`` — lane layout matches blocked activations.
+BLOCKED_BIAS16 = register_layout(Layout("X16x", "bias", BLOCK))
+
+
+def _metrics():
+    """The metrics registry shared with the kernel registry (or ``None``)."""
+    from repro.primitives import registry as _registry
+
+    return _registry.get_metrics()
+
+
+def _count_reorder(src: Layout, dst: Layout, nbytes: int) -> None:
+    m = _metrics()
+    if m is None:
+        return
+    m.counter("primitives.reorder.calls").add(1)
+    m.counter("primitives.reorder.bytes").add(nbytes)
+    m.counter(f"primitives.reorder.{src.name}->{dst.name}.calls").add(1)
+
+
+# ---------------------------------------------------------------------------
+# Raw pack/unpack helpers
+# ---------------------------------------------------------------------------
 
 
 def blocked_channels(channels: int, block: int = BLOCK) -> int:
@@ -71,6 +203,40 @@ def from_blocked(xb: np.ndarray, channels: int, block: int = BLOCK) -> np.ndarra
     return np.ascontiguousarray(x[:channels])
 
 
+def to_blocked_batch(x: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Convert a batch ``(N, C, D, H, W)`` to ``(N, CB, D, H, W, block)``.
+
+    Vectorized over the batch — one reorder op for the whole batch, the
+    same element mapping as per-sample :func:`to_blocked`.
+    """
+    if x.ndim != 5:
+        raise ValueError(f"expected (N, C, D, H, W) activations, got shape {x.shape}")
+    n, c, d, h, w = x.shape
+    cb = blocked_channels(c, block)
+    out = np.zeros((n, cb, d, h, w, block), dtype=x.dtype)
+    full = (c // block) * block
+    if full:
+        out[:, : c // block] = (
+            x[:, :full].reshape(n, c // block, block, d, h, w).transpose(0, 1, 3, 4, 5, 2)
+        )
+    if c != full:
+        out[:, c // block, :, :, :, : c - full] = x[:, full:].transpose(0, 2, 3, 4, 1)
+    return out
+
+
+def from_blocked_batch(xb: np.ndarray, channels: int, block: int = BLOCK) -> np.ndarray:
+    """Inverse of :func:`to_blocked_batch`; drops zero-padded channels."""
+    if xb.ndim != 6 or xb.shape[-1] != block:
+        raise ValueError(
+            f"expected (N, CB, D, H, W, {block}) blocked activations, got {xb.shape}"
+        )
+    n, cb, d, h, w, _ = xb.shape
+    if blocked_channels(channels, block) != cb:
+        raise ValueError(f"{channels} channels do not fit {cb} blocks of {block}")
+    x = xb.transpose(0, 1, 5, 2, 3, 4).reshape(n, cb * block, d, h, w)
+    return np.ascontiguousarray(x[:, :channels])
+
+
 def to_blocked_weights(w: np.ndarray, block: int = BLOCK) -> np.ndarray:
     """Convert weights ``(OC, IC, KD, KH, KW)`` to
     ``(OCB, ICB, KD, KH, KW, block_ic, block_oc)``.
@@ -101,3 +267,196 @@ def from_blocked_weights(
     ocb, icb, kd, kh, kw, _, _ = wb.shape
     padded = wb.transpose(0, 6, 1, 5, 2, 3, 4).reshape(ocb * block, icb * block, kd, kh, kw)
     return np.ascontiguousarray(padded[:out_channels, :in_channels])
+
+
+def to_blocked_bias(b: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Convert a bias ``(C,)`` to blocked ``(CB, block)`` (zero-padded lanes)."""
+    if b.ndim != 1:
+        raise ValueError(f"expected (C,) bias, got shape {b.shape}")
+    c = b.shape[0]
+    cb = blocked_channels(c, block)
+    out = np.zeros((cb, block), dtype=b.dtype)
+    # Channel c lands at (c // block, c % block) — exactly C-order reshape.
+    out.reshape(-1)[:c] = b
+    return out
+
+
+def from_blocked_bias(bb: np.ndarray, channels: int, block: int = BLOCK) -> np.ndarray:
+    """Inverse of :func:`to_blocked_bias`."""
+    if bb.ndim != 2 or bb.shape[-1] != block:
+        raise ValueError(f"expected (CB, {block}) blocked bias, got {bb.shape}")
+    if blocked_channels(channels, block) != bb.shape[0]:
+        raise ValueError(f"{channels} channels do not fit {bb.shape[0]} blocks of {block}")
+    return np.ascontiguousarray(bb.reshape(-1)[:channels])
+
+
+# ---------------------------------------------------------------------------
+# The counted reorder op
+# ---------------------------------------------------------------------------
+
+
+def reorder(
+    arr: np.ndarray,
+    src: str | Layout,
+    dst: str | Layout,
+    *,
+    channels: int | None = None,
+    out_channels: int | None = None,
+    in_channels: int | None = None,
+) -> np.ndarray:
+    """Explicitly convert ``arr`` from layout ``src`` to layout ``dst``.
+
+    This is the single counted conversion op: every layout change in the
+    stack should flow through here (or :func:`reorder_cached`) so the
+    reorder-traffic counters stay honest.  ``src == dst`` is a no-op and
+    is **not** counted.
+
+    Activation conversions accept per-sample (4D/5D) and batched
+    (5D/6D) arrays; blocked->plain needs ``channels``; blocked->plain
+    weights need ``out_channels``/``in_channels``.
+    """
+    src = get_layout(src)
+    dst = get_layout(dst)
+    if src == dst:
+        return arr
+    if src.kind != dst.kind:
+        raise ValueError(f"cannot reorder {src.kind} layout {src.name} to {dst.kind} {dst.name}")
+    pair = (src.name, dst.name)
+    if pair == ("ncdhw", "nCdhw16c"):
+        out = to_blocked(arr, dst.block) if arr.ndim == 4 else to_blocked_batch(arr, dst.block)
+    elif pair == ("nCdhw16c", "ncdhw"):
+        if channels is None:
+            raise ValueError("blocked->plain activation reorder needs channels=")
+        if arr.ndim == 5:
+            out = from_blocked(arr, channels, src.block)
+        else:
+            out = from_blocked_batch(arr, channels, src.block)
+    elif pair == ("oidhw", "OIdhw16i16o"):
+        out = to_blocked_weights(arr, dst.block)
+    elif pair == ("OIdhw16i16o", "oidhw"):
+        if out_channels is None or in_channels is None:
+            raise ValueError("blocked->plain weight reorder needs out_channels=/in_channels=")
+        out = from_blocked_weights(arr, out_channels, in_channels, src.block)
+    elif pair == ("x", "X16x"):
+        out = to_blocked_bias(arr, dst.block)
+    elif pair == ("X16x", "x"):
+        if channels is None:
+            raise ValueError("blocked->plain bias reorder needs channels=")
+        out = from_blocked_bias(arr, channels, src.block)
+    else:
+        raise ValueError(f"no reorder implementation for {src.name} -> {dst.name}")
+    _count_reorder(src, dst, arr.nbytes)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed reorder caching
+# ---------------------------------------------------------------------------
+
+
+def _digest(arr: np.ndarray) -> bytes:
+    """Content digest of an array (shape + dtype + bytes)."""
+    a = arr if arr.flags.c_contiguous else np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((a.shape, a.dtype.str)).encode())
+    h.update(a)
+    return h.digest()
+
+
+class ReorderCache:
+    """Content-addressed cache of reorder results (oneDNN's cached
+    reorder primitive, keyed by *content* rather than identity).
+
+    Intended for slow-changing arrays — conv weights and biases — so the
+    expensive plain->blocked repack happens once per distinct weight
+    value: the forward pass misses once, the two backward passes and
+    every later step with unchanged weights (eval, serving, benchmark
+    loops) hit.  Activations change every step and must not be cached.
+
+    Thread-safe; LRU-bounded by entry count.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def _count(self, name: str, saved_bytes: int = 0) -> None:
+        m = _metrics()
+        if m is None:
+            return
+        m.counter(f"primitives.reorder.cache.{name}").add(1)
+        if saved_bytes:
+            m.counter("primitives.reorder.cache.bytes_saved").add(saved_bytes)
+
+    def get_or_reorder(
+        self,
+        arr: np.ndarray,
+        src: str | Layout,
+        dst: str | Layout,
+        **kwargs,
+    ) -> np.ndarray:
+        src = get_layout(src)
+        dst = get_layout(dst)
+        if src == dst:
+            return arr
+        key = (
+            src.name,
+            dst.name,
+            arr.shape,
+            arr.dtype.str,
+            tuple(sorted(kwargs.items())),
+            _digest(arr),
+        )
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if cached is not None:
+            self._count("hits", saved_bytes=arr.nbytes)
+            return cached
+        self.misses += 1
+        self._count("misses")
+        out = reorder(arr, src, dst, **kwargs)
+        with self._lock:
+            self._entries[key] = out
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return out
+
+
+_DEFAULT_CACHE = ReorderCache()
+
+
+def default_reorder_cache() -> ReorderCache:
+    """The process-wide reorder cache used by the blocked conv path."""
+    return _DEFAULT_CACHE
+
+
+def clear_reorder_cache() -> None:
+    """Drop all cached reorders (tests, or after external weight mutation)."""
+    _DEFAULT_CACHE.clear()
+
+
+def reorder_cached(
+    arr: np.ndarray,
+    src: str | Layout,
+    dst: str | Layout,
+    cache: ReorderCache | None = None,
+    **kwargs,
+) -> np.ndarray:
+    """Like :func:`reorder` but served from ``cache`` (default: the
+    process-wide cache) when the same content was reordered before."""
+    return (cache or _DEFAULT_CACHE).get_or_reorder(arr, src, dst, **kwargs)

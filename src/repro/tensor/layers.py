@@ -25,6 +25,7 @@ __all__ = [
     "Flatten",
     "LeakyReLU",
     "BatchNorm",
+    "ToLayout",
     "Sequential",
 ]
 
@@ -248,6 +249,27 @@ class BatchNorm(Layer):
             raise ValueError(
                 f"{self.name}: expected {self.channels} channels, got {input_shape[0]}"
             )
+        return tuple(input_shape)
+
+
+class ToLayout(Layer):
+    """Explicit activation-layout conversion (``ops.to_layout``).
+
+    Insert at the top of a conv stack (``ToLayout("nCdhw16c")``) to pay
+    the entry reorder once and run the following Conv3D/pool/LeakyReLU
+    chain blocked end to end; ``Flatten`` reorders back automatically at
+    the exit.  Bitwise-neutral: the layout changes, the numbers do not.
+    """
+
+    def __init__(self, layout: str = "nCdhw16c", name: str = ""):
+        super().__init__(name)
+        self.layout = layout
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.to_layout(x, self.layout)
+
+    def output_shape(self, input_shape):
+        # Logical per-sample shape is layout-independent.
         return tuple(input_shape)
 
 

@@ -1,0 +1,70 @@
+"""Differentiable layout conversion for activation tensors.
+
+``to_layout`` is the taped form of
+:func:`repro.primitives.layout.reorder`: it moves a ``(N, C, D, H, W)``
+activation between the plain and 16-channel-blocked memory formats and
+reorders the gradient back across the same boundary on the backward
+pass.  These are the *only* places gradients change layout in a
+blocked end-to-end network — entry, exit, and any explicitly requested
+conversion — which is what the reorder counters in the A1 ablation
+verify.
+
+Zero-padded channel lanes carry zero data forward and zero gradient
+backward (the blocked->plain reorder drops them; the plain->blocked
+gradient reorder re-zero-fills them), so the conversion is exact in
+both directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.layout import PLAIN_NCDHW, Layout, get_layout, reorder
+from repro.tensor.tensor import Tensor
+
+__all__ = ["to_layout"]
+
+
+def to_layout(a, layout: str | Layout) -> Tensor:
+    """Convert an activation tensor to ``layout`` (taped, exact).
+
+    No-op (returns ``a`` itself, no tape node) when the tensor is
+    already in the requested layout.
+    """
+    target = get_layout(layout)
+    if target.kind != "activation":
+        raise ValueError(f"to_layout converts activations, not {target.kind} layouts")
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    current = a.layout if a.layout is not None else PLAIN_NCDHW
+    if current == target:
+        return a
+
+    if current.is_blocked:
+        channels = a.channels
+        if channels is None:
+            raise ValueError("blocked tensor is missing its logical channel count")
+
+        data = reorder(a.data, current, target, channels=channels)
+
+        def backward(g):
+            return (reorder(np.ascontiguousarray(g), target, current),)
+
+        out = Tensor._make(data, (a,), backward, "to_layout")
+        if target.is_blocked:  # blocked -> blocked (future formats)
+            out.layout = target
+            out.channels = channels
+        return out
+
+    # plain -> blocked
+    if a.ndim != 5:
+        raise ValueError(f"expected (N, C, D, H, W) activations, got shape {a.shape}")
+    channels = a.shape[1]
+    data = reorder(a.data, current, target)
+
+    def backward(g):
+        return (reorder(np.ascontiguousarray(g), target, current, channels=channels),)
+
+    out = Tensor._make(data, (a,), backward, "to_layout")
+    out.layout = target
+    out.channels = channels
+    return out

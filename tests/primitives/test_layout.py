@@ -5,12 +5,28 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.obs import MetricsRegistry
+from repro.primitives import registry
 from repro.primitives.layout import (
     BLOCK,
+    BLOCKED_NCDHW16C,
+    BLOCKED_OIDHW16I16O,
+    PLAIN_NCDHW,
+    PLAIN_OIDHW,
+    ReorderCache,
+    available_layouts,
     blocked_channels,
+    clear_reorder_cache,
     from_blocked,
+    from_blocked_batch,
+    from_blocked_bias,
     from_blocked_weights,
+    get_layout,
+    reorder,
+    reorder_cached,
     to_blocked,
+    to_blocked_batch,
+    to_blocked_bias,
     to_blocked_weights,
 )
 
@@ -118,3 +134,155 @@ class TestWeightLayout:
         np.testing.assert_array_equal(
             from_blocked_weights(to_blocked_weights(w), oc, ic), w
         )
+
+
+class TestLayoutRegistry:
+    def test_known_layouts(self):
+        names = available_layouts()
+        for expected in ("ncdhw", "nCdhw16c", "oidhw", "OIdhw16i16o"):
+            assert expected in names
+
+    def test_lookup(self):
+        blocked = get_layout("nCdhw16c")
+        assert blocked.is_blocked and blocked.block == BLOCK
+        assert blocked.kind == "activation"
+        assert not get_layout("ncdhw").is_blocked
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_layout("nhwc")
+
+
+class TestBatchLayout:
+    @pytest.mark.parametrize("c", [1, 5, 16, 17, 32])
+    def test_round_trip(self, c):
+        rng = np.random.default_rng(c)
+        x = rng.standard_normal((3, c, 2, 3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(from_blocked_batch(to_blocked_batch(x), c), x)
+
+    def test_matches_per_sample(self):
+        """The vectorized batch converter and the per-sample one agree."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 5, 3, 3, 3)).astype(np.float32)
+        xb = to_blocked_batch(x)
+        for i in range(2):
+            np.testing.assert_array_equal(xb[i], to_blocked(x[i]))
+
+    def test_padding_lanes_zero(self):
+        x = np.ones((2, 5, 2, 2, 2), dtype=np.float32)
+        assert np.all(to_blocked_batch(x)[:, 0, :, :, :, 5:] == 0.0)
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            to_blocked_batch(np.zeros((5, 2, 2, 2)))
+
+    @given(
+        c=st.integers(min_value=1, max_value=40),
+        n=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, c, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c, 2, 1, 3)).astype(np.float32)
+        np.testing.assert_array_equal(from_blocked_batch(to_blocked_batch(x), c), x)
+
+
+class TestBiasLayout:
+    @pytest.mark.parametrize("c", [1, 5, 16, 17, 32])
+    def test_round_trip(self, c):
+        b = np.arange(c, dtype=np.float32)
+        np.testing.assert_array_equal(from_blocked_bias(to_blocked_bias(b), c), b)
+
+    def test_shape_and_padding(self):
+        bb = to_blocked_bias(np.ones(5, dtype=np.float32))
+        assert bb.shape == (1, BLOCK)
+        assert np.all(bb[0, 5:] == 0.0)
+
+    @given(c=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, c):
+        rng = np.random.default_rng(c)
+        b = rng.standard_normal(c).astype(np.float32)
+        np.testing.assert_array_equal(from_blocked_bias(to_blocked_bias(b), c), b)
+
+
+class TestCountedReorder:
+    @pytest.fixture(autouse=True)
+    def _detach(self):
+        yield
+        registry.set_metrics(None)
+
+    def test_reorder_round_trip(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 5, 3, 3, 3)).astype(np.float32)
+        xb = reorder(x, PLAIN_NCDHW, BLOCKED_NCDHW16C)
+        np.testing.assert_array_equal(
+            reorder(xb, BLOCKED_NCDHW16C, PLAIN_NCDHW, channels=5), x
+        )
+
+    def test_same_layout_is_uncounted_noop(self):
+        metrics = MetricsRegistry()
+        registry.set_metrics(metrics)
+        x = np.ones((1, 4, 2, 2, 2), dtype=np.float32)
+        assert reorder(x, PLAIN_NCDHW, PLAIN_NCDHW) is x
+        assert "primitives.reorder.calls" not in metrics.snapshot()
+
+    def test_counters(self):
+        metrics = MetricsRegistry()
+        registry.set_metrics(metrics)
+        x = np.ones((1, 4, 2, 2, 2), dtype=np.float32)
+        w = np.ones((4, 4, 2, 2, 2), dtype=np.float32)
+        reorder(x, PLAIN_NCDHW, BLOCKED_NCDHW16C)
+        reorder(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        snap = metrics.snapshot()
+        assert snap["primitives.reorder.calls"] == 2
+        assert snap["primitives.reorder.ncdhw->nCdhw16c.calls"] == 1
+        assert snap["primitives.reorder.oidhw->OIdhw16i16o.calls"] == 1
+        assert snap["primitives.reorder.bytes"] > 0
+
+    def test_unsupported_pair_raises(self):
+        with pytest.raises((KeyError, ValueError)):
+            reorder(np.ones((1, 4, 2, 2, 2)), PLAIN_NCDHW, BLOCKED_OIDHW16I16O)
+
+
+class TestReorderCache:
+    def test_hit_on_identical_content(self):
+        cache = ReorderCache()
+        w = np.ones((4, 4, 2, 2, 2), dtype=np.float32)
+        a = cache.get_or_reorder(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        b = cache.get_or_reorder(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        assert a is b
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_miss_on_changed_content(self):
+        """Content-addressed: an updated weight must repack."""
+        cache = ReorderCache()
+        w = np.ones((4, 4, 2, 2, 2), dtype=np.float32)
+        a = cache.get_or_reorder(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        w2 = w * 2.0
+        b = cache.get_or_reorder(w2, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        assert cache.misses == 2
+        assert not np.array_equal(a, b)
+
+    def test_lru_eviction(self):
+        cache = ReorderCache(max_entries=2)
+        for i in range(3):
+            w = np.full((4, 4, 1, 1, 1), float(i), dtype=np.float32)
+            cache.get_or_reorder(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        # Entry 0 was evicted: re-requesting it misses again.
+        w0 = np.full((4, 4, 1, 1, 1), 0.0, dtype=np.float32)
+        cache.get_or_reorder(w0, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_module_default_cache(self):
+        clear_reorder_cache()
+        w = np.ones((4, 4, 2, 2, 2), dtype=np.float32)
+        a = reorder_cached(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        b = reorder_cached(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        assert a is b
+        clear_reorder_cache()
+        c = reorder_cached(w, PLAIN_OIDHW, BLOCKED_OIDHW16I16O)
+        assert c is not a
+        np.testing.assert_array_equal(c, a)
+        clear_reorder_cache()

@@ -3,21 +3,33 @@
 import numpy as np
 import pytest
 
-from repro.primitives.registry import available_impls, get_impl, set_default_impl
+from repro.obs import MetricsRegistry
+from repro.primitives import registry as registry_mod
+from repro.primitives.registry import (
+    ConvImpl,
+    available_impls,
+    get_default_impl,
+    get_impl,
+    register_impl,
+    set_default_impl,
+    set_metrics,
+)
 
 
 @pytest.fixture(autouse=True)
 def restore_default():
     yield
     set_default_impl("gemm")
+    set_metrics(None)
 
 
 class TestRegistry:
-    def test_both_registered(self):
-        assert available_impls() == ["direct", "gemm"]
+    def test_all_registered(self):
+        assert available_impls() == ["auto", "blocked", "direct", "gemm", "im2col"]
 
     def test_default_is_gemm(self):
         assert get_impl().name == "gemm"
+        assert get_default_impl() == "gemm"
 
     def test_lookup_by_name(self):
         assert get_impl("direct").name == "direct"
@@ -71,3 +83,117 @@ class TestRegistry:
             rtol=2e-4,
             atol=2e-4,
         )
+
+    def test_padding_fallbacks_are_counted(self):
+        """Satellite a: direct->gemm substitutions land on the metrics."""
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 4, 5, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((4, 4, 3, 3, 3)).astype(np.float32)
+        g = rng.standard_normal((1, 4, 5, 5, 5)).astype(np.float32)
+        metrics = MetricsRegistry()
+        set_metrics(metrics)
+        d = get_impl("direct")
+        d.backward_data(g, w, (5, 5, 5), 1, 1)
+        d.backward_weights(x, g, (3, 3, 3), 1, 1)
+        g0 = rng.standard_normal((1, 4, 3, 3, 3)).astype(np.float32)
+        d.backward_data(g0, w, (5, 5, 5), 1, 0)  # unpadded: no fallback
+        snap = metrics.snapshot()
+        assert snap["primitives.conv3d.fallbacks"] == 2
+        assert snap["primitives.conv3d.direct.backward_data.fallbacks"] == 1
+        assert snap["primitives.conv3d.direct.backward_weights.fallbacks"] == 1
+
+    def test_blocked_native_layout(self):
+        assert get_impl("blocked").native_layout == "nCdhw16c"
+        assert get_impl("gemm").native_layout == "ncdhw"
+
+
+class TestRegisterImpl:
+    def test_register_and_replace(self):
+        original = registry_mod._IMPLS["gemm"]
+        calls = []
+
+        def spy_forward(x, w, bias=None, stride=1, padding=0):
+            calls.append("hit")
+            return original.forward(x, w, bias, stride=stride, padding=padding)
+
+        try:
+            register_impl(ConvImpl(
+                name="gemm",
+                forward=spy_forward,
+                backward_data=original.backward_data,
+                backward_weights=original.backward_weights,
+            ))
+            x = np.zeros((1, 2, 3, 3, 3), dtype=np.float32)
+            w = np.zeros((2, 2, 2, 2, 2), dtype=np.float32)
+            get_impl("gemm").forward(x, w)
+            assert calls == ["hit"]
+        finally:
+            register_impl(original)
+
+    def test_replace_invalidates_instrumented_wrappers(self):
+        """Satellite b: a re-registered impl must not be shadowed by a
+        stale instrumented wrapper around its predecessor."""
+        original = registry_mod._IMPLS["gemm"]
+        metrics = MetricsRegistry()
+        set_metrics(metrics)
+        x = np.zeros((1, 2, 3, 3, 3), dtype=np.float32)
+        w = np.zeros((2, 2, 2, 2, 2), dtype=np.float32)
+        get_impl("gemm").forward(x, w)  # builds + caches the wrapper
+        calls = []
+
+        def spy_forward(xx, ww, bias=None, stride=1, padding=0):
+            calls.append("hit")
+            return original.forward(xx, ww, bias, stride=stride, padding=padding)
+
+        try:
+            register_impl(ConvImpl(
+                name="gemm",
+                forward=spy_forward,
+                backward_data=original.backward_data,
+                backward_weights=original.backward_weights,
+            ))
+            get_impl("gemm").forward(x, w)
+            assert calls == ["hit"]  # wrapper was rebuilt over the new impl
+        finally:
+            register_impl(original)
+
+    def test_set_metrics_invalidates_instrumented_wrappers(self):
+        """Counters must land on the currently attached registry, never a
+        previously attached one."""
+        first = MetricsRegistry()
+        set_metrics(first)
+        x = np.zeros((1, 2, 3, 3, 3), dtype=np.float32)
+        w = np.zeros((2, 2, 2, 2, 2), dtype=np.float32)
+        get_impl("gemm").forward(x, w)
+        second = MetricsRegistry()
+        set_metrics(second)
+        get_impl("gemm").forward(x, w)
+        assert first.snapshot()["primitives.conv3d.forward.calls"] == 1
+        assert second.snapshot()["primitives.conv3d.forward.calls"] == 1
+
+    def test_register_default_flag(self):
+        original = registry_mod._IMPLS["gemm"]
+        try:
+            register_impl(original, default=True)
+            assert get_default_impl() == "gemm"
+        finally:
+            set_default_impl("gemm")
+
+    def test_rejects_non_convimpl(self):
+        with pytest.raises(TypeError):
+            register_impl("gemm")
+
+    def test_rejects_auto_name(self):
+        with pytest.raises(ValueError):
+            register_impl(ConvImpl(
+                name="auto",
+                forward=lambda *a, **k: None,
+                backward_data=lambda *a, **k: None,
+                backward_weights=lambda *a, **k: None,
+            ))
+
+    def test_auto_is_never_instrumented(self):
+        """get_impl("auto") must hand back the raw policy: accounting
+        happens on the *chosen* impl, wrapping auto would double-count."""
+        set_metrics(MetricsRegistry())
+        assert get_impl("auto") is registry_mod._AUTO

@@ -1,0 +1,211 @@
+"""Tensor-layer tests for layout-carrying tensors and blocked execution.
+
+The tensor layer's contract: a ``Tensor`` may carry a layout tag; convs
+and pools propagate it so a ConvBlock -> pool -> ConvBlock chain runs
+natively blocked with zero interior reorders; gradients cross layouts
+only at the genuine boundaries (stack entry, flatten exit, parameter
+unblock) — and the whole thing is **bitwise** equal to the plain path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.primitives import registry
+from repro.primitives.layout import clear_reorder_cache
+from repro.tensor import ops
+from repro.tensor.layers import (
+    AvgPool3D,
+    Conv3D,
+    Dense,
+    Flatten,
+    LeakyReLU,
+    Sequential,
+    ToLayout,
+)
+from repro.tensor.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    clear_reorder_cache()
+    yield
+    clear_reorder_cache()
+    registry.set_metrics(None)
+
+
+def _x(shape=(2, 5, 6, 6, 6), seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestToLayoutOp:
+    def test_round_trip_bitwise(self):
+        x = _x()
+        t = Tensor(x)
+        b = ops.to_layout(t, "nCdhw16c")
+        assert b.layout.name == "nCdhw16c" and b.channels == 5
+        back = ops.to_layout(b, "ncdhw")
+        assert back.layout is None
+        np.testing.assert_array_equal(back.data, x)
+
+    def test_noop_when_already_there(self):
+        t = Tensor(_x())
+        assert ops.to_layout(t, "ncdhw") is t
+        b = ops.to_layout(t, "nCdhw16c")
+        assert ops.to_layout(b, "nCdhw16c") is b
+
+    def test_gradient_crosses_back(self):
+        x = _x()
+        t = Tensor(x, requires_grad=True)
+        b = ops.to_layout(t, "nCdhw16c")
+        ops.sum_(ops.mul(b, b)).backward()
+        # d/dx sum(blocked(x)^2) == 2x: padded lanes contribute nothing.
+        np.testing.assert_allclose(t.grad, 2.0 * x, rtol=1e-6)
+        assert t.grad.shape == x.shape
+
+    def test_rejects_weight_layout(self):
+        with pytest.raises(ValueError):
+            ops.to_layout(Tensor(_x()), "OIdhw16i16o")
+
+    def test_blocked_to_plain_needs_channels(self):
+        stray = Tensor(np.zeros((2, 1, 3, 3, 3, 16), dtype=np.float32))
+        stray.layout = ops.to_layout(Tensor(_x()), "nCdhw16c").layout
+        with pytest.raises(ValueError):
+            ops.to_layout(stray, "ncdhw")
+
+
+class TestLayoutPropagation:
+    def test_conv_tags_output(self):
+        conv = Conv3D(5, 7, 3, rng=np.random.default_rng(0), impl="blocked")
+        out = conv(Tensor(_x()))
+        assert out.layout is not None and out.layout.is_blocked
+        assert out.channels == 7
+
+    def test_pool_keeps_layout(self):
+        b = ops.to_layout(Tensor(_x()), "nCdhw16c")
+        out = ops.avg_pool3d(b, 2)
+        assert out.layout is b.layout and out.channels == 5
+
+    def test_leaky_relu_keeps_layout(self):
+        b = ops.to_layout(Tensor(_x()), "nCdhw16c")
+        out = ops.leaky_relu(b)
+        assert out.layout is b.layout and out.channels == 5
+
+    def test_flatten_exits_blocked(self):
+        b = ops.to_layout(Tensor(_x()), "nCdhw16c")
+        flat = ops.flatten(b)
+        assert flat.layout is None
+        assert flat.shape == (2, 5 * 6 * 6 * 6)
+
+    def test_sigmoid_rejects_blocked(self):
+        b = ops.to_layout(Tensor(_x()), "nCdhw16c")
+        with pytest.raises(ValueError, match="sigmoid"):
+            ops.sigmoid(b)
+
+    def test_reshape_and_transpose_reject_blocked(self):
+        b = ops.to_layout(Tensor(_x()), "nCdhw16c")
+        with pytest.raises(ValueError, match="reshape"):
+            ops.reshape(b, (-1,))
+        with pytest.raises(ValueError, match="transpose"):
+            ops.transpose(b)
+
+    def test_detach_and_repr_carry_tag(self):
+        b = ops.to_layout(Tensor(_x()), "nCdhw16c")
+        d = b.detach()
+        assert d.layout is b.layout and d.channels == 5
+        assert "nCdhw16c" in repr(b)
+
+    def test_plain_conv_on_blocked_input_reorders_at_boundary(self):
+        """A layout-incompatible impl forces a (taped) exit reorder."""
+        b = ops.to_layout(Tensor(_x()), "nCdhw16c")
+        conv = Conv3D(5, 7, 3, rng=np.random.default_rng(0), impl="gemm")
+        out = conv(b)
+        assert out.layout is None  # ran plain
+
+
+def _stack(impl):
+    return Sequential([
+        Conv3D(5, 16, 3, rng=np.random.default_rng(1), impl=impl, name="c1"),
+        LeakyReLU(),
+        AvgPool3D(2),
+        Conv3D(16, 20, 2, rng=np.random.default_rng(2), impl=impl, name="c2"),
+        LeakyReLU(),
+        Flatten(),
+        Dense(20 * 2 ** 3, 3, rng=np.random.default_rng(3), name="head"),
+    ])
+
+
+class TestBlockedEndToEnd:
+    def test_forward_bitwise_vs_direct(self):
+        x = _x((2, 5, 9, 9, 9))
+        out_d = _stack("direct")(Tensor(x))
+        out_b = _stack("blocked")(Tensor(x))
+        assert np.array_equal(out_d.data, out_b.data)
+
+    def test_training_step_bitwise_vs_direct(self):
+        """Two SGD steps: losses, gradients, and updated parameters all
+        bitwise-equal between the plain and blocked-e2e paths."""
+        x = _x((2, 5, 9, 9, 9))
+        y = _x((2, 3), seed=4)
+        results = {}
+        for impl in ("direct", "blocked"):
+            clear_reorder_cache()
+            net = _stack(impl)
+            losses, grads = [], []
+            for _ in range(2):
+                for p in net.parameters():
+                    p.zero_grad()
+                loss = ops.mse_loss(net(Tensor(x)), Tensor(y))
+                loss.backward()
+                losses.append(loss.item())
+                grads.append([p.grad.copy() for p in net.parameters()])
+                for p in net.parameters():
+                    p.data -= 1e-3 * p.grad
+            results[impl] = (losses, grads, [p.data for p in net.parameters()])
+        assert results["direct"][0] == results["blocked"][0]
+        for gd, gb in zip(results["direct"][1], results["blocked"][1]):
+            for a, b in zip(gd, gb):
+                assert np.array_equal(a, b)
+        for a, b in zip(results["direct"][2], results["blocked"][2]):
+            assert np.array_equal(a, b)
+
+    def test_zero_interior_reorders(self):
+        """Blocked chain: activation reorders happen only at the entry
+        and the flatten exit, never between conv/pool/activation ops."""
+        metrics = MetricsRegistry()
+        registry.set_metrics(metrics)
+        net = _stack("blocked")
+        net(Tensor(_x((2, 5, 9, 9, 9))))
+        snap = metrics.snapshot()
+        # 1 batch entry reorder (plain->blocked at c1) + 1 exit (flatten).
+        assert snap["primitives.reorder.ncdhw->nCdhw16c.calls"] == 1
+        assert snap["primitives.reorder.nCdhw16c->ncdhw.calls"] == 1
+
+    def test_explicit_tolayout_layer(self):
+        """ToLayout at the stack top + plain-tolerant layers behaves the
+        same as letting conv1 do the entry reorder."""
+        x = _x((2, 5, 9, 9, 9))
+        implicit = _stack("blocked")(Tensor(x))
+        stack = _stack("blocked")
+        explicit = Sequential([ToLayout("nCdhw16c")] + stack.layers)(Tensor(x))
+        assert np.array_equal(implicit.data, explicit.data)
+
+    def test_output_shape_is_layout_independent(self):
+        net = Sequential([ToLayout("nCdhw16c")] + _stack("blocked").layers)
+        assert net.output_shape((5, 9, 9, 9)) == (3,)
+
+    def test_auto_impl_runs_end_to_end(self, tmp_path):
+        from repro.primitives import autotune
+
+        autotune.set_tuner(autotune.Autotuner(
+            autotune.TuningCache(tmp_path / "t.json"), repeats=1
+        ))
+        try:
+            x = _x((1, 5, 9, 9, 9))
+            out_auto = _stack("auto")(Tensor(x))
+            out_direct = _stack("direct")(Tensor(x))
+            np.testing.assert_allclose(
+                out_auto.data, out_direct.data, rtol=2e-4, atol=2e-4
+            )
+        finally:
+            autotune.set_tuner(None)
