@@ -115,6 +115,27 @@ def build_parser() -> argparse.ArgumentParser:
              "in the 16-channel-blocked layout end to end; 'auto' picks "
              "per shape from the persisted tuning cache (see `repro tune`)",
     )
+    p.add_argument(
+        "--precision",
+        choices=("fp32", "fp16"),
+        default="fp32",
+        help="training numerics: fp16 enables mixed precision (fp32 "
+             "master weights, fp16 compute, dynamic loss scaling)",
+    )
+    p.add_argument(
+        "--compress",
+        choices=("none", "fp16", "topk"),
+        default="none",
+        help="allreduce gradient compression (non-local modes): fp16 "
+             "cast or top-k sparsification with error feedback",
+    )
+    p.add_argument(
+        "--topk-fraction",
+        type=float,
+        default=0.1,
+        help="kept fraction for --compress topk (default 0.1 = 5x fewer "
+             "wire bytes)",
+    )
 
     p = sub.add_parser("predict", help="evaluate a checkpoint on a dataset's test split")
     p.add_argument("--data", required=True)
@@ -345,7 +366,11 @@ def cmd_train(args) -> int:
             model = CosmoFlowModel(preset, seed=args.seed)
             optimizer = CosmoFlowOptimizer(
                 model.parameter_arrays(),
-                OptimizerConfig(eta0=args.eta0, decay_steps=max(1, args.epochs * len(train))),
+                OptimizerConfig(
+                    eta0=args.eta0,
+                    decay_steps=max(1, args.epochs * len(train)),
+                    precision=args.precision,
+                ),
             )
             trainer = Trainer(
                 model, train, val_data=val, optimizer=optimizer,
@@ -369,9 +394,12 @@ def cmd_train(args) -> int:
                 config=DistributedConfig(
                     n_ranks=args.ranks, epochs=args.epochs, mode=args.mode,
                     seed=args.seed + 1,
+                    compression=args.compress,
+                    topk_fraction=args.topk_fraction,
                 ),
                 optimizer_config=OptimizerConfig(
-                    eta0=args.eta0, decay_steps=max(1, args.epochs * steps)
+                    eta0=args.eta0, decay_steps=max(1, args.epochs * steps),
+                    precision=args.precision,
                 ),
                 tracer=tracer, metrics=metrics,
             )
@@ -398,6 +426,14 @@ def cmd_train(args) -> int:
         else:
             print(f"mode: {args.mode}  ranks: {args.ranks}  "
                   f"reductions: {trainer.group_stats.get('reductions', 0)}")
+            if "loss_scale" in trainer.group_stats:
+                print(f"loss scale: {trainer.group_stats['loss_scale']:.0f}  "
+                      f"skipped steps: {trainer.group_stats['loss_scale_skipped_steps']}")
+            if "compression" in trainer.group_stats:
+                gs = trainer.group_stats
+                print(f"compression: {gs['compression']}  wire bytes: "
+                      f"{gs['compression_bytes_wire']:,} of {gs['compression_bytes_in']:,} "
+                      f"({gs['compression_ratio']:.2f}x dense)")
             model, optimizer = trainer.final_model, None
         if args.checkpoint:
             path = save_checkpoint(args.checkpoint, model, optimizer)

@@ -60,6 +60,15 @@ from repro.comm.algorithms import (
     ALLREDUCE_ALGORITHMS,
 )
 from repro.comm.plugin import MLPlugin, PluginConfig
+from repro.comm.compression import (
+    COMPRESSION_MODES,
+    CompressionStats,
+    Fp16Compressor,
+    GradientCompressor,
+    TopKCompressor,
+    compression_ratio,
+    make_compressor,
+)
 from repro.comm.grpc_baseline import ParameterServer
 from repro.comm.horovod import HorovodLike
 
@@ -88,6 +97,13 @@ __all__ = [
     "ALLREDUCE_ALGORITHMS",
     "MLPlugin",
     "PluginConfig",
+    "COMPRESSION_MODES",
+    "CompressionStats",
+    "GradientCompressor",
+    "Fp16Compressor",
+    "TopKCompressor",
+    "make_compressor",
+    "compression_ratio",
     "ParameterServer",
     "HorovodLike",
 ]

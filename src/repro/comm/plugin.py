@@ -36,6 +36,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.comm.communicator import Communicator, ReduceOp
+from repro.comm.compression import COMPRESSION_MODES, make_compressor
 from repro.utils.packing import flatten_arrays, unflatten_arrays
 
 __all__ = ["PluginConfig", "MLPlugin"]
@@ -47,19 +48,39 @@ class PluginConfig:
     threads per team is tuned by the user when initializing").
 
     The paper uses 4 helper threads in one team on Cori and 2 on
-    Piz Daint.
+    Piz Daint.  ``compression`` selects the pre-reduction gradient
+    transform (:mod:`repro.comm.compression`): ``"none"`` leaves the
+    fp32 path untouched; ``"fp16"`` casts through half precision;
+    ``"topk"`` keeps the ``topk_fraction`` largest-magnitude elements
+    with (by default) error-feedback residual accumulation.
     """
 
     teams: int = 1
     threads_per_team: int = 4
+    compression: str = "none"
+    topk_fraction: float = 0.1
+    error_feedback: bool = True
 
     def __post_init__(self):
         if self.teams < 1 or self.threads_per_team < 1:
             raise ValueError("teams and threads_per_team must be >= 1")
+        if self.compression not in COMPRESSION_MODES:
+            raise ValueError(
+                f"unknown compression {self.compression!r}; "
+                f"expected one of {COMPRESSION_MODES}"
+            )
+        if not 0.0 < self.topk_fraction <= 1.0:
+            raise ValueError("topk_fraction must be in (0, 1]")
 
     @property
     def n_chunks(self) -> int:
         return self.teams * self.threads_per_team
+
+    def build_compressor(self):
+        """One rank's compressor instance (``None`` for mode "none")."""
+        return make_compressor(
+            self.compression, self.topk_fraction, error_feedback=self.error_feedback
+        )
 
 
 @dataclass
@@ -80,6 +101,11 @@ class MLPlugin:
         self.comm = comm
         self.config = config or PluginConfig()
         self.stats = PluginStats()
+        #: This rank's gradient compressor (``None`` when the config
+        #: selects no compression — the fp32 path stays untouched).
+        #: Per-rank by construction: the top-k error-feedback residual
+        #: is rank-local state.
+        self.compressor = self.config.build_compressor()
         self._initialized = False
 
     # -- lifecycle (mirrors the C/Python plugin API) ------------------------
@@ -112,6 +138,11 @@ class MLPlugin:
         t0 = time.perf_counter()
         shapes = [np.shape(g) for g in grads]
         flat = flatten_arrays(grads)
+        if self.compressor is not None:
+            # Pre-reduction transform on the local flat message; the
+            # chunked MEAN below is unchanged, so determinism and
+            # cross-backend bitwise equality are preserved.
+            flat = self.compressor.compress(flat)
 
         reduced = np.empty_like(flat)
         bounds = np.linspace(0, flat.size, self.config.n_chunks + 1).astype(int)

@@ -120,6 +120,14 @@ def save_checkpoint(
         payload["step_count"] = np.int64(optimizer.step_count)
         payload["adam_m"] = np.concatenate([m.ravel() for m in optimizer.adam.m])
         payload["adam_v"] = np.concatenate([v.ravel() for v in optimizer.adam.v])
+        if getattr(optimizer, "scaler", None) is not None:
+            # Mixed-precision state: ``flat_parameters`` above holds the
+            # fp16-rounded values the model computes with; the fp32
+            # masters and loss-scaler counters ride alongside so a
+            # restarted fp16 run replays bitwise (same Adam inputs, same
+            # next overflow decision).  fp32 checkpoints are unchanged.
+            payload["master_parameters"] = optimizer.master_flat()
+            payload["scaler_state"] = optimizer.scaler.state_array()
     if history is not None:
         for key, values in history.as_dict().items():
             payload[f"hist_{key}"] = np.asarray(values, dtype=np.float64)
@@ -204,6 +212,15 @@ def load_checkpoint(
                     m[...] = data["adam_m"][offset : offset + m.size].reshape(m.shape)
                     v[...] = data["adam_v"][offset : offset + v.size].reshape(v.shape)
                     offset += m.size
+                # Presence-guarded mixed-precision restore: fp32
+                # checkpoints carry neither key, and an fp32 optimizer
+                # loading an fp16 checkpoint simply keeps the (rounded)
+                # flat parameters restored above.
+                if getattr(optimizer, "scaler", None) is not None:
+                    if "master_parameters" in data.files:
+                        optimizer.set_master_flat(data["master_parameters"])
+                    if "scaler_state" in data.files:
+                        optimizer.scaler.load_state_array(data["scaler_state"])
             if history is not None:
                 # Per-key presence guard: a checkpoint written before a
                 # curve existed (e.g. ``effective_batch``) restores the

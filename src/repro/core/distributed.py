@@ -43,6 +43,7 @@ compatibility shim that maps ``DistributedConfig`` onto the engine.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -75,6 +76,12 @@ class DistributedConfig:
     a shared default object).  ``divergence_threshold`` bounds the
     cross-rank parameter spread tolerated by the synchronous-training
     invariant check.
+
+    ``compression`` ("none" | "fp16" | "topk") selects the allreduce
+    gradient compressor (:mod:`repro.comm.compression`) and is folded
+    into the plugin config; ``topk_fraction`` sets the kept fraction
+    for "topk".  An explicitly supplied ``plugin`` with its own
+    non-default compression wins over these convenience fields.
     """
 
     n_ranks: int
@@ -84,6 +91,8 @@ class DistributedConfig:
     validate: bool = True
     plugin: Optional[PluginConfig] = None
     divergence_threshold: float = 1e-5
+    compression: str = "none"
+    topk_fraction: float = 0.1
 
     def __post_init__(self):
         if self.n_ranks < 1:
@@ -94,6 +103,25 @@ class DistributedConfig:
             raise ValueError("divergence_threshold must be >= 0")
         if self.plugin is None:
             object.__setattr__(self, "plugin", PluginConfig())
+        from repro.comm.compression import COMPRESSION_MODES
+
+        if self.compression not in COMPRESSION_MODES:
+            raise ValueError(
+                f"unknown compression {self.compression!r}; "
+                f"expected one of {COMPRESSION_MODES}"
+            )
+        if self.compression != "none" and self.plugin.compression == "none":
+            # Validation (unknown mode, bad fraction) happens inside
+            # PluginConfig.__post_init__ via dataclasses.replace.
+            object.__setattr__(
+                self,
+                "plugin",
+                dataclasses.replace(
+                    self.plugin,
+                    compression=self.compression,
+                    topk_fraction=self.topk_fraction,
+                ),
+            )
 
     @property
     def global_batch_size(self) -> int:

@@ -413,10 +413,23 @@ class RankContext:
         """Next batch of the epoch, or ``None`` when exhausted."""
         return next(self._it, None)
 
+    def _loss_and_grads(self, x, y):
+        """One worker gradient computation, honoring the optimizer's
+        precision mode: fp32 calls straight through (bitwise identical
+        to every prior release); fp16 rounds inputs/gradients through
+        half precision with the dynamic loss scale applied (see
+        :mod:`repro.core.precision`)."""
+        scaler = getattr(self.optimizer, "scaler", None)
+        if scaler is not None:
+            from repro.core.precision import fp16_loss_and_gradients
+
+            return fp16_loss_and_gradients(self.model, x, y, scaler.scale)
+        return self.model.loss_and_gradients(x, y)
+
     def compute(self, batch):
         """Loss and gradients for one batch; returns ``(loss, grads, n)``."""
         x, y = batch
-        loss, grads = self.model.loss_and_gradients(x, y)
+        loss, grads = self._loss_and_grads(x, y)
         return loss, grads, len(x)
 
     def aggregate(self, loss, grads):
@@ -487,11 +500,16 @@ class _SteppedContext(RankContext):
     ``DistributedTrainer.stepped_equals_batch_sgd_note``).
     """
 
-    def __init__(self, engine, *, group: SteppedGroup, shards, rngs, **kwargs):
+    def __init__(self, engine, *, group: SteppedGroup, shards, rngs, compressors=None, **kwargs):
         super().__init__(engine, **kwargs)
         self.group = group
         self.shards = shards
         self.rngs = rngs
+        #: One gradient compressor per virtual rank (or ``None``): the
+        #: top-k error-feedback residual is per-rank state, so k
+        #: sequentially simulated ranks need k residuals to stay
+        #: bitwise identical to k threads each owning one.
+        self.compressors = compressors
         self._iters = None
 
     @property
@@ -510,7 +528,7 @@ class _SteppedContext(RankContext):
     def compute(self, batch):
         losses, grad_lists, n = [], [], 0
         for x, y in batch:
-            loss, grads = self.model.loss_and_gradients(x, y)
+            loss, grads = self._loss_and_grads(x, y)
             losses.append(loss)
             grad_lists.append(grads)
             n += len(x)
@@ -520,6 +538,8 @@ class _SteppedContext(RankContext):
         # One flat message per virtual rank, like the plugin's fused
         # buffer; the group reduces them in rank order.
         flats = [flatten_arrays(grads) for grads in grad_lists]
+        if self.compressors is not None:
+            flats = [c.compress(f) for c, f in zip(self.compressors, flats)]
         avg_flat = self.group.allreduce(flats, ReduceOp.MEAN)[0]
         return float(np.mean(losses)), unflatten_like(avg_flat, grad_lists[0])
 
@@ -624,6 +644,13 @@ class _ElasticContext(RankContext):
             "resume_step": np.int64(global_step % self.steps_per_epoch),
             "lr_scale": np.float64(getattr(opt, "lr_scale", 1.0)),
         }
+        if opt.scaler is not None:
+            # Mixed-precision state rides the same payload: the fp32
+            # masters (the model arrays only hold their fp16 rounding)
+            # and the loss-scaler counters, so a rejoined rank's next
+            # overflow decision matches the survivors' bitwise.
+            payload["master_parameters"] = opt.master_flat()
+            payload["scaler_state"] = opt.scaler.state_array()
         for key, values in self.history.as_dict().items():
             payload[f"hist_{key}"] = np.asarray(values[:n_done], dtype=np.float64)
         return payload
@@ -640,6 +667,37 @@ class _ElasticContext(RankContext):
 # ---------------------------------------------------------------------------
 # Execution backends
 # ---------------------------------------------------------------------------
+
+
+def _precision_stats(optimizer) -> Dict[str, Any]:
+    """Loss-scaler counters for a backend's run stats (empty in fp32)."""
+    scaler = getattr(optimizer, "scaler", None)
+    return scaler.stats() if scaler is not None else {}
+
+
+def _compression_stats(compressors) -> Dict[str, Any]:
+    """Rank-0's compressor counters for a backend's run stats.
+
+    Every rank compresses the same number of same-sized messages, so
+    rank 0's per-rank counters are representative and — crucially —
+    identical across the stepped/threaded/process backends (a sum over
+    the stepped backend's virtual ranks would not be comparable to the
+    single thread-local compressor a threaded rank exposes).  Empty for
+    mode "none": the uncompressed stats dict stays byte-for-byte what
+    it was before compression existed.
+    """
+    compressors = list(compressors or ())
+    if not compressors or compressors[0] is None:
+        return {}
+    c0 = compressors[0]
+    return {
+        "compression": c0.name,
+        "compression_calls": c0.stats.calls,
+        "compression_bytes_in": c0.stats.bytes_in,
+        "compression_bytes_wire": c0.stats.bytes_wire,
+        "compression_bytes_saved": c0.stats.bytes_saved,
+        "compression_ratio": c0.stats.ratio,
+    }
 
 
 @dataclass
@@ -790,11 +848,16 @@ class SteppedBackend(_GroupBackend):
         model = CosmoFlowModel(self.model_config, seed=cfg.seed)
         optimizer = CosmoFlowOptimizer(model.parameter_arrays(), self._opt_config(engine))
         group = SteppedGroup(k)
+        if self.plugin_config.compression != "none":
+            compressors = [self.plugin_config.build_compressor() for _ in range(k)]
+        else:
+            compressors = None
         rc = _SteppedContext(
             engine,
             group=group,
             shards=[self.train_data.shard(r, k) for r in range(k)],
             rngs=[np.random.default_rng([cfg.seed, r]) for r in range(k)],
+            compressors=compressors,
             model=model,
             optimizer=optimizer,
             train_view=self.train_data,
@@ -811,6 +874,8 @@ class SteppedBackend(_GroupBackend):
             "reductions": group.reductions,
             "bytes_reduced": group.bytes_reduced,
         }
+        stats.update(_precision_stats(optimizer))
+        stats.update(_compression_stats(rc.compressors))
         return EngineResult(history=hist, model=model, stats=stats)
 
 
@@ -867,6 +932,8 @@ class ThreadedBackend(_GroupBackend):
             "bytes_reduced": group.bytes_reduced,
             "max_param_divergence": rc0.divergence,
         }
+        stats.update(_precision_stats(rc0.optimizer))
+        stats.update(_compression_stats([getattr(rc0.aggregator, "compressor", None)]))
         return EngineResult(
             history=rc0.history, model=rc0.model, stats=stats, divergence=rc0.divergence
         )
@@ -981,6 +1048,15 @@ class ElasticBackend(ThreadedBackend):
             m[...] = payload["adam_m"][offset : offset + m.size].reshape(m.shape)
             v[...] = payload["adam_v"][offset : offset + v.size].reshape(v.shape)
             offset += m.size
+        # Presence-guarded mixed-precision restore: fp32 runs (and
+        # payloads from them) carry no scaler/master keys.
+        if optimizer.scaler is not None:
+            master = payload.get("master_parameters")
+            if master is not None:
+                optimizer.set_master_flat(np.asarray(master))
+            scaler_state = payload.get("scaler_state")
+            if scaler_state is not None:
+                optimizer.scaler.load_state_array(np.asarray(scaler_state))
         history = History()
         for key, values in history.as_dict().items():
             stored = payload.get(f"hist_{key}")
@@ -1110,6 +1186,8 @@ class ElasticBackend(ThreadedBackend):
             "spares_used": group.spares_used,
             "faults_injected": self.injector.summary(),
         }
+        stats.update(_precision_stats(rc0.optimizer))
+        stats.update(_compression_stats([getattr(rc0.aggregator, "compressor", None)]))
         # A record-backed dataset routed through the burst-buffer tier
         # reports its staging decisions alongside the comm-layer stats;
         # the manager is shared by every rank's shard, so this is the

@@ -173,6 +173,20 @@ def parameter_bytes(config: CosmoFlowConfig, itemsize: int = 4) -> int:
     return parameter_count(config) * itemsize
 
 
+def compressed_message_bytes(
+    config: CosmoFlowConfig, compression: str = "none", topk_fraction: float = 0.1
+) -> float:
+    """The allreduce wire bytes under gradient compression.
+
+    The analytical ratios of :func:`repro.comm.compression
+    .compression_ratio`: fp16 halves every element; top-k sends the
+    kept fraction at 8 bytes (fp32 value + int32 index) per element.
+    """
+    from repro.comm.compression import compression_ratio
+
+    return parameter_bytes(config) * compression_ratio(compression, topk_fraction)
+
+
 def total_flops(config: CosmoFlowConfig) -> Dict[str, float]:
     """Aggregate flops per training sample (mini-batch 1).
 

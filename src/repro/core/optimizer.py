@@ -24,9 +24,11 @@ with respect to the weight norm for each layer".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro.core.precision import DEFAULT_LOSS_SCALE, LossScaler, fp16_round
 
 __all__ = [
     "PolynomialDecay",
@@ -141,7 +143,14 @@ class Adam(object):
 
 @dataclass(frozen=True)
 class OptimizerConfig:
-    """Full optimizer configuration (paper defaults)."""
+    """Full optimizer configuration (paper defaults).
+
+    ``precision`` selects the compute/update numerics: ``"fp32"`` is
+    the paper's path, untouched and bitwise identical to every prior
+    release; ``"fp16"`` enables mixed-precision training — fp32 master
+    weights inside the optimizer, fp16-rounded model weights and
+    gradients, and dynamic loss scaling (see :mod:`repro.core.precision`).
+    """
 
     eta0: float = DEFAULT_ETA0
     eta_min: float = DEFAULT_ETA_MIN
@@ -154,6 +163,13 @@ class OptimizerConfig:
     larc_fallback: float = LARC_FALLBACK
     use_larc: bool = True
     use_decay: bool = True
+    precision: str = "fp32"
+    loss_scale_init: float = DEFAULT_LOSS_SCALE
+    loss_scale_growth_interval: int = 200
+
+    def __post_init__(self):
+        if self.precision not in ("fp32", "fp16"):
+            raise ValueError(f"unknown precision {self.precision!r}")
 
 
 class CosmoFlowOptimizer:
@@ -183,6 +199,26 @@ class CosmoFlowOptimizer:
         #: the default changes nothing bitwise); the numerical-health
         #: watchdog cuts it after a rollback.
         self.lr_scale = 1.0
+        #: Mixed-precision state (``precision="fp16"`` only): fp32
+        #: master copies of every parameter and the dynamic loss
+        #: scaler.  The model's own arrays always hold the fp16-rounded
+        #: masters, so forward/backward see fp16 weight values while
+        #: Adam accumulates in full precision.  ``None``/``None`` in
+        #: fp32 mode, where nothing below changes a single bit.
+        self.scaler: Optional[LossScaler] = None
+        self.master: Optional[List[np.ndarray]] = None
+        if self.config.precision == "fp16":
+            self.scaler = LossScaler(
+                init_scale=self.config.loss_scale_init,
+                growth_interval=self.config.loss_scale_growth_interval,
+            )
+            self.master = [p.astype(np.float32, copy=True) for p in self.params]
+            for p, mp in zip(self.params, self.master):
+                p[...] = fp16_round(mp)
+
+    @property
+    def precision(self) -> str:
+        return self.config.precision
 
     def current_lr(self) -> float:
         """The global learning rate ``eta_t`` for the *next* step."""
@@ -193,11 +229,20 @@ class CosmoFlowOptimizer:
     def step(self, grads: Sequence[np.ndarray]) -> float:
         """Apply one update from (already averaged) gradients.
 
-        Returns the global learning rate used.
+        In fp16 mode the incoming gradients are loss-scaled: they are
+        unscaled here, checked for overflow (an fp16 ``inf``/``nan``
+        from any rank survives the MEAN allreduce, so all ranks see the
+        same verdict), and an overflowed step skips the Adam update
+        while still advancing the schedule clock.  Returns the global
+        learning rate used.
         """
         if len(grads) != len(self.params):
             raise ValueError(f"expected {len(self.params)} grads, got {len(grads)}")
         lr = self.current_lr()
+        if self.scaler is not None:
+            self._step_fp16(grads, lr)
+            self.step_count += 1
+            return lr
         if self.config.use_larc:
             scaled = [
                 np.asarray(g) * larc_scale(p, g, self.config.larc_trust, self.config.larc_fallback)
@@ -208,3 +253,60 @@ class CosmoFlowOptimizer:
         self.adam.step(self.params, scaled, lr)
         self.step_count += 1
         return lr
+
+    def _step_fp16(self, grads: Sequence[np.ndarray], lr: float) -> None:
+        """Mixed-precision update: unscale, overflow-check, update masters."""
+        scaler, master = self.scaler, self.master
+        unscaled = scaler.unscale(grads)
+        if scaler.check_overflow(unscaled):
+            # Skip-and-halve: Adam state and masters stay untouched
+            # (``adam.t`` does not advance), only the schedule clock
+            # and the scaler move.
+            scaler.update(True)
+            return
+        if self.config.use_larc:
+            scaled = [
+                g * larc_scale(mp, g, self.config.larc_trust, self.config.larc_fallback)
+                for mp, g in zip(master, unscaled)
+            ]
+        else:
+            scaled = unscaled
+        self.adam.step(master, scaled, lr)
+        for p, mp in zip(self.params, master):
+            p[...] = fp16_round(mp)
+        scaler.update(False)
+
+    # -- mixed-precision state transport -----------------------------------
+
+    def state_arrays(self) -> List[np.ndarray]:
+        """All optimizer state: Adam moments plus — in fp16 mode — the
+        fp32 masters and the loss-scaler state vector.  The complete
+        set a checkpoint or elastic resync must carry for a restarted
+        rank to replay bitwise."""
+        arrays = self.adam.state_arrays()
+        if self.master is not None:
+            arrays += list(self.master)
+        if self.scaler is not None:
+            arrays.append(self.scaler.state_array())
+        return arrays
+
+    def master_flat(self) -> Optional[np.ndarray]:
+        """Concatenated fp32 master weights (``None`` in fp32 mode)."""
+        if self.master is None:
+            return None
+        return np.concatenate([m.ravel() for m in self.master])
+
+    def set_master_flat(self, flat: np.ndarray) -> None:
+        """Restore the fp32 masters and re-round the model parameters,
+        re-establishing the ``params == fp16(master)`` invariant."""
+        if self.master is None:
+            raise ValueError("optimizer has no master weights (fp32 mode)")
+        flat = np.asarray(flat, dtype=np.float32)
+        total = sum(m.size for m in self.master)
+        if flat.size != total:
+            raise ValueError(f"expected {total} master values, got {flat.size}")
+        offset = 0
+        for p, mp in zip(self.params, self.master):
+            mp[...] = flat[offset : offset + mp.size].reshape(mp.shape)
+            p[...] = fp16_round(mp)
+            offset += mp.size

@@ -126,6 +126,15 @@ class NumericalHealthWatchdog(Callback):
         st = self._state(rc)
         if st["bad"] is not None:
             return
+        if getattr(rc.optimizer, "scaler", None) is not None:
+            # Mixed-precision runs: a non-finite *scaled* gradient is a
+            # loss-scaler overflow the optimizer already skipped and
+            # recovered from (skip-and-halve), not divergence.  The
+            # loss itself is computed unscaled, so a non-finite loss is
+            # still a genuine health failure.
+            if not math.isfinite(rc.last_loss):
+                st["bad"] = f"non-finite loss at epoch {rc.epoch} step {rc.step}"
+            return
         if not math.isfinite(rc.last_loss):
             st["bad"] = f"non-finite loss at epoch {rc.epoch} step {rc.step}"
         elif self.check_gradients and rc.last_grads is not None:

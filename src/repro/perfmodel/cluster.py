@@ -89,6 +89,14 @@ class ClusterModel:
     #: only the shrunken-throughput window of length MTTR instead of
     #: degrading the rest of the run; 0 models instant replacement.
     node_mttr_hours: float = 0.0
+    #: Gradient compression on the allreduce path ("none" | "fp16" |
+    #: "topk"), matching :mod:`repro.comm.compression`: scales the E4
+    #: communication term's message bytes by the analytical wire ratio
+    #: (fp16 → 0.5, topk → 2·k).  The reduction *latency structure*
+    #: (per-hop alphas) is unchanged; only the bandwidth term shrinks.
+    compression: str = "none"
+    #: Kept fraction for ``compression="topk"``.
+    topk_fraction: float = 0.1
 
     def __post_init__(self):
         if self.flops_per_sample <= 0 or self.model_bytes < 0 or self.sample_bytes < 0:
@@ -101,6 +109,22 @@ class ClusterModel:
             raise ValueError("node_mtbf_hours must be >= 0")
         if self.node_mttr_hours < 0:
             raise ValueError("node_mttr_hours must be >= 0")
+        # Validates mode and fraction; caches the wire-bytes ratio.
+        from repro.comm.compression import compression_ratio
+
+        self._compression_ratio = compression_ratio(
+            self.compression, self.topk_fraction
+        )
+
+    @property
+    def compression_ratio(self) -> float:
+        """Wire bytes / dense fp32 bytes on the allreduce path."""
+        return self._compression_ratio
+
+    @property
+    def wire_model_bytes(self) -> float:
+        """The allreduce message size after compression."""
+        return self.model_bytes * self._compression_ratio
 
     # -- step decomposition -----------------------------------------------------
 
@@ -115,7 +139,7 @@ class ClusterModel:
         return base * (1.0 + self.straggler_exposure * float(tail))
 
     def comm_time_s(self, n_nodes: int) -> float:
-        return self.interconnect.allreduce_time_s(n_nodes, self.model_bytes)
+        return self.interconnect.allreduce_time_s(n_nodes, self.wire_model_bytes)
 
     def io_read_time_s(self, n_nodes: int) -> float:
         """Time to read one step's samples on one node."""

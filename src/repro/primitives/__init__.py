@@ -94,6 +94,22 @@ from repro.primitives.registry import (
     set_default_impl,
     get_default_impl,
     available_impls,
+    set_auto_quantized,
+    auto_quantized_enabled,
+)
+from repro.primitives.quantized import (
+    QuantizedWeights,
+    quantize_groupwise,
+    dequantize_groupwise,
+    pack_int4,
+    unpack_int4,
+    quantized_matmul,
+    conv3d_forward_int8,
+    conv3d_forward_int4,
+    QuantCache,
+    default_quant_cache,
+    clear_quant_cache,
+    DEFAULT_GROUP_SIZE,
 )
 from repro.primitives.autotune import (
     Autotuner,
@@ -150,6 +166,20 @@ __all__ = [
     "set_default_impl",
     "get_default_impl",
     "available_impls",
+    "set_auto_quantized",
+    "auto_quantized_enabled",
+    "QuantizedWeights",
+    "quantize_groupwise",
+    "dequantize_groupwise",
+    "pack_int4",
+    "unpack_int4",
+    "quantized_matmul",
+    "conv3d_forward_int8",
+    "conv3d_forward_int4",
+    "QuantCache",
+    "default_quant_cache",
+    "clear_quant_cache",
+    "DEFAULT_GROUP_SIZE",
     "Autotuner",
     "TuningCache",
     "conv_shape_key",

@@ -49,6 +49,8 @@ __all__ = [
     "set_metrics",
     "get_metrics",
     "record_conv_call",
+    "set_auto_quantized",
+    "auto_quantized_enabled",
     "AUTO_IMPL",
 ]
 
@@ -244,16 +246,42 @@ def _instrument(impl: ConvImpl) -> ConvImpl:
 # ---------------------------------------------------------------------------
 
 
+#: Whether the ``auto`` policy may race the approximate quantized
+#: kernels.  Off by default: the tuner assumes its candidates are
+#: interchangeable (bitwise-equal), which int8/int4 are not.
+_auto_quantized = False
+
+
+def set_auto_quantized(enabled: bool) -> None:
+    """Opt the quantized forward kernels in/out of ``auto`` racing.
+
+    With this on, ``auto`` forward tuning may pick ``int8``/``int4`` on
+    shapes where they win — trading exactness for speed explicitly.
+    Backward passes always race exact kernels only (the quantized
+    backwards are gemm fallbacks anyway).
+    """
+    global _auto_quantized
+    _auto_quantized = bool(enabled)
+
+
+def auto_quantized_enabled() -> bool:
+    return _auto_quantized
+
+
 def auto_candidates(op: str) -> list[str]:
     """Implementation names the autotuner races for ``op``.
 
     ``im2col`` only differs from ``gemm`` in the forward pass, so it is
     excluded from backward tuning (racing two identical kernels would
-    just double the one-time tuning cost).
+    just double the one-time tuning cost).  The approximate ``int8`` /
+    ``int4`` kernels join the forward race only after an explicit
+    :func:`set_auto_quantized` opt-in.
     """
     names = [n for n in ("gemm", "im2col", "direct", "blocked") if n in _IMPLS]
     if op != "forward" and "im2col" in names:
         names.remove("im2col")
+    if op == "forward" and _auto_quantized:
+        names.extend(n for n in ("int8", "int4") if n in _IMPLS)
     return names
 
 

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.flops import (
     PAPER_PARAM_BYTES,
+    compressed_message_bytes,
     PAPER_TOTAL_FLOPS,
     network_costs,
     parameter_bytes,
@@ -117,3 +118,18 @@ class TestAccountingConsistency:
         rows = table1_rows(paper_128())
         assert [r["layer"] for r in rows] == [f"conv{i}" for i in range(1, 8)]
         assert rows[0]["bwd_flops"] == 0.0
+
+
+class TestCompressedMessageBytes:
+    def test_none_is_dense(self):
+        assert compressed_message_bytes(paper_128()) == parameter_bytes(paper_128())
+
+    def test_fp16_halves(self):
+        cfg = paper_128()
+        assert compressed_message_bytes(cfg, "fp16") == parameter_bytes(cfg) / 2
+
+    def test_topk_is_2f(self):
+        cfg = paper_128()
+        assert compressed_message_bytes(cfg, "topk", topk_fraction=0.1) == pytest.approx(
+            0.2 * parameter_bytes(cfg)
+        )

@@ -160,3 +160,29 @@ class TestModelMechanics:
             ClusterModel(
                 node=bb.node, interconnect=bb.interconnect, straggler_exposure=2.0
             )
+
+
+class TestCompressedComm:
+    def test_default_wire_bytes_are_dense(self, bb):
+        assert bb.compression == "none"
+        assert bb.compression_ratio == 1.0
+        assert bb.wire_model_bytes == bb.model_bytes
+
+    def test_fp16_halves_comm_time(self, bb):
+        half = cori_datawarp_machine(straggler_exposure=0.0, compression="fp16")
+        assert half.wire_model_bytes == bb.model_bytes / 2
+        # Bandwidth term shrinks; latency structure is untouched, so
+        # the saving is positive but less than 2x end to end.
+        assert half.comm_time_s(1024) < bb.comm_time_s(1024)
+
+    def test_topk_wire_ratio(self, bb):
+        topk = cori_datawarp_machine(
+            straggler_exposure=0.0, compression="topk", topk_fraction=0.1
+        )
+        assert topk.compression_ratio == pytest.approx(0.2)
+        assert topk.wire_model_bytes == pytest.approx(0.2 * bb.model_bytes)
+        assert topk.comm_time_s(1024) < bb.comm_time_s(1024)
+
+    def test_unknown_compression_rejected(self):
+        with pytest.raises(ValueError):
+            cori_datawarp_machine(compression="zip")

@@ -25,7 +25,9 @@ def restore_default():
 
 class TestRegistry:
     def test_all_registered(self):
-        assert available_impls() == ["auto", "blocked", "direct", "gemm", "im2col"]
+        assert available_impls() == [
+            "auto", "blocked", "direct", "gemm", "im2col", "int4", "int8",
+        ]
 
     def test_default_is_gemm(self):
         assert get_impl().name == "gemm"
