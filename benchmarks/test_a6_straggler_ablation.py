@@ -12,11 +12,21 @@ The cluster model exposes that as a knob: ``straggler_exposure`` is the
 fraction of the slowest-of-n compute tail NOT hidden by the staged
 reduction (0 = the calibrated, plugin-protected baseline).  Sweeping it
 quantifies what the plugin's design is worth at 8192 nodes.
+
+Two companion views quantify the *other* mitigation (bounded-staleness
+aggregation, :mod:`repro.comm.stale`): an analytic quorum sweep on the
+same cluster model (waiting for the k-th of n jittered nodes instead of
+the max), and measured sync-vs-ssgd rows from the virtual-time stale
+group replaying one seeded 10x straggler schedule.
 """
 
+import numpy as np
 import pytest
 
 from benchmarks.conftest import save_report
+from repro.comm.stale import StaleGroup, StalenessConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.perfmodel import cori_datawarp_machine
 
 
@@ -55,3 +65,82 @@ def test_straggler_exposure_sweep(benchmark):
     assert machines[1.0].step_time_s(1) == pytest.approx(
         machines[0.0].step_time_s(1), rel=1e-9
     )
+
+
+def test_quorum_aggregation_analytic(benchmark):
+    """Analytic counterpart of the ssgd backend: step time when the
+    collective closes on the quorum-th fastest node instead of the
+    slowest of n (order-statistic tail on the same jitter model)."""
+    m = cori_datawarp_machine(straggler_exposure=1.0)
+    fractions = [1.0, 0.9, 0.75, 0.5]
+    benchmark.pedantic(
+        lambda: m.stale_step_time_s(8192, 0.5), rounds=5, iterations=1
+    )
+
+    lines = [
+        "A6 companion: analytic quorum aggregation (exposure 1.0)",
+        f"{'quorum':>8}{'step @8192 (ms)':>17}{'vs sync':>9}",
+    ]
+    sync = m.step_time_s(8192)
+    for q in fractions:
+        t = m.stale_step_time_s(8192, q)
+        lines.append(f"{q:>8.2f}{t * 1e3:>17.1f}{sync / t:>8.2f}x")
+    save_report("a6_quorum_analytic", "\n".join(lines))
+
+    times = [m.stale_step_time_s(8192, q) for q in fractions]
+    # Smaller quorum -> strictly faster close.
+    assert all(a > b for a, b in zip(times, times[1:]))
+    # Full quorum is within a hair of the blocking sync step (the
+    # n-th order statistic approximates the max of n).
+    assert times[0] == pytest.approx(sync, rel=0.05)
+
+
+def test_measured_sync_vs_ssgd(benchmark):
+    """Measured rows: the virtual-time stale group replays one seeded
+    10x straggler and reports per-bound virtual step time vs the fully
+    synchronous close (bound 0)."""
+    BASE = 0.01
+    N_STEPS = 40
+
+    def run(bound):
+        cfg = StalenessConfig(
+            staleness_bound=bound, quorum_fraction=0.5,
+            quarantine_factor=None, base_step_time_s=BASE,
+        )
+        plan = FaultPlan(seed=11).with_slow_rank(1, 9 * BASE, n_steps=N_STEPS)
+        g = StaleGroup(8, cfg, injector=FaultInjector(plan))
+        for step in range(N_STEPS):
+            starters = g.begin_step(step)
+            g.complete_step(
+                step, {r: (0.0, np.ones(64)) for r in starters}
+            )
+        return g
+
+    benchmark.pedantic(lambda: run(4), rounds=3, iterations=1)
+
+    bounds = [0, 1, 2, 4, 8]
+    groups = {b: run(b) for b in bounds}
+    sync_vt = groups[0].virtual_time_s
+    lines = [
+        "A6 companion: measured ssgd vs sync (8 ranks, one 10x straggler, "
+        f"{N_STEPS} steps, base {BASE * 1e3:.0f} ms)",
+        f"{'bound':>6}{'virtual (s)':>13}{'speedup':>9}{'max stale':>11}"
+        f"{'late folds':>12}",
+    ]
+    for b in bounds:
+        g = groups[b]
+        lines.append(
+            f"{b:>6}{g.virtual_time_s:>13.3f}{sync_vt / g.virtual_time_s:>8.2f}x"
+            f"{g.max_staleness:>11}{g.late_folds:>12}"
+        )
+    save_report("a6_sync_vs_ssgd", "\n".join(lines))
+
+    # The sync run pays the full straggler delay every step.
+    assert sync_vt == pytest.approx(N_STEPS * 10 * BASE, rel=0.01)
+    # Any positive bound beats sync; a generous bound approaches the
+    # straggler-free pace and at least halves the virtual time.
+    vts = [groups[b].virtual_time_s for b in bounds]
+    assert all(a >= b for a, b in zip(vts, vts[1:]))
+    assert groups[4].virtual_time_s < sync_vt / 2
+    for b in bounds[1:]:
+        assert groups[b].max_staleness <= b

@@ -97,10 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, help="write model checkpoint here")
     p.add_argument(
         "--mode",
-        choices=("local", "stepped", "threaded", "process", "elastic"),
+        choices=("local", "stepped", "threaded", "process", "elastic", "ssgd", "sagn"),
         default="local",
         help="training-engine execution backend (`process` runs each "
-        "rank as a real OS process under supervision)",
+        "rank as a real OS process under supervision; `ssgd`/`sagn` "
+        "aggregate with bounded staleness on virtual time)",
     )
     p.add_argument("--ranks", type=int, default=2,
                    help="data-parallel ranks for non-local modes")
@@ -136,6 +137,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="kept fraction for --compress topk (default 0.1 = 5x fewer "
              "wire bytes)",
     )
+    p.add_argument("--staleness-bound", type=int, default=4,
+                   help="ssgd/sagn: hard staleness bound s (0 = fully "
+                        "synchronous, bitwise equal to threaded)")
+    p.add_argument("--quorum-fraction", type=float, default=0.5,
+                   help="ssgd/sagn: fraction of sync ranks a step waits for")
+    p.add_argument("--window", type=int, default=1,
+                   help="sagn: late-gradient accumulation window in steps")
+    p.add_argument("--slow-rank", type=int, action="append", default=[],
+                   metavar="RANK",
+                   help="inject a straggler: stall this rank every step "
+                        "(repeatable; needs --mode ssgd/sagn/elastic)")
+    p.add_argument("--slow-ms", type=float, default=100.0,
+                   help="how long each --slow-rank stall lasts (virtual "
+                        "time for ssgd/sagn, a real sleep for elastic)")
+    p.add_argument("--slow-rate", type=float, default=1.0,
+                   help="per-step probability a --slow-rank stall fires")
+    p.add_argument("--slow-steps", type=int, default=None, metavar="STEPS",
+                   help="only stall the first STEPS global steps (the "
+                        "recovery schedule the rehabilitation path needs); "
+                        "default: the whole run")
 
     p = sub.add_parser("predict", help="evaluate a checkpoint on a dataset's test split")
     p.add_argument("--data", required=True)
@@ -170,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
                    "replaces it)")
     p.add_argument("--corrupt-rate", type=float, default=0.0,
                    help="per-rank per-collective message corruption probability")
+    p.add_argument("--slow-rank", type=int, action="append", default=[],
+                   metavar="RANK",
+                   help="pin a persistent straggler: RANK_HANG events "
+                        "stalling this rank every step (repeatable)")
+    p.add_argument("--slow-ms", type=float, default=50.0,
+                   help="stall duration for each --slow-rank event")
+    p.add_argument("--slow-rate", type=float, default=1.0,
+                   help="per-step probability a --slow-rank stall fires")
     p.add_argument("--timeout", type=float, default=10.0)
     p.add_argument("--quorum-fraction", type=float, default=0.5)
     p.add_argument("--checkpoint-dir", default=None,
@@ -386,6 +415,44 @@ def cmd_train(args) -> int:
                     f"dataset of {len(train)} samples cannot feed {args.ranks} ranks"
                 )
             steps = len(train) // args.ranks
+            injector = None
+            if args.slow_rank:
+                if args.mode not in ("ssgd", "sagn", "elastic"):
+                    raise SystemExit(
+                        "--slow-rank needs --mode ssgd, sagn, or elastic "
+                        "(the synchronous backends have no straggler hook)"
+                    )
+                from repro.faults import FaultInjector, FaultPlan
+
+                slow_steps = (
+                    args.slow_steps
+                    if args.slow_steps is not None
+                    else max(1, args.epochs * steps)
+                )
+                plan = FaultPlan(seed=args.seed)
+                try:
+                    for rank in args.slow_rank:
+                        plan = plan.with_slow_rank(
+                            rank, args.slow_ms / 1e3, slow_steps, rate=args.slow_rate
+                        )
+                except ValueError as exc:
+                    print(f"infeasible straggler plan: {exc}", file=sys.stderr)
+                    return 2
+                problems = plan.validate(args.ranks)
+                if problems:
+                    for problem in problems:
+                        print(f"infeasible straggler plan: {problem}", file=sys.stderr)
+                    return 2
+                injector = FaultInjector(plan)
+            staleness = None
+            if args.mode in ("ssgd", "sagn"):
+                from repro.comm.stale import StalenessConfig
+
+                staleness = StalenessConfig(
+                    staleness_bound=args.staleness_bound,
+                    quorum_fraction=args.quorum_fraction,
+                    window=args.window,
+                )
             cls = ElasticTrainer if args.mode == "elastic" else DistributedTrainer
             trainer = cls(
                 preset,
@@ -396,12 +463,14 @@ def cmd_train(args) -> int:
                     seed=args.seed + 1,
                     compression=args.compress,
                     topk_fraction=args.topk_fraction,
+                    staleness=staleness,
                 ),
                 optimizer_config=OptimizerConfig(
                     eta0=args.eta0, decay_steps=max(1, args.epochs * steps),
                     precision=args.precision,
                 ),
                 tracer=tracer, metrics=metrics,
+                injector=injector,
             )
         try:
             with interruptible():
@@ -434,6 +503,22 @@ def cmd_train(args) -> int:
                 print(f"compression: {gs['compression']}  wire bytes: "
                       f"{gs['compression_bytes_wire']:,} of {gs['compression_bytes_in']:,} "
                       f"({gs['compression_ratio']:.2f}x dense)")
+            if args.mode in ("ssgd", "sagn"):
+                gs = trainer.group_stats
+                bound = gs["staleness_bound"]
+                print(f"staleness: max {gs['max_staleness']} (bound {bound})  "
+                      f"late folds: {gs['late_folds']}  dropped: {gs['dropped_stale']}  "
+                      f"bound waits: {gs['bound_waits']}")
+                print(f"virtual time: {gs['virtual_time_s']:.3f}s  "
+                      f"contributions: {gs['contributions']}")
+                print(f"quarantined: {gs['quarantined_ranks']}  "
+                      f"rehabilitated: {gs['rehabilitated_ranks']}  "
+                      f"evicted: {gs['evicted_ranks']}")
+                if gs["max_staleness"] > bound:
+                    # The group raises on a sync violation; this guards the
+                    # reported numbers end to end for CI's benefit.
+                    print("FAILED: observed staleness exceeded the bound")
+                    return 1
             model, optimizer = trainer.final_model, None
         if args.checkpoint:
             path = save_checkpoint(args.checkpoint, model, optimizer)
@@ -610,6 +695,14 @@ def cmd_faultsim(args) -> int:
         )
     if args.spares < 0:
         raise SystemExit("--spares must be >= 0")
+    try:
+        for rank in args.slow_rank:
+            plan = plan.with_slow_rank(
+                rank, args.slow_ms / 1e3, steps, rate=args.slow_rate
+            )
+    except ValueError as exc:
+        print(f"infeasible fault plan: {exc}", file=sys.stderr)
+        return 2
     if args.recover_after is not None:
         plan = plan.with_recovery(args.recover_after)
     if args.save_plan:

@@ -28,6 +28,11 @@ This subpackage reproduces that stack in-process:
   centralized aggregator the paper contrasts against.
 * :mod:`repro.comm.errors` — the typed :class:`CommError` hierarchy
   (timeouts, rank failure/eviction, message corruption, quorum loss).
+* :mod:`repro.comm.stale` — :class:`StaleGroup`, the bounded-staleness
+  partial collective (SSGD/SAGN): each step folds the fastest quorum's
+  gradients, stragglers fold in late within a hard staleness bound,
+  and a :class:`StragglerMonitor` quarantines/rehabilitates/evicts
+  persistent slow ranks — all on deterministic virtual time.
 * :mod:`repro.comm.elastic` — :class:`ElasticThreadedGroup`, the
   fault-tolerant threaded backend whose collectives shrink and continue
   over surviving ranks.
@@ -60,6 +65,7 @@ from repro.comm.algorithms import (
     ALLREDUCE_ALGORITHMS,
 )
 from repro.comm.plugin import MLPlugin, PluginConfig
+from repro.comm.stale import STALE_MODES, StaleGroup, StalenessConfig, StragglerMonitor
 from repro.comm.compression import (
     COMPRESSION_MODES,
     CompressionStats,
@@ -97,6 +103,10 @@ __all__ = [
     "ALLREDUCE_ALGORITHMS",
     "MLPlugin",
     "PluginConfig",
+    "STALE_MODES",
+    "StaleGroup",
+    "StalenessConfig",
+    "StragglerMonitor",
     "COMPRESSION_MODES",
     "CompressionStats",
     "GradientCompressor",

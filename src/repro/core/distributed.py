@@ -34,6 +34,15 @@ when no faults fire.  A fourth, ``process`` (see
 OS process over crash-safe shared-memory collectives — same numerics,
 real SIGKILL-able failure domain.
 
+Two further modes relax synchrony itself (see :mod:`repro.comm.stale`
+and :mod:`repro.core.stale_backend`): ``ssgd`` aggregates each step's
+gradients from the fastest quorum of ranks and folds stragglers'
+gradients in late, within a hard staleness bound; ``sagn`` additionally
+accumulates late gradients over a step window before folding.  Both
+run on seeded virtual-time delay schedules, are bitwise identical to
+``stepped``/``threaded`` at ``staleness_bound=0`` with no faults, and
+replay exactly under any schedule.
+
 All three now execute through :class:`repro.core.engine.TrainingEngine`
 (:class:`~repro.core.engine.SteppedBackend`,
 :class:`~repro.core.engine.ThreadedBackend`,
@@ -50,6 +59,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.comm.plugin import PluginConfig
+from repro.comm.stale import STALE_MODES, StalenessConfig
 from repro.core.engine import (
     EngineConfig,
     ExecutionBackend,
@@ -82,23 +92,34 @@ class DistributedConfig:
     into the plugin config; ``topk_fraction`` sets the kept fraction
     for "topk".  An explicitly supplied ``plugin`` with its own
     non-default compression wins over these convenience fields.
+
+    ``staleness`` configures the bounded-staleness modes (``ssgd`` /
+    ``sagn``); it defaults to a fresh
+    :class:`~repro.comm.stale.StalenessConfig` when one of those modes
+    is selected and stays ``None`` otherwise.
     """
 
     n_ranks: int
     epochs: int = 10
-    mode: str = "stepped"  # "stepped" | "threaded" | "elastic" | "process"
+    #: "stepped" | "threaded" | "elastic" | "process" | "ssgd" | "sagn"
+    mode: str = "stepped"
     seed: int = 0
     validate: bool = True
     plugin: Optional[PluginConfig] = None
     divergence_threshold: float = 1e-5
     compression: str = "none"
     topk_fraction: float = 0.1
+    staleness: Optional[StalenessConfig] = None
 
     def __post_init__(self):
         if self.n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
-        if self.mode not in ("stepped", "threaded", "elastic", "process"):
+        if self.mode not in ("stepped", "threaded", "elastic", "process") + STALE_MODES:
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.mode in STALE_MODES and self.staleness is None:
+            object.__setattr__(self, "staleness", StalenessConfig())
+        if self.staleness is not None and not isinstance(self.staleness, StalenessConfig):
+            raise ValueError("staleness must be a StalenessConfig (or None)")
         if self.divergence_threshold < 0:
             raise ValueError("divergence_threshold must be >= 0")
         if self.plugin is None:
@@ -141,6 +162,7 @@ class DistributedTrainer:
         optimizer_config: Optional[OptimizerConfig] = None,
         tracer=None,
         metrics=None,
+        injector=None,
     ):
         config = config or DistributedConfig(n_ranks=2)
         if len(train_data) < config.n_ranks:
@@ -162,6 +184,9 @@ class DistributedTrainer:
         self.group_stats: dict = {}
         self.tracer = tracer
         self.metrics = metrics
+        #: Optional seeded fault injector — consumed by the stale modes
+        #: (``RANK_HANG`` events become virtual straggler delays).
+        self.injector = injector
 
     # -- engine plumbing ----------------------------------------------------------
 
@@ -185,6 +210,20 @@ class DistributedTrainer:
             from repro.core.process_backend import ProcessBackend
 
             cls: type = ProcessBackend
+        elif cfg.mode in STALE_MODES:
+            from repro.core.stale_backend import StaleBackend
+
+            return StaleBackend(
+                self.model_config,
+                self.train_data,
+                val_data=self.val_data,
+                optimizer_config=self.optimizer_config,
+                n_ranks=cfg.n_ranks,
+                plugin_config=cfg.plugin,
+                staleness=cfg.staleness,
+                stale_mode=cfg.mode,
+                injector=self.injector,
+            )
         elif cfg.mode == "stepped":
             cls = SteppedBackend
         else:
@@ -210,7 +249,7 @@ class DistributedTrainer:
         if self.config.mode == "elastic":
             from repro.core.elastic import run_elastic
 
-            return run_elastic(self)
+            return run_elastic(self, injector=self.injector)
         engine = TrainingEngine(
             self._build_backend(),
             config=self.engine_config(),

@@ -1,0 +1,175 @@
+"""Stale-synchronous execution backend (``mode="ssgd"`` / ``"sagn"``).
+
+Like :class:`~repro.core.engine.SteppedBackend`, the ranks are
+*simulated*: one shared model replica computes per-rank gradients
+sequentially.  For synchronous SGD that simulation is exact because
+every replica holds identical parameters between steps; under bounded
+staleness it stays exact for a subtler reason — a late gradient is, by
+definition, a gradient computed at an *older* parameter version, and
+the sequential simulation reproduces exactly that: a straggler's
+gradient is computed when the straggler *started* (at the then-current
+parameters) and folded steps later, while the fast ranks' parameters
+have moved on.  The :class:`~repro.comm.stale.StaleGroup` tracks the
+virtual clock, arrival order, quorum closes, and the staleness bound;
+this backend only routes gradients between the engine's step loop and
+the group.
+
+With ``staleness_bound=0`` and an empty fault plan the group waits for
+every rank each step and folds in rank order, making this backend
+bitwise identical to the stepped backend — and hence to the threaded
+sync baseline — losses, gradients, and parameters alike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.stale import StaleGroup, StalenessConfig, StragglerMonitor
+from repro.core.engine import (
+    EngineResult,
+    RankContext,
+    _compression_stats,
+    _GroupBackend,
+    _precision_stats,
+)
+from repro.core.model import CosmoFlowModel
+from repro.core.optimizer import CosmoFlowOptimizer
+from repro.faults.injector import FaultInjector
+from repro.utils.packing import flatten_arrays, unflatten_like
+
+__all__ = ["StaleBackend"]
+
+
+class _StaleContext(RankContext):
+    """Sequentially simulated ranks over a :class:`StaleGroup`.
+
+    Each engine step, only the ranks the group says are *free* compute
+    a gradient (a straggler stays busy across several steps of virtual
+    time); the group decides which gradients — fresh and late — fold
+    into this step's average.
+    """
+
+    def __init__(self, engine, *, group: StaleGroup, shards, rngs, compressors=None, **kwargs):
+        super().__init__(engine, **kwargs)
+        self.group = group
+        self.shards = shards
+        self.rngs = rngs
+        #: One compressor per virtual rank (error-feedback residuals
+        #: are per-rank state), mirroring ``_SteppedContext``.
+        self.compressors = compressors
+        self._iters = None
+        self._starters: List[int] = []
+        self._global_step = 0
+
+    @property
+    def aggregates(self) -> bool:
+        return True
+
+    def effective_batch(self) -> int:
+        # Eviction shrinks the contributing set (the elastic analogue);
+        # fault-free runs report batch_size * n_ranks like the
+        # synchronous backends.
+        return self.batch_size * self.group.active_count
+
+    def start_stream(self):
+        self._iters = [
+            shard.batches(self.batch_size, rng=rng, shuffle=self.shuffle)
+            for shard, rng in zip(self.shards, self.rngs)
+        ]
+
+    def fetch(self, step):
+        self._global_step = self.epoch * self.steps_per_epoch + step
+        self._starters = self.group.begin_step(self._global_step)
+        return [(r, next(self._iters[r])) for r in self._starters]
+
+    def compute(self, batch):
+        losses: Dict[int, float] = {}
+        grad_lists: Dict[int, List[np.ndarray]] = {}
+        n = 0
+        for r, (x, y) in batch:
+            loss, grads = self._loss_and_grads(x, y)
+            losses[r] = loss
+            grad_lists[r] = grads
+            n += len(x)
+        return losses, grad_lists, n
+
+    def aggregate(self, losses, grad_lists):
+        contribs = {}
+        for r in self._starters:
+            flat = flatten_arrays(grad_lists[r])
+            if self.compressors is not None:
+                flat = self.compressors[r].compress(flat)
+            contribs[r] = (losses[r], flat)
+        loss, avg_flat = self.group.complete_step(self._global_step, contribs)
+        return loss, unflatten_like(avg_flat, self.model.parameter_arrays())
+
+    def aggregate_scalar(self, value):
+        # Validation runs once on the shared replica — nothing to average.
+        return value
+
+
+class StaleBackend(_GroupBackend):
+    """Bounded-staleness SSGD/SAGN over simulated ranks on virtual time
+    (Section II-C's straggler mitigation, measured end to end)."""
+
+    def __init__(
+        self,
+        *args,
+        staleness: Optional[StalenessConfig] = None,
+        stale_mode: str = "ssgd",
+        injector: Optional[FaultInjector] = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.staleness = staleness or StalenessConfig()
+        self.stale_mode = stale_mode
+        self.injector = injector or FaultInjector()
+
+    def execute(self, engine, callbacks, epochs=None):
+        cfg = engine.config
+        k = self.n_ranks
+        model = CosmoFlowModel(self.model_config, seed=cfg.seed)
+        optimizer = CosmoFlowOptimizer(model.parameter_arrays(), self._opt_config(engine))
+        monitor = (
+            StragglerMonitor(k, self.staleness, metrics=engine.metrics, tracer=engine.tracer)
+            if self.staleness.monitor_enabled
+            else None
+        )
+        group = StaleGroup(
+            k,
+            self.staleness,
+            mode=self.stale_mode,
+            injector=self.injector,
+            monitor=monitor,
+            metrics=engine.metrics,
+            tracer=engine.tracer,
+        )
+        if self.plugin_config.compression != "none":
+            compressors = [self.plugin_config.build_compressor() for _ in range(k)]
+        else:
+            compressors = None
+        rc = _StaleContext(
+            engine,
+            group=group,
+            shards=[self.train_data.shard(r, k) for r in range(k)],
+            rngs=[np.random.default_rng([cfg.seed, r]) for r in range(k)],
+            compressors=compressors,
+            model=model,
+            optimizer=optimizer,
+            train_view=self.train_data,
+            val_view=self.val_data,
+            n_ranks=k,
+            batch_size=cfg.batch_size,
+            val_batch_size=1,
+            steps_per_epoch=self.steps_per_epoch,
+            shuffle=cfg.shuffle,
+            callbacks=callbacks,
+        )
+        hist = engine.rank_loop(rc, epochs=epochs)
+        stats = group.stats()
+        stats["hangs_injected"] = self.injector.fired_total()
+        stats.update(_precision_stats(optimizer))
+        stats.update(_compression_stats(rc.compressors))
+        return EngineResult(history=hist, model=model, stats=stats)

@@ -196,6 +196,42 @@ class FaultPlan:
         ]
         return FaultPlan(seed=self.seed, events=tuple(self.events) + tuple(derived))
 
+    def with_slow_rank(
+        self,
+        rank: int,
+        delay_s: float,
+        n_steps: int,
+        rate: float = 1.0,
+        start_step: int = 0,
+    ) -> "FaultPlan":
+        """Derive a straggler schedule: ``RANK_HANG`` events stalling
+        ``rank`` an extra ``delay_s`` at (a ``rate`` Bernoulli subset
+        of) steps ``start_step .. start_step + n_steps - 1``.
+
+        Like :meth:`with_recovery`, the derivation is a pure function
+        of the plan — the Bernoulli draw for ``rate < 1`` is seeded
+        from ``(plan seed, rank, start_step)`` — so the ``train`` /
+        ``faultsim`` ``--slow-rank`` flags are exactly as reproducible
+        as a hand-written plan file.
+        """
+        if delay_s <= 0:
+            raise ValueError("delay_s must be > 0 (a zero delay stalls nothing)")
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        if start_step < 0:
+            raise ValueError("start_step must be >= 0")
+        from repro.utils.rng import derive_seed
+
+        rng = np.random.default_rng(derive_seed(self.seed, "slow-rank", rank, start_step))
+        derived = [
+            FaultEvent(FaultKind.RANK_HANG, rank=rank, step=step, delay_s=delay_s)
+            for step in range(start_step, start_step + n_steps)
+            if rate >= 1.0 or rng.random() < rate
+        ]
+        return FaultPlan(seed=self.seed, events=tuple(self.events) + tuple(derived))
+
     @property
     def empty(self) -> bool:
         return not self.events
@@ -208,6 +244,9 @@ class FaultPlan:
 
         * a rank-keyed event referencing a rank outside
           ``[0, n_ranks)`` — it would never fire, silently;
+        * a delay-carrying event (``RANK_HANG``/``READ_DELAY``/
+          ``TARGET_SLOW``/``REPLICA_SLOW``) with ``delay_s <= 0`` — it
+          would fire and stall nothing, silently;
         * with ``n_steps`` given, a recovery event
           (``RANK_RECOVER``/``SPARE_JOIN``) scheduled at or past the
           run's last step — the rejoin could never be admitted.
@@ -226,12 +265,23 @@ class FaultPlan:
             FaultKind.RANK_RECOVER,
             FaultKind.SPARE_JOIN,
         )
+        delay_kinds = (
+            FaultKind.RANK_HANG,
+            FaultKind.READ_DELAY,
+            FaultKind.TARGET_SLOW,
+            FaultKind.REPLICA_SLOW,
+        )
         problems: List[str] = []
         for e in self.events:
             if e.kind in rank_keyed and e.rank is not None and not 0 <= e.rank < n_ranks:
                 problems.append(
                     f"{e.kind.value} at step {e.step} references rank {e.rank}, "
                     f"but the run has ranks 0..{n_ranks - 1}"
+                )
+            if e.kind in delay_kinds and e.delay_s <= 0:
+                problems.append(
+                    f"{e.kind.value} at step {e.step} has delay_s={e.delay_s:g} — "
+                    f"it would fire without stalling anything"
                 )
             if (
                 n_steps is not None

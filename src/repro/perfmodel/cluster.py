@@ -46,6 +46,38 @@ PAPER_MODEL_BYTES = 28.15e6
 PAPER_SAMPLE_BYTES = 8e6
 
 
+def _norm_ppf(p: float) -> float:
+    """Standard normal inverse CDF (Acklam's rational approximation,
+    |relative error| < 1.15e-9 — ample for a jitter model and keeps the
+    perfmodel scipy-free)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = np.sqrt(-2.0 * np.log(p))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        return float(num / den)
+    if p > p_high:
+        q = np.sqrt(-2.0 * np.log(1.0 - p))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        return float(-num / den)
+    q = p - 0.5
+    r = q * q
+    num = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+    den = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    return float(num / den)
+
+
 @dataclass(frozen=True)
 class ScalingPoint:
     """One row of a scaling sweep."""
@@ -137,6 +169,36 @@ class ClusterModel:
         # expose only the un-hidden fraction.
         tail = np.expm1(self.node.jitter_sigma * np.sqrt(2.0 * np.log(n_nodes)))
         return base * (1.0 + self.straggler_exposure * float(tail))
+
+    def quorum_compute_time_s(self, n_nodes: int, quorum_fraction: float) -> float:
+        """Compute time when the step closes on the ``⌈qf·n⌉``-th
+        fastest node instead of the slowest (the bounded-staleness
+        partial collective of :mod:`repro.comm.stale`).
+
+        The k-th order statistic of n lognormal(σ) jitters sits at the
+        ``k/(n+1)`` quantile, i.e. ``exp(σ Φ⁻¹(k/(n+1)))`` — which at
+        ``quorum_fraction=1`` recovers the Gumbel max tail
+        ``exp(σ √(2 ln n))`` that :meth:`compute_time_s` uses, so the
+        two formulas agree at full synchrony.
+        """
+        if not 0.0 < quorum_fraction <= 1.0:
+            raise ValueError("quorum_fraction must be in (0, 1]")
+        base = self.node.step_compute_time(self.flops_per_sample, self.batch_per_node)
+        if n_nodes <= 1 or self.node.jitter_sigma == 0:
+            return base
+        k = max(1, min(n_nodes, int(np.ceil(quorum_fraction * n_nodes))))
+        tail = np.expm1(self.node.jitter_sigma * _norm_ppf(k / (n_nodes + 1.0)))
+        return base * (1.0 + self.straggler_exposure * float(tail))
+
+    def stale_step_time_s(self, n_nodes: int, quorum_fraction: float) -> float:
+        """Step time under quorum-closed (stale-synchronous) aggregation:
+        the straggler tail beyond the quorum no longer gates the step."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        compute = self.quorum_compute_time_s(n_nodes, quorum_fraction)
+        comm = self.comm_time_s(n_nodes)
+        stall = max(0.0, self.io_read_time_s(n_nodes) - (compute + comm))
+        return compute + comm + stall
 
     def comm_time_s(self, n_nodes: int) -> float:
         return self.interconnect.allreduce_time_s(n_nodes, self.wire_model_bytes)

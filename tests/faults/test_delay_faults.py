@@ -1,0 +1,169 @@
+"""Delay-fault coverage: ``with_slow_rank`` plan derivation,
+``FaultPlan.validate`` hardening for delay-carrying events, and
+``RANK_HANG`` behavior across the threaded-elastic and process
+backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedConfig
+from repro.core.elastic import ElasticConfig, ElasticTrainer
+from repro.core.optimizer import OptimizerConfig
+from repro.core.topology import tiny_16
+from repro.core.trainer import InMemoryData
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+OPT = OptimizerConfig(eta0=5e-3, decay_steps=50)
+
+
+def make_dataset(n=8, seed=0, size=16):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 1, size, size, size)).astype(np.float32)
+    y = rng.uniform(0.2, 0.8, size=(n, 3)).astype(np.float32)
+    return InMemoryData(x, y)
+
+
+class TestWithSlowRank:
+    def test_derives_hang_schedule(self):
+        plan = FaultPlan(seed=3).with_slow_rank(1, 0.05, n_steps=4, start_step=2)
+        assert [e.step for e in plan.events] == [2, 3, 4, 5]
+        assert all(e.kind is FaultKind.RANK_HANG for e in plan.events)
+        assert all(e.rank == 1 and e.delay_s == 0.05 for e in plan.events)
+
+    def test_rate_subsamples_deterministically(self):
+        a = FaultPlan(seed=3).with_slow_rank(0, 0.05, n_steps=100, rate=0.3)
+        b = FaultPlan(seed=3).with_slow_rank(0, 0.05, n_steps=100, rate=0.3)
+        assert a.events == b.events
+        assert 10 < len(a.events) < 50  # ~30 of 100
+        c = FaultPlan(seed=4).with_slow_rank(0, 0.05, n_steps=100, rate=0.3)
+        assert c.events != a.events
+
+    def test_preserves_existing_events(self):
+        base = FaultPlan(seed=1, events=(
+            FaultEvent(FaultKind.RANK_CRASH, rank=2, step=5),
+        ))
+        plan = base.with_slow_rank(0, 0.01, n_steps=2)
+        assert plan.events[0].kind is FaultKind.RANK_CRASH
+        assert len(plan.events) == 3
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"delay_s": 0.0},
+            {"delay_s": -0.1},
+            {"n_steps": 0},
+            {"rate": 0.0},
+            {"rate": 1.5},
+            {"start_step": -1},
+        ],
+    )
+    def test_bad_arguments(self, kw):
+        args = {"rank": 0, "delay_s": 0.01, "n_steps": 3}
+        args.update(kw)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1).with_slow_rank(
+                args["rank"], args["delay_s"], args["n_steps"],
+                rate=args.get("rate", 1.0), start_step=args.get("start_step", 0),
+            )
+
+
+class TestValidateDelayEvents:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            FaultEvent(FaultKind.RANK_HANG, rank=0, step=1),
+            FaultEvent(FaultKind.READ_DELAY, step=1),
+            FaultEvent(FaultKind.TARGET_SLOW, step=1),
+            FaultEvent(FaultKind.REPLICA_SLOW, step=1),
+        ],
+    )
+    def test_zero_delay_flagged(self, event):
+        problems = FaultPlan(events=(event,)).validate(n_ranks=2)
+        assert len(problems) == 1
+        assert "delay_s=0" in problems[0]
+        assert event.kind.value in problems[0]
+
+    def test_positive_delay_passes(self):
+        plan = FaultPlan(seed=1).with_slow_rank(1, 0.05, n_steps=3)
+        assert plan.validate(n_ranks=2) == []
+
+    def test_out_of_range_hang_rank_flagged(self):
+        plan = FaultPlan(seed=1).with_slow_rank(5, 0.05, n_steps=2)
+        problems = plan.validate(n_ranks=4)
+        assert len(problems) == 2  # one per derived event
+        assert all("rank 5" in p for p in problems)
+
+    def test_zero_delay_and_bad_rank_both_reported(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.RANK_HANG, rank=9, step=0, delay_s=0.0),
+        ))
+        problems = plan.validate(n_ranks=2)
+        assert len(problems) == 2
+
+
+class TestThreadedElasticDelays:
+    """Small ``RANK_HANG`` delays under the threaded-elastic backend:
+    the rank sleeps, nothing else changes — numerics stay bitwise
+    identical to the fault-free run."""
+
+    def run(self, injector=None, elastic=None):
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(8),
+            config=DistributedConfig(
+                n_ranks=2, epochs=2, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=elastic or ElasticConfig(timeout_s=10.0),
+            injector=injector,
+        )
+        hist = trainer.run()
+        return trainer, hist
+
+    def test_small_delay_is_numerically_invisible(self):
+        t_ref, h_ref = self.run()
+        plan = FaultPlan(seed=1).with_slow_rank(1, 0.02, n_steps=3)
+        inj = FaultInjector(plan)
+        t_slow, h_slow = self.run(injector=inj)
+        assert inj.fired[FaultKind.RANK_HANG] == 3
+        assert h_slow.train_loss == h_ref.train_loss
+        assert np.array_equal(
+            t_slow.final_model.get_flat_parameters(),
+            t_ref.final_model.get_flat_parameters(),
+        )
+        assert t_slow.group_stats["evicted_ranks"] == []
+
+    def test_persistent_slow_rank_evicted_on_timeout(self):
+        plan = FaultPlan(seed=1).with_slow_rank(1, 2.0, n_steps=1, start_step=2)
+        t, hist = self.run(
+            injector=FaultInjector(plan),
+            elastic=ElasticConfig(timeout_s=0.3),
+        )
+        assert t.group_stats["evicted_ranks"] == [1]
+        assert t.group_stats["survivors"] == [0]
+        assert len(hist.train_loss) == 2
+
+
+class TestProcessDelays:
+    def test_hang_fires_in_real_process(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_REGISTRY", str(tmp_path))
+        plan = FaultPlan(seed=1).with_slow_rank(1, 0.02, n_steps=2)
+        trainer = ElasticTrainer(
+            tiny_16(),
+            make_dataset(8),
+            config=DistributedConfig(
+                n_ranks=2, epochs=2, mode="elastic", validate=False
+            ),
+            optimizer_config=OPT,
+            elastic=ElasticConfig(timeout_s=15.0),
+            injector=FaultInjector(plan),
+            backend="process",
+        )
+        hist = trainer.run()
+        stats = trainer.group_stats
+        assert stats["backend"] == "process"
+        assert stats["faults_injected"].get("rank_hang", 0) == 2
+        assert stats["evicted_ranks"] == []
+        assert len(hist.train_loss) == 2
+        assert np.isfinite(hist.train_loss[-1])
